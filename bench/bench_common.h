@@ -1,0 +1,25 @@
+// Shared helpers for the benchmark/experiment binaries.
+//
+// Each binary reproduces one experiment row from DESIGN.md (E1..E8): it
+// prints the table/figure-equivalent the paper's claim corresponds to, and
+// registers google-benchmark timings for the native-platform parts.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+
+namespace aba::bench {
+
+inline void banner(const char* experiment_id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", experiment_id, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace aba::bench

@@ -1,0 +1,169 @@
+// E8 — Section 1 (applications): lock-free structures under the different
+// ABA regimes, compared natively.
+//
+// Throughput of four stacks under thread contention:
+//   * Treiber + bounded tag (the practice the paper critiques),
+//   * Treiber + LL/SC head (Moir-style unbounded-tag LL/SC — the object the
+//     paper's constructions provide from bounded primitives),
+//   * Treiber + hazard pointers (Michael's application-specific answer),
+//   * a mutex-guarded stack (the non-lock-free control),
+// plus the Michael-Scott queue. Correctness of each lock-free flavor under
+// interleaving is established separately by the simulator tests (E8 is
+// about relative cost, not correctness).
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/llsc_unbounded_tag.h"
+#include "native/native_platform.h"
+#include "structures/hazard_pointers.h"
+#include "structures/ms_queue.h"
+#include "structures/treiber_stack.h"
+
+namespace {
+
+using namespace aba;
+using NativeP = native::NativePlatform;
+
+native::NativePlatform::Env g_env;
+
+constexpr int kMaxThreads = 4;
+constexpr int kNodesPerThread = 64;
+
+// ---- candidates ----
+
+using TaggedStack =
+    structures::TreiberStack<NativeP, structures::TaggedCasHead<NativeP>>;
+
+TaggedStack& tagged_stack() {
+  static TaggedStack stack(
+      g_env, kMaxThreads,
+      std::make_unique<structures::TaggedCasHead<NativeP>>(g_env, kMaxThreads),
+      TaggedStack::partition(kMaxThreads, kNodesPerThread));
+  return stack;
+}
+
+struct LlscStackBundle {
+  using Llsc = core::LlscUnboundedTag<NativeP>;
+  LlscStackBundle()
+      : llsc(g_env, kMaxThreads,
+             {.value_bits = 16,
+              .initial_value = structures::kNullIndex,
+              .initially_linked = false}),
+        stack(g_env, kMaxThreads, std::make_unique<structures::LlscHead<Llsc>>(llsc),
+              structures::TreiberStack<NativeP, structures::LlscHead<Llsc>>::
+                  partition(kMaxThreads, kNodesPerThread)) {}
+  Llsc llsc;
+  structures::TreiberStack<NativeP, structures::LlscHead<Llsc>> stack;
+};
+
+LlscStackBundle& llsc_stack() {
+  static LlscStackBundle bundle;
+  return bundle;
+}
+
+structures::HpTreiberStack<std::uint64_t>& hp_stack() {
+  static structures::HpTreiberStack<std::uint64_t> stack(kMaxThreads);
+  return stack;
+}
+
+class MutexStack {
+ public:
+  void push(int, std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.push_back(v);
+  }
+  std::optional<std::uint64_t> pop(int) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (values_.empty()) return std::nullopt;
+    const std::uint64_t v = values_.back();
+    values_.pop_back();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::uint64_t> values_;
+};
+
+MutexStack& mutex_stack() {
+  static MutexStack stack;
+  return stack;
+}
+
+structures::MsQueue<NativeP>& ms_queue() {
+  static structures::MsQueue<NativeP> queue(g_env, kMaxThreads, kNodesPerThread);
+  return queue;
+}
+
+// ---- benchmarks: one push+pop pair per iteration ----
+
+void BM_Stack_TaggedCas(benchmark::State& state) {
+  auto& stack = tagged_stack();
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    stack.push(pid, 42);
+    benchmark::DoNotOptimize(stack.pop(pid));
+  }
+}
+BENCHMARK(BM_Stack_TaggedCas)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Stack_LlscHead(benchmark::State& state) {
+  auto& stack = llsc_stack().stack;
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    stack.push(pid, 42);
+    benchmark::DoNotOptimize(stack.pop(pid));
+  }
+}
+BENCHMARK(BM_Stack_LlscHead)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Stack_HazardPointers(benchmark::State& state) {
+  auto& stack = hp_stack();
+  const int pid = state.thread_index();
+  std::uint64_t out = 0;
+  for (auto _ : state) {
+    stack.push(pid, 42);
+    benchmark::DoNotOptimize(stack.pop(pid, out));
+  }
+}
+BENCHMARK(BM_Stack_HazardPointers)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Stack_Mutex(benchmark::State& state) {
+  auto& stack = mutex_stack();
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    stack.push(pid, 42);
+    benchmark::DoNotOptimize(stack.pop(pid));
+  }
+}
+BENCHMARK(BM_Stack_Mutex)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Queue_MichaelScott(benchmark::State& state) {
+  auto& queue = ms_queue();
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    queue.enqueue(pid, 42);
+    benchmark::DoNotOptimize(queue.dequeue(pid));
+  }
+}
+BENCHMARK(BM_Queue_MichaelScott)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E8",
+                "Lock-free structures under the ABA-protection regimes "
+                "(native throughput)");
+  bench::note(
+      "Stacks: bounded-tag CAS head vs LL/SC head vs hazard pointers vs\n"
+      "mutex; plus the Michael-Scott queue. Expected shape: all lock-free\n"
+      "flavors are within a small factor of each other; the LL/SC head pays\n"
+      "its extra link/validate steps; hazard pointers pay publish+fence; the\n"
+      "mutex collapses under contention on multicore machines (on a 1-core\n"
+      "host the gap narrows since there is no true parallelism).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// event_signaling — the paper's introductory motivation, executed.
+//
+// "In mutual exclusion algorithms often processes busy-wait for certain
+//  events [...] it may also be desirable to eventually reset the register to
+//  its state before the event was signaled, in order to be able to reuse it.
+//  But this may result in the ABA problem, and as a consequence waiting
+//  processes may miss events."  (Section 1)
+//
+// We stage exactly that on the deterministic simulator: a signaller raises a
+// flag register and later resets it for reuse; a waiter polls. With a plain
+// register the waiter provably misses the pulse under an adversarial
+// schedule. With the ABA-detecting register of Figure 4 the same schedule
+// cannot hide the pulse.
+//
+// Build & run:  cmake --build build && ./build/examples/event_signaling
+#include <cstdio>
+
+#include "core/aba_register_bounded.h"
+#include "sim/sim_platform.h"
+#include "sim/sim_world.h"
+
+using aba::sim::SimPlatform;
+using aba::sim::SimWorld;
+
+namespace {
+
+// Scenario A: plain register. The waiter samples, the signaller pulses
+// (set + reset) entirely between two samples, and the waiter sees nothing.
+void plain_register_scenario() {
+  std::printf("--- plain register: signal pulse hidden by reset ---\n");
+  SimWorld world(2);
+  SimPlatform::Register flag(world, "flag", 0, aba::sim::BoundSpec::bounded(1));
+
+  std::uint64_t sample1 = 99, sample2 = 99;
+  world.invoke(1, [&] { sample1 = flag.read(); });
+  world.run_to_completion(1);
+
+  // The full pulse: signal the event, then reset the register for reuse.
+  world.invoke(0, [&] {
+    flag.write(1);
+    flag.write(0);
+  });
+  world.run_to_completion(0);
+
+  world.invoke(1, [&] { sample2 = flag.read(); });
+  world.run_to_completion(1);
+
+  std::printf("waiter samples: before=%llu after=%llu -> event %s\n\n",
+              static_cast<unsigned long long>(sample1),
+              static_cast<unsigned long long>(sample2),
+              sample2 != sample1 ? "SEEN" : "MISSED (the ABA problem)");
+}
+
+// Scenario B: Figure 4's ABA-detecting register under the same schedule.
+void aba_detecting_scenario() {
+  std::printf("--- ABA-detecting register: the same pulse, detected ---\n");
+  SimWorld world(2);
+  aba::core::AbaRegisterBounded<SimPlatform> flag(
+      world, 2, {.value_bits = 1, .seq_domain = 0, .initial_value = 0});
+
+  std::pair<std::uint64_t, bool> s1, s2;
+  world.invoke(1, [&] { s1 = flag.dread(1); });
+  world.run_to_completion(1);
+
+  world.invoke(0, [&] {
+    flag.dwrite(0, 1);  // Signal.
+    flag.dwrite(0, 0);  // Reset for reuse.
+  });
+  world.run_to_completion(0);
+
+  world.invoke(1, [&] { s2 = flag.dread(1); });
+  world.run_to_completion(1);
+
+  std::printf("waiter samples: before=(%llu,%s) after=(%llu,%s) -> event %s\n",
+              static_cast<unsigned long long>(s1.first),
+              s1.second ? "T" : "F",
+              static_cast<unsigned long long>(s2.first),
+              s2.second ? "T" : "F",
+              s2.second ? "SEEN via the detection flag" : "missed");
+  std::printf(
+      "\nThe value came back to 0 both times; only the DRead flag reveals\n"
+      "that writes happened in between. That detection is what Theorem 3\n"
+      "buys with n+1 bounded registers and O(1) steps -- and what Theorem 1\n"
+      "proves cannot be had for fewer than n-1 bounded registers.\n");
+}
+
+}  // namespace
+
+int main() {
+  plain_register_scenario();
+  aba_detecting_scenario();
+  return 0;
+}

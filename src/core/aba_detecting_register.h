@@ -1,0 +1,42 @@
+// The ABA-detecting register interface (paper, Section 1, "Results").
+//
+// An ABA-detecting register stores a value and supports:
+//   DWrite_p(x)  — writes x; returns nothing.
+//   DRead_q()    — returns (value, flag); flag is true iff some process
+//                  executed a DWrite since q's previous DRead. The first
+//                  DRead by q reports a flag iff any DWrite has linearized
+//                  at all.
+//
+// Unlike a plain register, a DRead detects writes that restored the old
+// value — the ABA. Single-writer variants restrict DWrite to one dedicated
+// process; everything in this repository implements the stronger
+// multi-writer form (the lower bounds hold even for single-writer 1-bit
+// registers, which makes them stronger, and the upper bounds are
+// multi-writer, which makes them stronger too).
+//
+// Implementations (all satisfy AbaDetectingRegister<Impl>):
+//   AbaRegisterBounded        — n+1 bounded registers, O(1) steps (Fig. 4).
+//   AbaRegisterFromLlsc       — 1 LL/SC/VL object, 2 steps (Fig. 5).
+//   AbaRegisterUnboundedTag   — 1 unbounded register, O(1) steps (trivial).
+//   AbaRegisterBoundedTagNaive— 1 bounded register; deliberately UNSOUND
+//                               (tag wraparound), kept for the lower-bound
+//                               and escape-rate experiments.
+//
+// The sequential specification used for verification is
+// spec::AbaRegisterSpec; linearizability is checked against it by the test
+// suites over random, round-robin and exhaustive schedules.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+namespace aba::core {
+
+template <class R>
+concept AbaDetectingRegister = requires(R r, int pid, std::uint64_t value) {
+  { r.dwrite(pid, value) } -> std::same_as<void>;
+  { r.dread(pid) } -> std::same_as<std::pair<std::uint64_t, bool>>;
+};
+
+}  // namespace aba::core

@@ -1,0 +1,118 @@
+// AbaRegisterBounded — Figure 4: a linearizable wait-free multi-writer
+// b-bit ABA-detecting register from n+1 bounded registers with constant
+// step complexity (Theorem 3).
+//
+// Shared objects:
+//   X        — one register holding a triple (x, p, s): the stored value x,
+//              the pid p of the writer, and a sequence number s in
+//              {0, ..., 2n+1}. Width: b + ceil(log n) + ceil(log(2n+2)) + 1
+//              bits = b + 2 log n + O(1), as claimed by Theorem 3.
+//   A[0..n-1] — announce array; only process q writes A[q]; each entry holds
+//              a pair (p, s).
+//
+// Operations (line numbers refer to Figure 4):
+//   DWrite_p(x): s <- GetSeq(); X.Write(x, p, s)            [lines 26-27]
+//                2 shared steps (GetSeq reads one announce entry).
+//   DRead_q():   read X -> (x,p,s); read A[q] -> (r,sr); write A[q] <- (p,s);
+//                read X -> (x',p',s'); decide flag and update local b
+//                [lines 38-50]. 4 shared steps.
+//
+// Why it works (paper Section 3.1 / Appendix C): if the two X-reads of a
+// DRead return the same triple, then at the moment of the second read both
+// X = (x,p,s) and A[q] = (p,s) held, so GetSeq's guarantee means (p,s) will
+// not be written to X again until q replaces its announcement — the next
+// DRead can therefore detect intervening DWrites by comparing A[q] with the
+// pair in X. If the two reads differ, a write certainly happened after the
+// linearization point (the first read), which the local flag b carries into
+// the next DRead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/sequence_reservation.h"
+#include "util/packed_word.h"
+
+namespace aba::core {
+
+template <Platform P>
+class AbaRegisterBounded {
+ public:
+  struct Options {
+    unsigned value_bits = 8;  // b: payload width in bits.
+    // Sequence-number domain; 0 means the correct 2n+2. Smaller domains are
+    // deliberately unsound (used by the lower-bound experiments to construct
+    // a "bounded tags without reuse protection" victim).
+    std::uint64_t seq_domain = 0;
+    std::uint64_t initial_value = 0;
+  };
+
+  AbaRegisterBounded(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        codec_(util::TripleCodec::for_processes(n, options.value_bits)),
+        board_(env, n, codec_,
+               options.seq_domain == 0
+                   ? SequenceReservation<P>::correct_seq_domain(n)
+                   : options.seq_domain),
+        x_(env, "X", util::TripleCodec::initial(),
+           sim::BoundSpec::bounded(codec_.total_bits())),
+        locals_(n) {
+    ABA_ASSERT(n >= 1);
+    ABA_ASSERT(options.value_bits >= 1 && options.value_bits <= 40);
+    ABA_ASSERT(codec_.value(codec_.pack(options.initial_value, 0, 0)) ==
+               options.initial_value);
+  }
+
+  // DWrite_p(x) — Figure 4 lines 26-27. Two shared-memory steps.
+  void dwrite(int p, std::uint64_t x) {
+    const std::uint64_t s = board_.get_seq(p);  // line 26
+    x_.write(codec_.pack(x, static_cast<std::uint64_t>(p), s));  // line 27
+  }
+
+  // DRead_q() — Figure 4 lines 38-50. Four shared-memory steps.
+  // Returns (value, flag): flag is true iff some DWrite linearized since
+  // q's previous DRead.
+  std::pair<std::uint64_t, bool> dread(int q) {
+    Local& local = locals_[q];
+    const std::uint64_t w1 = x_.read();                       // line 38
+    const std::uint64_t old_announce = board_.read_own(q);    // line 39
+    board_.announce(q, codec_.announcement(w1));              // line 40
+    const std::uint64_t w2 = x_.read();                       // line 41
+
+    bool flag;
+    if (codec_.announcement(w1) == old_announce) {  // line 42
+      flag = local.b;                               // line 43
+    } else {
+      flag = true;  // line 45
+    }
+    local.b = (w1 != w2);  // lines 46-49
+
+    const std::uint64_t value =
+        codec_.valid(w1) ? codec_.value(w1) : options_.initial_value;
+    return {value, flag};  // line 50
+  }
+
+  int num_processes() const { return n_; }
+  // Space: the X register plus the n announce entries.
+  int num_shared_registers() const { return n_ + 1; }
+  unsigned x_register_bits() const { return codec_.total_bits(); }
+  unsigned announce_register_bits() const { return codec_.announcement_bits(); }
+  bool is_under_provisioned() const { return board_.is_under_provisioned(); }
+
+ private:
+  struct Local {
+    bool b = false;  // "a DWrite linearized during my previous DRead".
+  };
+
+  int n_;
+  Options options_;
+  util::TripleCodec codec_;
+  SequenceReservation<P> board_;
+  typename P::Register x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

@@ -1,0 +1,81 @@
+// AbaRegisterBoundedTagNaive — the classic *unsound* approach the paper's
+// introduction critiques: a single bounded register with a tag that wraps
+// around (IBM-style tagging with finitely many tags, [14, 24, 25, 28, 29]).
+//
+//   DWrite: bump the tag modulo 2^tag_bits, write (value, tag).  1 step.
+//   DRead:  read the word; flag = (word != last word I saw).     1 step.
+//
+// With one bounded register this sits far below Theorem 1(a)'s m >= n-1
+// space bound, so it MUST be incorrect — and indeed after 2^tag_bits
+// same-value writes the word recurs and a reader misses the ABA. The
+// covering adversary (Lemma 1's construction, src/lowerbound) finds this
+// violation mechanically, and bench_aba_escape quantifies the escape rate
+// as a function of tag width.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/packed_word.h"
+
+namespace aba::core {
+
+template <Platform P>
+class AbaRegisterBoundedTagNaive {
+ public:
+  struct Options {
+    unsigned value_bits = 8;
+    unsigned tag_bits = 2;  // 2^tag_bits distinct tags before wraparound.
+    std::uint64_t initial_value = 0;
+  };
+
+  AbaRegisterBoundedTagNaive(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        x_(env, "X", pack(options.initial_value, 0),
+           sim::BoundSpec::bounded(options.value_bits + options.tag_bits)),
+        locals_(n) {
+    ABA_ASSERT(options.value_bits + options.tag_bits <= 64);
+    for (auto& local : locals_) local.last_word = pack(options.initial_value, 0);
+  }
+
+  // One shared step. (Writers keep a local tag counter; tags wrap.)
+  void dwrite(int p, std::uint64_t x) {
+    Local& local = locals_[p];
+    local.tag = (local.tag + 1) & tag_mask();
+    x_.write(pack(x, local.tag));
+  }
+
+  // One shared step.
+  std::pair<std::uint64_t, bool> dread(int q) {
+    Local& local = locals_[q];
+    const std::uint64_t w = x_.read();
+    const bool flag = (w != local.last_word);
+    local.last_word = w;
+    return {w >> options_.tag_bits, flag};
+  }
+
+  int num_shared_registers() const { return 1; }
+  std::uint64_t tag_period() const { return tag_mask() + 1; }
+
+ private:
+  std::uint64_t tag_mask() const { return (1ULL << options_.tag_bits) - 1; }
+
+  std::uint64_t pack(std::uint64_t value, std::uint64_t tag) const {
+    return (value << options_.tag_bits) | tag;
+  }
+
+  struct Local {
+    std::uint64_t tag = 0;
+    std::uint64_t last_word = 0;
+  };
+
+  int n_;
+  Options options_;
+  typename P::Register x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

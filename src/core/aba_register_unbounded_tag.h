@@ -1,0 +1,82 @@
+// AbaRegisterUnboundedTag — the "trivial" baseline the paper contrasts its
+// bounded results against (Section 1): augment a single register with an
+// unbounded tag that changes on every write, and ABA detection costs one
+// step per operation.
+//
+// The tag is (writer pid, per-writer counter), so concurrent writers never
+// produce colliding tags. The counter grows without bound, which is exactly
+// why this construction does not contradict Theorem 1: the lower bounds
+// require *bounded* base objects. The backing register is declared unbounded
+// (BoundSpec::unbounded()), and the lower-bound engines classify the
+// implementation accordingly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/packed_word.h"
+
+namespace aba::core {
+
+template <Platform P>
+class AbaRegisterUnboundedTag {
+ public:
+  struct Options {
+    unsigned value_bits = 8;
+    std::uint64_t initial_value = 0;
+  };
+
+  AbaRegisterUnboundedTag(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        pid_bits_(util::bits_for(static_cast<std::uint64_t>(n) - 1)),
+        x_(env, "X", pack(options.initial_value, 0),
+           sim::BoundSpec::unbounded()),
+        locals_(n) {
+    ABA_ASSERT(n >= 1);
+    for (auto& local : locals_) local.last_word = pack(options.initial_value, 0);
+  }
+
+  // One shared step.
+  void dwrite(int p, std::uint64_t x) {
+    Local& local = locals_[p];
+    // Tag = (counter, pid): unique across all writers, never reused.
+    const std::uint64_t tag =
+        (++local.write_counter << pid_bits_) | static_cast<std::uint64_t>(p);
+    x_.write(pack(x, tag));
+  }
+
+  // One shared step.
+  std::pair<std::uint64_t, bool> dread(int q) {
+    Local& local = locals_[q];
+    const std::uint64_t w = x_.read();
+    const bool flag = (w != local.last_word);
+    local.last_word = w;
+    return {w >> kTagBits, flag};
+  }
+
+  int num_shared_registers() const { return 1; }
+
+ private:
+  static constexpr unsigned kTagBits = 48;
+
+  std::uint64_t pack(std::uint64_t value, std::uint64_t tag) const {
+    ABA_ASSERT((value >> (64 - kTagBits)) == 0);
+    return (value << kTagBits) | (tag & ((1ULL << kTagBits) - 1));
+  }
+
+  struct Local {
+    std::uint64_t write_counter = 0;
+    std::uint64_t last_word = 0;
+  };
+
+  int n_;
+  Options options_;
+  unsigned pid_bits_;
+  typename P::Register x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

@@ -1,0 +1,39 @@
+// The LL/SC/VL interface (paper, Section 1).
+//
+//   LL_p()   — load-linked: returns the current value and links p to it.
+//   SC_p(x)  — store-conditional: succeeds (writes x, returns true) iff no
+//              other successful SC linearized since p's last LL; otherwise
+//              fails (returns false, writes nothing). Success or failure,
+//              an SC consumes p's link.
+//   VL_p()   — verify-link: true iff no successful SC linearized since p's
+//              last LL; does not change anything.
+//
+// The `initially_linked` option of every implementation selects the paper's
+// Figure 5 w.l.o.g. convention (each process starts linked to the initial
+// value, so a VL before any LL succeeds while no SC has executed) or the
+// strict convention (SC/VL fail until the process performs an LL).
+//
+// Implementations (all satisfy LlScVl<Impl>):
+//   LlscSingleCas     — one bounded CAS object, O(n) steps (Fig. 3, Thm 2).
+//   LlscRegisterArray — one bounded CAS + n bounded registers, O(1) steps
+//                       (the Anderson–Moir / Jayanti–Petrovic point that
+//                       Corollary 1 proves optimal).
+//   LlscUnboundedTag  — one unbounded CAS, O(1) steps (Moir [26]; the
+//                       construction the lower bound separates from).
+//
+// The sequential specification is spec::LlscSpec.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace aba::core {
+
+template <class L>
+concept LlScVl = requires(L l, int pid, std::uint64_t value) {
+  { l.ll(pid) } -> std::same_as<std::uint64_t>;
+  { l.sc(pid, value) } -> std::same_as<bool>;
+  { l.vl(pid) } -> std::same_as<bool>;
+};
+
+}  // namespace aba::core

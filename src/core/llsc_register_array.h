@@ -1,0 +1,134 @@
+// LlscRegisterArray — a wait-free, constant-time LL/SC/VL object from ONE
+// bounded CAS object plus n bounded registers, in the style of Anderson and
+// Moir [2] and Jayanti and Petrovic [15].
+//
+// This is the (t = O(1), m = Theta(n)) point on the paper's time-space
+// tradeoff curve — the point Theorem 1(b) / Corollary 1 proves optimal:
+// m*t >= n-1, and here m*t ~ 3(n+1). (Our Figure 3 implementation is the
+// opposite corner: m = 1, t = O(n).)
+//
+// Construction. The CAS object X holds a triple (value, pid, seq) with seq
+// drawn from {0..2n+1}; the announce array plus GetSeq() machinery of
+// Figure 4 (see sequence_reservation.h) guarantees a (pid, seq) pair is
+// never re-installed in X while some announce entry still pins it. The paper
+// itself notes Figure 4's "main idea is similar to one used in the
+// multi-layered construction of LL/SC/VL from CAS by Jayanti and Petrovic,
+// which itself is a modified version of the implementation by Anderson and
+// Moir" — this class is that idea run in the LL/SC direction.
+//
+//   LL_p:    w1 := X.Read(); A[p].Write(announcement of w1); w2 := X.Read().
+//            If w1 = w2 the link (p's pinned word) is protected: at the
+//            moment of the second read, X held w1 while A[p] pinned it, so
+//            GetSeq will not let that (pid, seq) be reused until p
+//            re-announces. If w1 != w2, a successful SC linearized between
+//            the two reads, so p's link is already broken (local flag b);
+//            the LL linearizes at the first read. 3 steps.
+//   SC_p(y): if b, fail (0 steps). Otherwise s := GetSeq_p() (1 step) and
+//            CAS(X, linked word, (y, p, s)) (1 step). The CAS succeeds iff X
+//            is bit-identical to the linked word, and pinning makes
+//            recurrence impossible, so bit-equality <=> no successful SC
+//            since the LL. 2 steps.
+//   VL_p:    if b, false; else one read of X compared to the linked word.
+//
+// Space: 1 CAS + n registers = n+1 bounded objects; every operation is O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/sequence_reservation.h"
+#include "util/packed_word.h"
+
+namespace aba::core {
+
+template <Platform P>
+class LlscRegisterArray {
+ public:
+  struct Options {
+    unsigned value_bits = 16;
+    std::uint64_t initial_value = 0;
+    bool initially_linked = true;
+    // See AbaRegisterBounded::Options — 0 means the correct 2n+2 domain.
+    std::uint64_t seq_domain = 0;
+  };
+
+  LlscRegisterArray(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        codec_(util::TripleCodec::for_processes(n, options.value_bits)),
+        board_(env, n, codec_,
+               options.seq_domain == 0
+                   ? SequenceReservation<P>::correct_seq_domain(n)
+                   : options.seq_domain),
+        x_(env, "X", util::TripleCodec::initial(),
+           sim::BoundSpec::bounded(codec_.total_bits())),
+        locals_(n) {
+    ABA_ASSERT(n >= 1);
+    for (auto& local : locals_) {
+      local.link_word = util::TripleCodec::initial();
+      local.b = !options.initially_linked;
+    }
+  }
+
+  // LL_p() — 3 shared steps.
+  std::uint64_t ll(int p) {
+    Local& local = locals_[p];
+    const std::uint64_t w1 = x_.read();
+    board_.announce(p, codec_.announcement(w1));
+    const std::uint64_t w2 = x_.read();
+    if (w1 == w2) {
+      local.link_word = w1;
+      local.b = false;
+    } else {
+      // A successful SC changed X between the two reads; the link obtained
+      // at the linearization point (the first read) is already broken.
+      local.b = true;
+    }
+    return value_of(w1);
+  }
+
+  // SC_p(y) — at most 2 shared steps.
+  bool sc(int p, std::uint64_t y) {
+    Local& local = locals_[p];
+    if (local.b) return false;
+    local.b = true;  // The SC consumes the link either way.
+    const std::uint64_t s = board_.get_seq(p);
+    return x_.cas(local.link_word,
+                  codec_.pack(y, static_cast<std::uint64_t>(p), s));
+  }
+
+  // VL_p() — at most 1 shared step.
+  bool vl(int p) {
+    Local& local = locals_[p];
+    if (local.b) return false;
+    return x_.read() == local.link_word;
+  }
+
+  int num_processes() const { return n_; }
+  // Space: 1 CAS object + n announce registers.
+  int num_shared_objects() const { return n_ + 1; }
+  int worst_case_ll_steps() const { return 3; }
+  int worst_case_sc_steps() const { return 2; }
+  int worst_case_vl_steps() const { return 1; }
+  bool is_under_provisioned() const { return board_.is_under_provisioned(); }
+
+ private:
+  std::uint64_t value_of(std::uint64_t w) const {
+    return codec_.valid(w) ? codec_.value(w) : options_.initial_value;
+  }
+
+  struct Local {
+    std::uint64_t link_word = 0;
+    bool b = false;
+  };
+
+  int n_;
+  Options options_;
+  util::TripleCodec codec_;
+  SequenceReservation<P> board_;
+  typename P::Cas x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

@@ -1,0 +1,125 @@
+// LlscSingleCas — Figure 3: a linearizable wait-free LL/SC/VL object from a
+// single bounded CAS object, with O(n) step complexity (Theorem 2).
+//
+// The CAS object X holds a pair (x, a): the object's value x and an n-bit
+// string a with one bit per process. Process p's bit indicates whether a
+// successful SC linearized since p's last LL (set = link broken).
+//
+//   LL_p   — read X; if p's bit is clear, the LL linearizes at that read.
+//            Otherwise p tries up to n times to clear its bit with a CAS
+//            (lines 19-23); if a CAS succeeds the LL linearizes there. If
+//            all n CASes fail, Claim 6 shows some other process's SC
+//            must have linearized meanwhile, so p sets its local flag b
+//            ("my link is already broken") and the LL linearizes at its
+//            very first read. Up to 1 + 2n steps.
+//   SC_p(y) — if b is set, fail immediately (0 steps). Otherwise up to n
+//            rounds of read-then-CAS((y_i, a), (y, 2^n - 1)): a successful
+//            CAS sets every process's bit and linearizes the SC. Seeing its
+//            own bit set, or failing n times, lets p conclude another SC
+//            linearized, and fail. Up to 2n steps.
+//   VL_p   — one read; true iff p's bit is clear and b is false.
+//
+// The counting argument behind the n-iteration bound (Claim 6): every
+// successful CAS issued by an LL clears one bit of a from 1 to 0 and no LL
+// sets bits, so between two successful SCs at most n - 1 LL-CASes can
+// succeed; n CAS failures therefore certify an intervening successful SC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/packed_word.h"
+
+namespace aba::core {
+
+template <Platform P>
+class LlscSingleCas {
+ public:
+  struct Options {
+    unsigned value_bits = 32;
+    std::uint64_t initial_value = 0;
+    // If true, every process initially holds a valid link to the initial
+    // value (all bits of a start clear) — the w.l.o.g. convention of the
+    // paper's Figure 5 reduction. If false, all bits start set, so SC/VL
+    // fail until the process performs its first LL.
+    bool initially_linked = true;
+  };
+
+  LlscSingleCas(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        codec_(static_cast<unsigned>(n), options.value_bits),
+        x_(env, "X",
+           codec_.pack(options.initial_value,
+                       options.initially_linked ? 0 : codec_.all_bits()),
+           sim::BoundSpec::bounded(codec_.total_bits())),
+        locals_(n) {
+    ABA_ASSERT(n >= 1 && n + options.value_bits <= 64);
+  }
+
+  // LL_p() — Figure 3 lines 14-25.
+  std::uint64_t ll(int p) {
+    Local& local = locals_[p];
+    const std::uint64_t w = x_.read();  // line 14
+    if (!codec_.bit(w, static_cast<unsigned>(p))) {  // line 15
+      local.b = false;        // line 16
+      return codec_.value(w);  // line 17
+    }
+    for (int i = 0; i < n_; ++i) {  // line 19
+      const std::uint64_t w2 = x_.read();  // line 20
+      ABA_ASSERT_MSG(codec_.bit(w2, static_cast<unsigned>(p)),
+                     "only p clears p's bit; it must still be set here");
+      if (x_.cas(w2, codec_.with_bit_cleared(w2, static_cast<unsigned>(p)))) {
+        local.b = false;         // line 22
+        return codec_.value(w2);  // line 23
+      }
+    }
+    local.b = true;          // line 24
+    return codec_.value(w);  // line 25
+  }
+
+  // SC_p(x) — Figure 3 lines 1-8. Returns true iff the SC succeeded.
+  bool sc(int p, std::uint64_t x) {
+    Local& local = locals_[p];
+    if (local.b) return false;  // line 1
+    for (int i = 0; i < n_; ++i) {  // line 2
+      const std::uint64_t w = x_.read();  // line 3
+      if (codec_.bit(w, static_cast<unsigned>(p))) {  // line 4
+        return false;  // line 5
+      }
+      if (x_.cas(w, codec_.pack(x, codec_.all_bits()))) {  // line 6
+        return true;  // line 7
+      }
+    }
+    return false;  // line 8
+  }
+
+  // VL_p() — Figure 3 lines 9-13.
+  bool vl(int p) {
+    const std::uint64_t w = x_.read();  // line 9
+    return !codec_.bit(w, static_cast<unsigned>(p)) && !locals_[p].b;  // 10-13
+  }
+
+  int num_processes() const { return n_; }
+  // Space: the single CAS object.
+  int num_shared_objects() const { return 1; }
+  unsigned x_object_bits() const { return codec_.total_bits(); }
+  // Worst-case step complexities from the structure above.
+  int worst_case_ll_steps() const { return 1 + 2 * n_; }
+  int worst_case_sc_steps() const { return 2 * n_; }
+  int worst_case_vl_steps() const { return 1; }
+
+ private:
+  struct Local {
+    bool b = false;
+  };
+
+  int n_;
+  Options options_;
+  util::PairCodec codec_;
+  typename P::Cas x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

@@ -1,0 +1,91 @@
+// LlscUnboundedTag — Moir-style LL/SC/VL from a single *unbounded* CAS
+// object with O(1) step complexity [26].
+//
+// The CAS word is (value, tag); every successful SC installs a fresh tag, so
+// a CAS on the full word can never suffer an ABA. This is the construction
+// the paper cites to show its lower bounds genuinely separate bounded from
+// unbounded base objects: with an unbounded tag, one object and constant
+// time suffice, while Theorem 1(b)/(c) forbids that for bounded objects.
+//
+// The tag is a global monotone counter carried inside the word. As with the
+// unbounded-tag register, the word is declared BoundSpec::unbounded().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/assert.h"
+
+namespace aba::core {
+
+template <Platform P>
+class LlscUnboundedTag {
+ public:
+  struct Options {
+    unsigned value_bits = 16;
+    std::uint64_t initial_value = 0;
+    bool initially_linked = true;
+  };
+
+  LlscUnboundedTag(typename P::Env& env, int n, Options options = {})
+      : n_(n),
+        options_(options),
+        x_(env, "X", pack(options.initial_value, 0), sim::BoundSpec::unbounded()),
+        locals_(n) {
+    ABA_ASSERT(options.value_bits <= 16);
+    for (auto& local : locals_) {
+      local.link_word = pack(options.initial_value, 0);
+      local.linked = options.initially_linked;
+    }
+  }
+
+  // One shared step.
+  std::uint64_t ll(int p) {
+    Local& local = locals_[p];
+    local.link_word = x_.read();
+    local.linked = true;
+    return value_of(local.link_word);
+  }
+
+  // At most one shared step.
+  bool sc(int p, std::uint64_t x) {
+    Local& local = locals_[p];
+    if (!local.linked) return false;
+    local.linked = false;  // An SC consumes the link either way.
+    return x_.cas(local.link_word, pack(x, tag_of(local.link_word) + 1));
+  }
+
+  // At most one shared step.
+  bool vl(int p) {
+    Local& local = locals_[p];
+    if (!local.linked) return false;
+    return x_.read() == local.link_word;
+  }
+
+  int num_shared_objects() const { return 1; }
+
+ private:
+  static constexpr unsigned kTagBits = 48;
+
+  std::uint64_t pack(std::uint64_t value, std::uint64_t tag) const {
+    ABA_ASSERT((value >> (64 - kTagBits)) == 0);
+    return (value << kTagBits) | (tag & ((1ULL << kTagBits) - 1));
+  }
+  std::uint64_t value_of(std::uint64_t w) const { return w >> kTagBits; }
+  std::uint64_t tag_of(std::uint64_t w) const {
+    return w & ((1ULL << kTagBits) - 1);
+  }
+
+  struct Local {
+    std::uint64_t link_word = 0;
+    bool linked = false;
+  };
+
+  int n_;
+  Options options_;
+  typename P::Cas x_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace aba::core

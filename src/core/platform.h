@@ -1,0 +1,51 @@
+// The Platform concept.
+//
+// Every algorithm in src/core is written once, templated over a Platform
+// that supplies the paper's three kinds of base objects over 64-bit words:
+//
+//   Register    — atomic Read() / Write()
+//   Cas         — atomic Read() / CAS()            (not writable)
+//   WritableCas — atomic Read() / CAS() / Write()
+//
+// Two platforms implement the concept:
+//   aba::sim::SimPlatform      — objects live in a SimWorld; every access is
+//                                a scheduled, traceable step (see sim_world.h)
+//   aba::native::NativePlatform — objects are std::atomic<uint64_t> with
+//                                sequentially consistent ordering
+//
+// Object constructors take (Env&, name, initial, BoundSpec): the environment
+// (a SimWorld for the simulator, an empty token natively), a debug name, the
+// initial word, and the declared width. Widths matter: the paper's lower
+// bounds apply to *bounded* base objects, and the simulator asserts every
+// stored value fits the declared width, so an implementation claiming to use
+// bounded objects provably never exceeds them.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace aba {
+
+template <class P>
+concept Platform = requires(typename P::Env& env, typename P::Register& r,
+                            typename P::Cas& c, typename P::WritableCas& w,
+                            std::uint64_t v) {
+  typename P::Env;
+  requires std::constructible_from<typename P::Register, typename P::Env&,
+                                   const char*, std::uint64_t, sim::BoundSpec>;
+  requires std::constructible_from<typename P::Cas, typename P::Env&,
+                                   const char*, std::uint64_t, sim::BoundSpec>;
+  requires std::constructible_from<typename P::WritableCas, typename P::Env&,
+                                   const char*, std::uint64_t, sim::BoundSpec>;
+  { r.read() } -> std::same_as<std::uint64_t>;
+  { r.write(v) } -> std::same_as<void>;
+  { c.read() } -> std::same_as<std::uint64_t>;
+  { c.cas(v, v) } -> std::same_as<bool>;
+  { w.read() } -> std::same_as<std::uint64_t>;
+  { w.cas(v, v) } -> std::same_as<bool>;
+  { w.write(v) } -> std::same_as<void>;
+};
+
+}  // namespace aba

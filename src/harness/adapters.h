@@ -1,0 +1,179 @@
+// Invoker adapters: bind concrete implementations to the harness.
+//
+// Each adapter owns the implementation instance and translates WorkloadOps
+// into method invocations on the owning SimWorld, recording invocation and
+// response events (with SimWorld logical-clock timestamps) into the History.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "harness/harness.h"
+#include "sim/sim_world.h"
+#include "spec/history.h"
+#include "util/assert.h"
+
+namespace aba::harness {
+
+// Impl must expose: std::pair<uint64_t,bool> dread(int q); void dwrite(int p, uint64_t x).
+template <class Impl>
+class AbaRegInvoker : public Invoker {
+ public:
+  AbaRegInvoker(sim::SimWorld& world, spec::History& history,
+                std::unique_ptr<Impl> impl)
+      : world_(world), history_(history), impl_(std::move(impl)) {}
+
+  Impl& impl() { return *impl_; }
+
+  void invoke(const WorkloadOp& op) override {
+    const std::size_t idx =
+        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
+    switch (op.method) {
+      case spec::Method::kDRead:
+        world_.invoke(op.pid, [this, op, idx] {
+          const auto [value, flag] = impl_->dread(op.pid);
+          history_.complete(idx, spec::pack_dread_result(value, flag),
+                            world_.next_event_time());
+        });
+        break;
+      case spec::Method::kDWrite:
+        world_.invoke(op.pid, [this, op, idx] {
+          impl_->dwrite(op.pid, op.arg);
+          history_.complete(idx, 0, world_.next_event_time());
+        });
+        break;
+      default:
+        ABA_ASSERT_MSG(false, "AbaRegInvoker: unsupported method");
+    }
+  }
+
+ private:
+  sim::SimWorld& world_;
+  spec::History& history_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Impl must expose: uint64_t ll(int p); bool sc(int p, uint64_t x); bool vl(int p).
+template <class Impl>
+class LlscInvoker : public Invoker {
+ public:
+  LlscInvoker(sim::SimWorld& world, spec::History& history,
+              std::unique_ptr<Impl> impl)
+      : world_(world), history_(history), impl_(std::move(impl)) {}
+
+  Impl& impl() { return *impl_; }
+
+  void invoke(const WorkloadOp& op) override {
+    const std::size_t idx =
+        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
+    switch (op.method) {
+      case spec::Method::kLL:
+        world_.invoke(op.pid, [this, op, idx] {
+          const std::uint64_t value = impl_->ll(op.pid);
+          history_.complete(idx, value, world_.next_event_time());
+        });
+        break;
+      case spec::Method::kSC:
+        world_.invoke(op.pid, [this, op, idx] {
+          const bool ok = impl_->sc(op.pid, op.arg);
+          history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+        });
+        break;
+      case spec::Method::kVL:
+        world_.invoke(op.pid, [this, op, idx] {
+          const bool ok = impl_->vl(op.pid);
+          history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+        });
+        break;
+      default:
+        ABA_ASSERT_MSG(false, "LlscInvoker: unsupported method");
+    }
+  }
+
+ private:
+  sim::SimWorld& world_;
+  spec::History& history_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Impl must expose: bool push(int p, uint64_t v); std::optional<uint64_t> pop(int p).
+template <class Impl>
+class StackInvoker : public Invoker {
+ public:
+  StackInvoker(sim::SimWorld& world, spec::History& history,
+               std::unique_ptr<Impl> impl)
+      : world_(world), history_(history), impl_(std::move(impl)) {}
+
+  Impl& impl() { return *impl_; }
+
+  void invoke(const WorkloadOp& op) override {
+    const std::size_t idx =
+        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
+    switch (op.method) {
+      case spec::Method::kPush:
+        world_.invoke(op.pid, [this, op, idx] {
+          const bool ok = impl_->push(op.pid, op.arg);
+          history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+        });
+        break;
+      case spec::Method::kPop:
+        world_.invoke(op.pid, [this, op, idx] {
+          const auto value = impl_->pop(op.pid);
+          history_.complete(idx,
+                            spec::pack_opt(value.has_value(),
+                                           value.has_value() ? *value : 0),
+                            world_.next_event_time());
+        });
+        break;
+      default:
+        ABA_ASSERT_MSG(false, "StackInvoker: unsupported method");
+    }
+  }
+
+ private:
+  sim::SimWorld& world_;
+  spec::History& history_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Impl must expose: bool enqueue(int p, uint64_t v); std::optional<uint64_t> dequeue(int p).
+template <class Impl>
+class QueueInvoker : public Invoker {
+ public:
+  QueueInvoker(sim::SimWorld& world, spec::History& history,
+               std::unique_ptr<Impl> impl)
+      : world_(world), history_(history), impl_(std::move(impl)) {}
+
+  Impl& impl() { return *impl_; }
+
+  void invoke(const WorkloadOp& op) override {
+    const std::size_t idx =
+        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
+    switch (op.method) {
+      case spec::Method::kEnq:
+        world_.invoke(op.pid, [this, op, idx] {
+          const bool ok = impl_->enqueue(op.pid, op.arg);
+          history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+        });
+        break;
+      case spec::Method::kDeq:
+        world_.invoke(op.pid, [this, op, idx] {
+          const auto value = impl_->dequeue(op.pid);
+          history_.complete(idx,
+                            spec::pack_opt(value.has_value(),
+                                           value.has_value() ? *value : 0),
+                            world_.next_event_time());
+        });
+        break;
+      default:
+        ABA_ASSERT_MSG(false, "QueueInvoker: unsupported method");
+    }
+  }
+
+ private:
+  sim::SimWorld& world_;
+  spec::History& history_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aba::harness

@@ -1,0 +1,184 @@
+#include "harness/harness.h"
+
+#include <deque>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace aba::harness {
+
+namespace {
+
+// Shared driver state: per-process queues of not-yet-invoked ops.
+struct Pending {
+  std::vector<std::deque<WorkloadOp>> queues;
+
+  explicit Pending(int n, const std::vector<WorkloadOp>& workload) : queues(n) {
+    for (const auto& op : workload) {
+      ABA_ASSERT(op.pid >= 0 && op.pid < n);
+      queues[op.pid].push_back(op);
+    }
+  }
+
+  bool runnable(const sim::SimWorld& world, int pid) const {
+    if (world.poised(pid).has_value()) return true;
+    return world.is_idle(pid) && !queues[pid].empty();
+  }
+
+  bool all_done(const sim::SimWorld& world) const {
+    for (std::size_t pid = 0; pid < queues.size(); ++pid) {
+      if (!queues[pid].empty()) return false;
+      if (!world.is_idle(static_cast<int>(pid))) return false;
+    }
+    return true;
+  }
+
+  // Moves process pid: one step if poised, else invoke its next op. With
+  // fuse_invoke, invoking immediately also executes the method's first step
+  // (used by the exhaustive checker: invocation alone is not a shared-memory
+  // step, so giving it its own scheduling slot would only multiply the
+  // number of interleavings without adding distinguishable behaviours
+  // beyond invocation-timestamp placement).
+  void advance(sim::SimWorld& world, Invoker& invoker, int pid,
+               bool fuse_invoke = false) {
+    if (world.poised(pid).has_value()) {
+      world.step(pid);
+      return;
+    }
+    ABA_ASSERT(world.is_idle(pid) && !queues[pid].empty());
+    const WorkloadOp op = queues[pid].front();
+    queues[pid].pop_front();
+    invoker.invoke(op);
+    if (fuse_invoke && world.poised(pid).has_value()) world.step(pid);
+  }
+};
+
+}  // namespace
+
+std::vector<spec::Op> run_random_schedule(int num_processes,
+                                          const FixtureFactory& factory,
+                                          const std::vector<WorkloadOp>& workload,
+                                          std::uint64_t seed) {
+  sim::SimWorld world(num_processes);
+  world.set_trace_enabled(false);
+  spec::History history;
+  auto invoker = factory(world, history);
+  Pending pending(num_processes, workload);
+  util::Xoshiro256 rng(seed);
+
+  while (!pending.all_done(world)) {
+    std::vector<int> runnable;
+    for (int pid = 0; pid < num_processes; ++pid) {
+      if (pending.runnable(world, pid)) runnable.push_back(pid);
+    }
+    ABA_ASSERT_MSG(!runnable.empty(), "no runnable process but work remains");
+    const int pid = runnable[rng.below(runnable.size())];
+    pending.advance(world, *invoker, pid);
+  }
+  return history.ops();
+}
+
+std::vector<spec::Op> run_round_robin(int num_processes,
+                                      const FixtureFactory& factory,
+                                      const std::vector<WorkloadOp>& workload,
+                                      int quantum) {
+  ABA_ASSERT(quantum >= 1);
+  sim::SimWorld world(num_processes);
+  world.set_trace_enabled(false);
+  spec::History history;
+  auto invoker = factory(world, history);
+  Pending pending(num_processes, workload);
+
+  int pid = 0;
+  while (!pending.all_done(world)) {
+    int moved = 0;
+    while (moved < quantum && pending.runnable(world, pid)) {
+      pending.advance(world, *invoker, pid);
+      ++moved;
+    }
+    pid = (pid + 1) % num_processes;
+  }
+  return history.ops();
+}
+
+namespace {
+
+// Depth-first enumeration of interleavings with replay. A path is the
+// sequence of process ids chosen at each juncture; replaying a path on a
+// fresh world deterministically reconstructs the configuration.
+struct Explorer {
+  int num_processes;
+  const FixtureFactory& factory;
+  const std::vector<WorkloadOp>& workload;
+  const HistoryCheck& check;
+  std::uint64_t max_executions;
+  ModelCheckResult result;
+
+  struct Run {
+    std::unique_ptr<sim::SimWorld> world;
+    spec::History history;
+    std::unique_ptr<Invoker> invoker;
+    std::unique_ptr<Pending> pending;
+  };
+
+  std::unique_ptr<Run> replay(const std::vector<int>& path) {
+    auto run = std::make_unique<Run>();
+    run->world = std::make_unique<sim::SimWorld>(num_processes);
+    run->world->set_trace_enabled(false);
+    run->invoker = factory(*run->world, run->history);
+    run->pending = std::make_unique<Pending>(num_processes, workload);
+    for (int pid : path) {
+      run->pending->advance(*run->world, *run->invoker, pid, /*fuse_invoke=*/true);
+    }
+    return run;
+  }
+
+  // Explores all completions of `path`. `run` is positioned at the end of
+  // `path`; the function may consume it (it rebuilds siblings by replay).
+  void dfs(std::vector<int>& path, std::unique_ptr<Run> run) {
+    if (result.budget_exhausted) return;
+
+    std::vector<int> choices;
+    for (int pid = 0; pid < num_processes; ++pid) {
+      if (run->pending->runnable(*run->world, pid)) choices.push_back(pid);
+    }
+
+    if (choices.empty()) {
+      ABA_ASSERT(run->pending->all_done(*run->world));
+      ++result.executions;
+      const auto ops = run->history.ops();
+      if (!check(ops)) {
+        ++result.violations;
+        if (result.first_violation.empty()) result.first_violation = ops;
+      }
+      if (result.executions >= max_executions) result.budget_exhausted = true;
+      return;
+    }
+
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (result.budget_exhausted) return;
+      // Reuse the incoming run for the first child; rebuild for the rest.
+      std::unique_ptr<Run> child =
+          (i == 0) ? std::move(run) : replay(path);
+      path.push_back(choices[i]);
+      child->pending->advance(*child->world, *child->invoker, choices[i],
+                              /*fuse_invoke=*/true);
+      dfs(path, std::move(child));
+      path.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+ModelCheckResult model_check(int num_processes, const FixtureFactory& factory,
+                             const std::vector<WorkloadOp>& workload,
+                             const HistoryCheck& check,
+                             std::uint64_t max_executions) {
+  Explorer explorer{num_processes, factory, workload, check, max_executions, {}};
+  std::vector<int> path;
+  explorer.dfs(path, explorer.replay(path));
+  return explorer.result;
+}
+
+}  // namespace aba::harness

@@ -1,0 +1,88 @@
+// Test/verification harness: drives implementations in a SimWorld through
+// schedules while recording linearizability histories.
+//
+// The harness separates three roles:
+//   - a FixtureFactory builds a fresh implementation inside a given SimWorld
+//     and returns an Invoker that maps abstract WorkloadOps (pid, method,
+//     arg) onto method invocations that record into a History;
+//   - schedule drivers (random, round-robin, scripted) decide which process
+//     moves at each point — invoke its next workload op if idle, otherwise
+//     grant one step;
+//   - the bounded exhaustive model checker enumerates *all* interleavings of
+//     a small workload by depth-first search with deterministic replay
+//     (SimWorld cannot fork, but executions are replayable from their choice
+//     sequences).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_world.h"
+#include "spec/history.h"
+
+namespace aba::harness {
+
+struct WorkloadOp {
+  int pid = 0;
+  spec::Method method = spec::Method::kRead;
+  std::uint64_t arg = 0;
+};
+
+// Maps WorkloadOps onto method invocations of a concrete implementation.
+class Invoker {
+ public:
+  virtual ~Invoker() = default;
+  // Starts the op on its process (which must be idle). The closure records
+  // invocation and response into the harness history.
+  virtual void invoke(const WorkloadOp& op) = 0;
+};
+
+// Builds the implementation under test in `world` and returns its invoker.
+// Called once per execution (the model checker re-creates everything per
+// replayed path).
+using FixtureFactory = std::function<std::unique_ptr<Invoker>(
+    sim::SimWorld& world, spec::History& history)>;
+
+// Checks a complete history; returns true iff acceptable.
+using HistoryCheck = std::function<bool(const std::vector<spec::Op>&)>;
+
+// ---------------------------------------------------------------------------
+// Random-schedule property runner. Per-process workload queues are consumed
+// in order; at every juncture a uniformly random runnable process (seeded)
+// either starts its next op or executes one step. Returns the history.
+// ---------------------------------------------------------------------------
+std::vector<spec::Op> run_random_schedule(int num_processes,
+                                          const FixtureFactory& factory,
+                                          const std::vector<WorkloadOp>& workload,
+                                          std::uint64_t seed);
+
+// Round-robin over processes with a fixed quantum of steps (quantum = big
+// number approximates running ops solo, quantum = 1 maximizes interleaving).
+std::vector<spec::Op> run_round_robin(int num_processes,
+                                      const FixtureFactory& factory,
+                                      const std::vector<WorkloadOp>& workload,
+                                      int quantum);
+
+// ---------------------------------------------------------------------------
+// Bounded exhaustive model checking.
+// ---------------------------------------------------------------------------
+struct ModelCheckResult {
+  std::uint64_t executions = 0;       // Complete interleavings explored.
+  std::uint64_t violations = 0;       // Histories failing the check.
+  bool budget_exhausted = false;      // Stopped early at max_executions.
+  std::vector<spec::Op> first_violation;  // History of the first failure.
+
+  bool ok() const { return violations == 0; }
+};
+
+// Explores every interleaving of `workload` (each process's ops in program
+// order, arbitrary interleaving of steps across processes), checking each
+// complete history. Stops after max_executions interleavings.
+ModelCheckResult model_check(int num_processes, const FixtureFactory& factory,
+                             const std::vector<WorkloadOp>& workload,
+                             const HistoryCheck& check,
+                             std::uint64_t max_executions = 200000);
+
+}  // namespace aba::harness

@@ -1,0 +1,81 @@
+// TradeoffAuditor — the measurable core of the time-space tradeoff
+// (Lemmas 2-3, Theorem 1(b)/(c), Corollary 1, Appendix B.2).
+//
+// Theorem 1(b)/(c): a deterministic wait-free single-writer 1-bit
+// ABA-detecting register from m bounded CAS objects and registers with
+// worst-case step complexity t satisfies m*t >= n-1 (and 2mt >= n-1 when the
+// objects are writable CAS). The proof constructs a reachable configuration
+// with a P-successful schedule in which every reader is poised somewhere,
+// while Lemma 2 caps how many processes can be poised on any single object
+// at t (per operation class); counting then yields the bound.
+//
+// The auditor measures, for any implementation plugged in as a
+// WeakAbaFactory:
+//   m                — number of base objects and their kinds/boundedness,
+//   t                — worst-case observed step complexity of WeakRead and
+//                      WeakWrite over adversarial and randomized schedules,
+//   poise census     — the largest number of processes simultaneously poised
+//                      to access one object (split into Write/CAS classes),
+//                      over all configurations visited — the quantity
+//                      WCov/CCov that Lemma 3(iii) bounds by t,
+// and evaluates the paper's inequality. Bounded implementations must come
+// out consistent (product >= n-1); unbounded ones (Moir-style tags) violate
+// the numeric inequality, which is precisely the paper's separation between
+// bounded and unbounded base objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lowerbound/weak_aba.h"
+
+namespace aba::lowerbound {
+
+struct TradeoffReport {
+  int n = 0;
+  int num_objects = 0;  // m
+  bool all_bounded = true;
+  bool has_writable_cas = false;
+  bool has_cas = false;
+  int num_registers = 0;
+  int num_cas_objects = 0;
+
+  std::uint64_t worst_read_steps = 0;
+  std::uint64_t worst_write_steps = 0;
+  std::uint64_t t = 0;  // max(worst_read_steps, worst_write_steps)
+
+  // Maximum simultaneous poise observed on a single object.
+  std::uint64_t max_write_poise = 0;  // max |WCov(C, R)| over C, R.
+  std::uint64_t max_cas_poise = 0;    // max |CCov(C, R)| over C, R.
+  std::uint64_t max_total_poise = 0;
+
+  // m * t, doubled when writable CAS objects are in play (Theorem 1(c)).
+  std::uint64_t time_space_product = 0;
+  std::uint64_t lower_bound = 0;  // n - 1.
+  // For bounded implementations the product must dominate the bound.
+  bool consistent_with_theorem1 = false;
+
+  std::string summary() const;
+};
+
+class TradeoffAuditor {
+ public:
+  struct Options {
+    int random_rounds = 32;        // Randomized schedules for worst-t search.
+    int ops_per_round = 24;        // Method calls per process per round.
+    std::uint64_t seed = 12345;
+  };
+
+  TradeoffAuditor(int n, WeakAbaFactory factory, Options options);
+  TradeoffAuditor(int n, WeakAbaFactory factory)
+      : TradeoffAuditor(n, std::move(factory), Options()) {}
+
+  TradeoffReport audit();
+
+ private:
+  int n_;
+  WeakAbaFactory factory_;
+  Options options_;
+};
+
+}  // namespace aba::lowerbound

@@ -1,0 +1,84 @@
+// The WeakRead/WeakWrite interface of the lower-bound section.
+//
+// The paper's lower bounds (Section 2) do not need full linearizability;
+// they only need the weak correctness property of the methods WeakRead()
+// and WeakWrite(): a WeakRead r by process p returns True iff there exists a
+// WeakWrite w such that w happens before r and every other WeakRead by p
+// happens before w. Any linearizable ABA-detecting register yields these
+// methods (DRead's flag / DWrite), which is how the engines below apply to
+// every implementation in src/core.
+//
+// The engines drive instances step-by-step, so an instance exposes method
+// *invocations* on its SimWorld rather than blocking calls. Process 0 is the
+// writer; processes 1..n-1 are readers (the roles the proofs fix).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_world.h"
+#include "util/assert.h"
+
+namespace aba::lowerbound {
+
+class WeakAbaInstance {
+ public:
+  virtual ~WeakAbaInstance() = default;
+
+  // Invokes one WeakWrite on process 0 (which must be idle). The method runs
+  // until its first shared step is announced (or completes).
+  virtual void invoke_weak_write() = 0;
+
+  // Invokes one WeakRead on reader `pid` (1 <= pid < n).
+  virtual void invoke_weak_read(int pid) = 0;
+
+  // The flag returned by `pid`'s most recently *completed* WeakRead.
+  virtual bool last_read_flag(int pid) const = 0;
+};
+
+// Builds a fresh instance whose shared objects live in `world`. Called once
+// per (re-)execution; the engines replay schedules on fresh worlds.
+using WeakAbaFactory =
+    std::function<std::unique_ptr<WeakAbaInstance>(sim::SimWorld& world)>;
+
+// Adapter: any ABA-detecting register implementation with
+//   void dwrite(int p, uint64_t x);
+//   std::pair<uint64_t,bool> dread(int q);
+// becomes a WeakAba instance. WeakWrite writes a constant — the lower bound
+// is already about a *single-writer 1-bit* register, so constant values are
+// the hardest case: the implementation can't lean on value changes.
+template <class Impl>
+class WeakAbaAdapter : public WeakAbaInstance {
+ public:
+  WeakAbaAdapter(sim::SimWorld& world, std::unique_ptr<Impl> impl, int n)
+      : world_(world), impl_(std::move(impl)), flags_(n, false) {}
+
+  void invoke_weak_write() override {
+    world_.invoke(0, [this] { impl_->dwrite(0, 0); });
+  }
+
+  void invoke_weak_read(int pid) override {
+    ABA_ASSERT(pid >= 1);
+    world_.invoke(pid, [this, pid] { flags_[pid] = impl_->dread(pid).second; });
+  }
+
+  bool last_read_flag(int pid) const override { return flags_[pid]; }
+
+  Impl& impl() { return *impl_; }
+
+ private:
+  sim::SimWorld& world_;
+  std::unique_ptr<Impl> impl_;
+  std::vector<bool> flags_;
+};
+
+template <class Impl>
+WeakAbaFactory make_weak_aba_factory(int n, typename Impl::Options options = {}) {
+  return [n, options](sim::SimWorld& world) -> std::unique_ptr<WeakAbaInstance> {
+    return std::make_unique<WeakAbaAdapter<Impl>>(
+        world, std::make_unique<Impl>(world, n, options), n);
+  };
+}
+
+}  // namespace aba::lowerbound

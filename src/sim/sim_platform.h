@@ -1,0 +1,89 @@
+// SimPlatform — Platform implementation backed by a SimWorld.
+//
+// Handles are created on the engine thread (algorithm construction happens
+// before any process runs) and used from simulated process threads, where
+// each access announces a PendingOp and blocks until the engine grants the
+// step (see SimWorld::access).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_world.h"
+#include "sim/types.h"
+
+namespace aba::sim {
+
+struct SimPlatform {
+  using Env = SimWorld;
+
+  class Register {
+   public:
+    Register(Env& env, const char* name, std::uint64_t initial, BoundSpec bound)
+        : world_(&env),
+          id_(env.create_object(ObjectKind::kRegister, name, initial, bound)) {}
+
+    std::uint64_t read() {
+      return world_->access(PendingOp{id_, OpKind::kRead, 0, 0}).value;
+    }
+
+    void write(std::uint64_t value) {
+      world_->access(PendingOp{id_, OpKind::kWrite, value, 0});
+    }
+
+    ObjectId id() const { return id_; }
+
+   private:
+    SimWorld* world_;
+    ObjectId id_;
+  };
+
+  class Cas {
+   public:
+    Cas(Env& env, const char* name, std::uint64_t initial, BoundSpec bound)
+        : world_(&env),
+          id_(env.create_object(ObjectKind::kCas, name, initial, bound)) {}
+
+    std::uint64_t read() {
+      return world_->access(PendingOp{id_, OpKind::kRead, 0, 0}).value;
+    }
+
+    bool cas(std::uint64_t expected, std::uint64_t desired) {
+      return world_->access(PendingOp{id_, OpKind::kCas, expected, desired})
+          .cas_success;
+    }
+
+    ObjectId id() const { return id_; }
+
+   private:
+    SimWorld* world_;
+    ObjectId id_;
+  };
+
+  class WritableCas {
+   public:
+    WritableCas(Env& env, const char* name, std::uint64_t initial, BoundSpec bound)
+        : world_(&env),
+          id_(env.create_object(ObjectKind::kWritableCas, name, initial, bound)) {}
+
+    std::uint64_t read() {
+      return world_->access(PendingOp{id_, OpKind::kRead, 0, 0}).value;
+    }
+
+    bool cas(std::uint64_t expected, std::uint64_t desired) {
+      return world_->access(PendingOp{id_, OpKind::kCas, expected, desired})
+          .cas_success;
+    }
+
+    void write(std::uint64_t value) {
+      world_->access(PendingOp{id_, OpKind::kWrite, value, 0});
+    }
+
+    ObjectId id() const { return id_; }
+
+   private:
+    SimWorld* world_;
+    ObjectId id_;
+  };
+};
+
+}  // namespace aba::sim

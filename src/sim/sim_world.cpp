@@ -1,0 +1,288 @@
+#include "sim/sim_world.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace aba::sim {
+
+namespace {
+thread_local SimWorld* tls_world = nullptr;
+thread_local ProcessId tls_pid = -1;
+}  // namespace
+
+std::string to_string(const StepRecord& step) {
+  std::ostringstream out;
+  out << "t=" << step.time << " p" << step.pid << " " << to_string(step.kind)
+      << "(obj=" << step.obj;
+  switch (step.kind) {
+    case OpKind::kRead:
+      out << ") -> " << step.result;
+      break;
+    case OpKind::kWrite:
+      out << ", " << step.arg0 << ")";
+      break;
+    case OpKind::kCas:
+      out << ", exp=" << step.arg0 << ", des=" << step.arg1 << ") -> "
+          << (step.cas_success ? "ok" : "fail") << " (was " << step.result << ")";
+      break;
+  }
+  return out.str();
+}
+
+SimWorld* SimWorld::current_world() { return tls_world; }
+ProcessId SimWorld::current_pid() { return tls_pid; }
+
+SimWorld::SimWorld(int num_processes) : procs_(num_processes) {
+  ABA_ASSERT(num_processes > 0);
+  for (int p = 0; p < num_processes; ++p) {
+    procs_[p].thread = std::thread([this, p] { thread_main(p); });
+  }
+}
+
+SimWorld::~SimWorld() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    for (auto& proc : procs_) proc.cv->notify_all();
+  }
+  for (auto& proc : procs_) proc.thread.join();
+}
+
+void SimWorld::thread_main(ProcessId pid) {
+  tls_world = this;
+  tls_pid = pid;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& proc = procs_[pid];
+  for (;;) {
+    proc.cv->wait(lock, [&] { return shutting_down_ || proc.phase == Phase::kHasMethod; });
+    if (shutting_down_) return;
+    proc.phase = Phase::kRunning;
+    std::function<void()> method = std::move(proc.method);
+    proc.method = nullptr;
+    lock.unlock();
+    try {
+      method();
+    } catch (const ExecutionAborted&) {
+      // World is shutting down; fall through to exit below.
+    }
+    lock.lock();
+    if (shutting_down_) return;
+    proc.phase = Phase::kIdle;
+    engine_cv_.notify_all();
+  }
+}
+
+ObjectId SimWorld::create_object(ObjectKind kind, std::string name,
+                                 std::uint64_t initial, BoundSpec bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT_MSG(bound.fits(initial), "initial value exceeds declared object width");
+  objects_.push_back(ObjectInfo{std::move(name), kind, bound, initial});
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+std::size_t SimWorld::num_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+ObjectInfo SimWorld::object_info(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(id >= 0 && static_cast<std::size_t>(id) < objects_.size());
+  return objects_[id];
+}
+
+std::uint64_t SimWorld::object_value(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(id >= 0 && static_cast<std::size_t>(id) < objects_.size());
+  return objects_[id].value;
+}
+
+std::vector<std::uint64_t> SimWorld::memory_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> snapshot;
+  snapshot.reserve(objects_.size());
+  for (const auto& obj : objects_) snapshot.push_back(obj.value);
+  return snapshot;
+}
+
+std::vector<std::uint64_t> SimWorld::signature_key() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> key;
+  key.reserve(objects_.size() + procs_.size() * 4);
+  for (const auto& obj : objects_) key.push_back(obj.value);
+  for (const auto& proc : procs_) {
+    if (proc.phase == Phase::kAnnounced) {
+      key.push_back(1 + static_cast<std::uint64_t>(proc.pending.kind));
+      key.push_back(static_cast<std::uint64_t>(proc.pending.obj));
+      key.push_back(proc.pending.arg0);
+      key.push_back(proc.pending.arg1);
+    } else {
+      // Idle marker. (A process mid-method but not announced cannot occur
+      // between engine calls.)
+      key.push_back(0);
+      key.push_back(0);
+      key.push_back(0);
+      key.push_back(0);
+    }
+  }
+  return key;
+}
+
+MethodStatus SimWorld::wait_for_yield_locked(std::unique_lock<std::mutex>& lock,
+                                             ProcessId pid) {
+  auto& proc = procs_[pid];
+  engine_cv_.wait(lock, [&] {
+    return proc.phase == Phase::kAnnounced || proc.phase == Phase::kIdle;
+  });
+  return proc.phase == Phase::kAnnounced ? MethodStatus::kPoised
+                                         : MethodStatus::kCompleted;
+}
+
+MethodStatus SimWorld::invoke(ProcessId pid, std::function<void()> method) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  auto& proc = procs_[pid];
+  ABA_ASSERT_MSG(proc.phase == Phase::kIdle, "invoke on a non-idle process");
+  proc.method = std::move(method);
+  proc.phase = Phase::kHasMethod;
+  proc.steps_in_method = 0;
+  proc.cv->notify_all();
+  return wait_for_yield_locked(lock, pid);
+}
+
+MethodStatus SimWorld::step(ProcessId pid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  auto& proc = procs_[pid];
+  ABA_ASSERT_MSG(proc.phase == Phase::kAnnounced,
+                 "step on a process that is not poised");
+  proc.phase = Phase::kGranted;
+  proc.cv->notify_all();
+  return wait_for_yield_locked(lock, pid);
+}
+
+std::uint64_t SimWorld::run_to_completion(ProcessId pid) {
+  std::uint64_t steps = 0;
+  while (!is_idle(pid)) {
+    step(pid);
+    ++steps;
+  }
+  return steps;
+}
+
+bool SimWorld::is_idle(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  return procs_[pid].phase == Phase::kIdle;
+}
+
+bool SimWorld::all_idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& proc : procs_) {
+    if (proc.phase != Phase::kIdle) return false;
+  }
+  return true;
+}
+
+std::optional<PendingOp> SimWorld::poised(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  const auto& proc = procs_[pid];
+  if (proc.phase != Phase::kAnnounced) return std::nullopt;
+  return proc.pending;
+}
+
+std::uint64_t SimWorld::steps_in_method(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return procs_[pid].steps_in_method;
+}
+
+std::uint64_t SimWorld::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+std::uint64_t SimWorld::next_event_time() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_++;
+}
+
+void SimWorld::set_trace_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_enabled_ = enabled;
+}
+
+void SimWorld::clear_trace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.clear();
+}
+
+std::vector<StepRecord> SimWorld::trace_copy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+std::uint64_t SimWorld::total_steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_steps_;
+}
+
+AccessResult SimWorld::apply_locked(const PendingOp& op, ProcessId pid) {
+  ABA_ASSERT(op.obj >= 0 && static_cast<std::size_t>(op.obj) < objects_.size());
+  auto& obj = objects_[op.obj];
+  AccessResult result;
+  switch (op.kind) {
+    case OpKind::kRead:
+      result.value = obj.value;
+      break;
+    case OpKind::kWrite:
+      ABA_ASSERT_MSG(obj.kind == ObjectKind::kRegister ||
+                         obj.kind == ObjectKind::kWritableCas,
+                     "Write() on a non-writable CAS object");
+      ABA_ASSERT_MSG(obj.bound.fits(op.arg0),
+                     "written value exceeds declared object width");
+      obj.value = op.arg0;
+      result.value = op.arg0;
+      break;
+    case OpKind::kCas:
+      ABA_ASSERT_MSG(obj.kind == ObjectKind::kCas ||
+                         obj.kind == ObjectKind::kWritableCas,
+                     "CAS() on a plain register");
+      result.value = obj.value;
+      if (obj.value == op.arg0) {
+        ABA_ASSERT_MSG(obj.bound.fits(op.arg1),
+                       "CAS-installed value exceeds declared object width");
+        obj.value = op.arg1;
+        result.cas_success = true;
+      }
+      break;
+  }
+  const std::uint64_t time = clock_++;
+  ++total_steps_;
+  ++procs_[pid].steps_in_method;
+  if (trace_enabled_) {
+    trace_.push_back(StepRecord{time, pid, op.obj, op.kind, op.arg0, op.arg1,
+                                result.value, result.cas_success});
+  }
+  return result;
+}
+
+AccessResult SimWorld::access(const PendingOp& op) {
+  ABA_ASSERT_MSG(tls_world == this,
+                 "shared-memory access from outside a simulated process");
+  const ProcessId pid = tls_pid;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& proc = procs_[pid];
+  ABA_ASSERT(proc.phase == Phase::kRunning);
+  proc.pending = op;
+  proc.phase = Phase::kAnnounced;
+  engine_cv_.notify_all();
+  proc.cv->wait(lock, [&] { return shutting_down_ || proc.phase == Phase::kGranted; });
+  if (shutting_down_) throw ExecutionAborted{};
+  AccessResult result = apply_locked(op, pid);
+  proc.phase = Phase::kRunning;
+  return result;
+}
+
+}  // namespace aba::sim

@@ -1,0 +1,173 @@
+// SimWorld — a deterministic shared-memory simulator.
+//
+// SimWorld realizes the paper's computation model: n processes that execute
+// atomic steps on base objects, in an order chosen by a schedule. Each
+// simulated process runs on its own OS thread, but a step-token handshake
+// guarantees that at most one process ever runs at a time, so an execution
+// is a sequence of atomic steps exactly as in the model.
+//
+// The central trick is the *announce-then-block* protocol: when algorithm
+// code performs a shared-memory access through a sim platform handle, the
+// access is first announced as a PendingOp and the process blocks until the
+// driving code (the "engine": a test, a schedule runner, or a lower-bound
+// adversary) grants the step. Between engine calls, every non-idle process
+// sits blocked at an announcement, which gives the engine the paper's
+// "poised to execute" notion: it can inspect exactly which operation (with
+// parameters) each process will execute next — the raw material of covering
+// arguments (WCov/CCov sets, block-writes, signatures).
+//
+// Configurations: the engine can snapshot all object values ("reg(C)" in
+// Lemma 1) and the full signature (object values + every process's poised
+// operation, "sig(C)" in Lemma 3). Process-internal state is deliberately
+// not part of the signature, matching the paper's definition.
+//
+// Determinism and replay: SimWorld itself makes no scheduling decisions;
+// given the same sequence of engine calls (invoke/step), executions are
+// bit-identical. Engines identify configurations with the scripts that reach
+// them from the initial configuration and re-execute prefixes — exactly the
+// "Exec(C, sigma)" replay style the proofs use.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace aba::sim {
+
+// Thrown through algorithm code when the world shuts down mid-method;
+// algorithm code must be exception-safe with respect to simulator state
+// (it holds no locks and the simulator owns all shared objects).
+struct ExecutionAborted {};
+
+enum class MethodStatus : std::uint8_t {
+  kPoised,     // The method announced a shared-memory step and is blocked.
+  kCompleted,  // The method ran to completion.
+};
+
+struct ObjectInfo {
+  std::string name;
+  ObjectKind kind = ObjectKind::kRegister;
+  BoundSpec bound;
+  std::uint64_t value = 0;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(int num_processes);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  int num_processes() const { return static_cast<int>(procs_.size()); }
+
+  // ---- Memory management (engine thread, before or between steps) ----
+
+  ObjectId create_object(ObjectKind kind, std::string name, std::uint64_t initial,
+                         BoundSpec bound);
+
+  std::size_t num_objects() const;
+  ObjectInfo object_info(ObjectId id) const;
+  std::uint64_t object_value(ObjectId id) const;
+
+  // Values of all objects — the register configuration reg(C) of Lemma 1.
+  std::vector<std::uint64_t> memory_snapshot() const;
+
+  // Encodes object values plus each process's poised operation (or an idle
+  // marker) — the signature sig(C) of Lemma 3. Two configurations with equal
+  // signature_key have every object equal and every process poised to execute
+  // the same operation with the same parameters.
+  std::vector<std::uint64_t> signature_key() const;
+
+  // ---- Process control (engine thread only) ----
+
+  // Starts `method` on process `pid` (which must be idle) and runs it until
+  // it announces its first shared-memory step or completes. Invocation
+  // itself consumes no shared-memory step, as in the model.
+  MethodStatus invoke(ProcessId pid, std::function<void()> method);
+
+  // Lets `pid` (which must be poised) execute exactly one shared-memory
+  // step, then run local code until the next announcement or completion.
+  MethodStatus step(ProcessId pid);
+
+  // Steps `pid` until its current method completes (a pid-only execution,
+  // as used for solo-termination arguments). Returns the number of steps.
+  std::uint64_t run_to_completion(ProcessId pid);
+
+  bool is_idle(ProcessId pid) const;
+  bool all_idle() const;
+
+  // The operation `pid` is poised to execute, if any.
+  std::optional<PendingOp> poised(ProcessId pid) const;
+
+  // Steps executed so far within pid's current (or most recent) method.
+  std::uint64_t steps_in_method(ProcessId pid) const;
+
+  // ---- Time and tracing ----
+
+  // Monotonic logical clock: advanced by every step and by every history
+  // event drawn via next_event_time(). Gives one total order over steps and
+  // method invocation/response events.
+  std::uint64_t now() const;
+  std::uint64_t next_event_time();
+
+  void set_trace_enabled(bool enabled);
+  void clear_trace();
+  std::vector<StepRecord> trace_copy() const;
+  std::uint64_t total_steps() const;
+
+  // ---- Called from simulated process threads (via platform handles) ----
+
+  AccessResult access(const PendingOp& op);
+
+  // The world and process id of the calling simulated process thread.
+  static SimWorld* current_world();
+  static ProcessId current_pid();
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,       // No method assigned.
+    kHasMethod,  // Method assigned, thread not yet running it.
+    kRunning,    // Thread executing local code (transient; engine is blocked
+                 // waiting for the next announcement or completion).
+    kAnnounced,  // Blocked at an announced shared-memory operation.
+    kGranted,    // Step granted; thread about to execute it (transient).
+  };
+
+  struct Proc {
+    std::thread thread;
+    Phase phase = Phase::kIdle;
+    std::function<void()> method;
+    PendingOp pending;
+    std::uint64_t steps_in_method = 0;
+    std::unique_ptr<std::condition_variable> cv =
+        std::make_unique<std::condition_variable>();
+  };
+
+  void thread_main(ProcessId pid);
+  AccessResult apply_locked(const PendingOp& op, ProcessId pid);
+  MethodStatus wait_for_yield_locked(std::unique_lock<std::mutex>& lock,
+                                     ProcessId pid);
+
+  mutable std::mutex mu_;
+  std::condition_variable engine_cv_;
+  bool shutting_down_ = false;
+
+  std::vector<Proc> procs_;
+  std::vector<ObjectInfo> objects_;
+
+  std::uint64_t clock_ = 0;
+  bool trace_enabled_ = true;
+  std::vector<StepRecord> trace_;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace aba::sim

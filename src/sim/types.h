@@ -1,0 +1,110 @@
+// Basic vocabulary types for the shared-memory simulator.
+//
+// The simulator realizes the paper's execution model (Preliminaries, p.6):
+// a system of n processes that communicate through atomic operations
+// ("steps") on base objects; a schedule is a sequence of process ids
+// determining the order of steps; an execution is the resulting sequence of
+// shared-memory steps; a configuration is the state of all processes and
+// base objects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace aba::sim {
+
+using ProcessId = int;
+using ObjectId = int;
+
+// What a base object supports. The paper distinguishes:
+//   registers       — Read() / Write()            (Theorem 1(a))
+//   CAS objects     — Read() / CAS()              (Theorem 1(b))
+//   writable CAS    — Read() / CAS() / Write()    (Theorem 1(c))
+enum class ObjectKind : std::uint8_t {
+  kRegister,
+  kCas,
+  kWritableCas,
+};
+
+// A single shared-memory operation.
+enum class OpKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kCas,
+};
+
+inline const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "Read";
+    case OpKind::kWrite: return "Write";
+    case OpKind::kCas: return "CAS";
+  }
+  return "?";
+}
+
+inline const char* to_string(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kRegister: return "Register";
+    case ObjectKind::kCas: return "CAS";
+    case ObjectKind::kWritableCas: return "WritableCAS";
+  }
+  return "?";
+}
+
+// Boundedness metadata. The paper's lower bounds hold only for *bounded*
+// base objects; the trivial tag-based constructions need unbounded ones.
+// Objects declare their width so the simulator can (a) assert all stored
+// values actually fit and (b) let the lower-bound engines distinguish
+// bounded from unbounded implementations.
+struct BoundSpec {
+  // Number of bits; 0 means unbounded.
+  unsigned bits = 0;
+
+  static constexpr BoundSpec unbounded() { return BoundSpec{0}; }
+  static constexpr BoundSpec bounded(unsigned bits) { return BoundSpec{bits}; }
+
+  constexpr bool is_bounded() const { return bits != 0; }
+
+  constexpr bool fits(std::uint64_t value) const {
+    if (!is_bounded()) return true;
+    if (bits >= 64) return true;
+    return (value >> bits) == 0;
+  }
+};
+
+// An announced-but-not-yet-executed shared-memory operation: the operation a
+// process is "poised" to execute, in the paper's terminology. Covering
+// arguments inspect these (e.g. WCov(C, R) is the set of processes poised to
+// Write() to R in configuration C).
+struct PendingOp {
+  ObjectId obj = -1;
+  OpKind kind = OpKind::kRead;
+  std::uint64_t arg0 = 0;  // Write value, or CAS expected value.
+  std::uint64_t arg1 = 0;  // CAS desired value.
+
+  bool is_write_to(ObjectId id) const { return kind == OpKind::kWrite && obj == id; }
+  bool is_cas_on(ObjectId id) const { return kind == OpKind::kCas && obj == id; }
+};
+
+// Result of executing a shared-memory operation.
+struct AccessResult {
+  std::uint64_t value = 0;  // Read: current value; CAS: value before the CAS.
+  bool cas_success = false;
+};
+
+// One executed step, as recorded in the execution trace.
+struct StepRecord {
+  std::uint64_t time = 0;  // Global logical step index.
+  ProcessId pid = -1;
+  ObjectId obj = -1;
+  OpKind kind = OpKind::kRead;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t result = 0;
+  bool cas_success = false;
+};
+
+std::string to_string(const StepRecord& step);
+
+}  // namespace aba::sim

@@ -1,0 +1,234 @@
+#include "spec/lin_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace aba::spec {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kDRead: return "DRead";
+    case Method::kDWrite: return "DWrite";
+    case Method::kLL: return "LL";
+    case Method::kSC: return "SC";
+    case Method::kVL: return "VL";
+    case Method::kRead: return "Read";
+    case Method::kWrite: return "Write";
+    case Method::kPush: return "Push";
+    case Method::kPop: return "Pop";
+    case Method::kEnq: return "Enq";
+    case Method::kDeq: return "Deq";
+  }
+  return "?";
+}
+
+std::string Op::to_string() const {
+  std::ostringstream out;
+  out << "p" << pid << "." << spec::to_string(method) << "(";
+  switch (method) {
+    case Method::kDWrite:
+    case Method::kWrite:
+    case Method::kSC:
+    case Method::kPush:
+    case Method::kEnq:
+      out << arg;
+      break;
+    default:
+      break;
+  }
+  out << ")";
+  switch (method) {
+    case Method::kDRead:
+      out << " -> (" << dread_value(ret) << ", " << (dread_flag(ret) ? "T" : "F")
+          << ")";
+      break;
+    case Method::kLL:
+    case Method::kRead:
+      out << " -> " << ret;
+      break;
+    case Method::kSC:
+    case Method::kVL:
+      out << " -> " << (ret != 0 ? "T" : "F");
+      break;
+    case Method::kPop:
+    case Method::kDeq:
+      out << " -> " << (ret == 0 ? "empty" : std::to_string(ret - 1));
+      break;
+    default:
+      break;
+  }
+  out << " [" << invoke_ts << "," << response_ts << "]";
+  return out.str();
+}
+
+std::size_t History::begin_op(int pid, Method method, std::uint64_t arg,
+                              std::uint64_t invoke_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot slot;
+  slot.op.pid = pid;
+  slot.op.method = method;
+  slot.op.arg = arg;
+  slot.op.invoke_ts = invoke_ts;
+  slots_.push_back(slot);
+  return slots_.size() - 1;
+}
+
+void History::complete(std::size_t index, std::uint64_t ret,
+                       std::uint64_t response_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(index < slots_.size());
+  ABA_ASSERT_MSG(!slots_[index].complete, "operation completed twice");
+  slots_[index].op.ret = ret;
+  slots_[index].op.response_ts = response_ts;
+  slots_[index].complete = true;
+}
+
+std::vector<Op> History::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Op> result;
+  result.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    ABA_ASSERT_MSG(slot.complete,
+                   "history contains a pending operation; linearizability "
+                   "checking requires complete histories");
+    result.push_back(slot.op);
+  }
+  return result;
+}
+
+std::size_t History::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void History::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+std::string History::to_string() const {
+  std::ostringstream out;
+  for (const auto& op : ops()) out << op.to_string() << "\n";
+  return out.str();
+}
+
+namespace {
+
+// Exact memo key: chosen-set mask followed by the state words, rendered into
+// a byte string. Exactness matters — a hash collision could make the checker
+// wrongly report a linearizable history as non-linearizable.
+std::string memo_key(std::uint64_t mask, const std::vector<std::uint64_t>& state) {
+  std::string key;
+  key.reserve((state.size() + 1) * sizeof(std::uint64_t));
+  auto append = [&key](std::uint64_t w) {
+    key.append(reinterpret_cast<const char*>(&w), sizeof w);
+  };
+  append(mask);
+  for (std::uint64_t w : state) append(w);
+  return key;
+}
+
+struct Searcher {
+  const std::vector<Op>& ops;
+  const std::function<bool(std::vector<std::uint64_t>&, const Op&)>& apply;
+  // Per-process program order: op indices sorted by invocation time.
+  std::vector<std::vector<std::size_t>> per_process;
+  std::vector<std::size_t> next_of_process;
+  std::unordered_set<std::string> visited;
+  std::vector<std::size_t> chosen;
+  std::uint64_t nodes = 0;
+
+  bool dfs(std::uint64_t mask, std::vector<std::uint64_t>& state) {
+    ++nodes;
+    if (chosen.size() == ops.size()) return true;
+    if (!visited.insert(memo_key(mask, state)).second) return false;
+
+    // A candidate may be linearized next iff no *other* unchosen operation
+    // responded before the candidate was invoked (happens-before minimality).
+    // Track the two smallest response times among unchosen ops so that each
+    // candidate can exclude itself from the minimum.
+    std::uint64_t min_resp = ~0ULL;
+    std::uint64_t second_resp = ~0ULL;
+    std::size_t min_idx = ops.size();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (mask & (1ULL << i)) continue;
+      if (ops[i].response_ts < min_resp) {
+        second_resp = min_resp;
+        min_resp = ops[i].response_ts;
+        min_idx = i;
+      } else if (ops[i].response_ts < second_resp) {
+        second_resp = ops[i].response_ts;
+      }
+    }
+
+    for (std::size_t p = 0; p < per_process.size(); ++p) {
+      if (next_of_process[p] >= per_process[p].size()) continue;
+      const std::size_t cand = per_process[p][next_of_process[p]];
+      if (mask & (1ULL << cand)) continue;
+      const std::uint64_t min_resp_excl = (cand == min_idx) ? second_resp : min_resp;
+      if (ops[cand].invoke_ts > min_resp_excl) continue;
+
+      std::vector<std::uint64_t> next_state = state;
+      if (!apply(next_state, ops[cand])) continue;
+
+      chosen.push_back(cand);
+      ++next_of_process[p];
+      if (dfs(mask | (1ULL << cand), next_state)) return true;
+      --next_of_process[p];
+      chosen.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+LinResult check_linearizable(
+    const std::vector<Op>& ops, std::vector<std::uint64_t> initial_state,
+    const std::function<bool(std::vector<std::uint64_t>&, const Op&)>& apply) {
+  ABA_ASSERT_MSG(ops.size() <= 64, "checker supports at most 64 operations");
+
+  int max_pid = -1;
+  for (const auto& op : ops) max_pid = std::max(max_pid, op.pid);
+
+  Searcher searcher{ops, apply, {}, {}, {}, {}, 0};
+  searcher.per_process.resize(static_cast<std::size_t>(max_pid) + 1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    searcher.per_process[ops[i].pid].push_back(i);
+  }
+  for (auto& list : searcher.per_process) {
+    std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
+      return ops[a].invoke_ts < ops[b].invoke_ts;
+    });
+    // Program order sanity: operations of one process must not overlap.
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      ABA_ASSERT_MSG(ops[list[i - 1]].response_ts < ops[list[i]].invoke_ts,
+                     "operations of a single process overlap");
+    }
+  }
+  searcher.next_of_process.assign(searcher.per_process.size(), 0);
+
+  LinResult result;
+  std::vector<std::uint64_t> state = std::move(initial_state);
+  result.linearizable = searcher.dfs(0, state);
+  result.nodes = searcher.nodes;
+  if (result.linearizable) result.witness = searcher.chosen;
+  return result;
+}
+
+std::string explain(const std::vector<Op>& ops, const LinResult& result) {
+  std::ostringstream out;
+  if (result.linearizable) {
+    out << "linearizable; witness order:\n";
+    for (std::size_t idx : result.witness) out << "  " << ops[idx].to_string() << "\n";
+  } else {
+    out << "NOT linearizable (" << result.nodes << " nodes searched); history:\n";
+    for (const auto& op : ops) out << "  " << op.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aba::spec

@@ -1,0 +1,185 @@
+// Sequential specifications.
+//
+// Each spec models the object's sequential behaviour as a value-semantic
+// state (a flat vector of words, so states can be encoded and memoized by
+// the linearizability checker) plus an `apply` function that checks whether
+// an operation with its recorded response is legal from a state and, if so,
+// advances the state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "spec/history.h"
+
+namespace aba::spec {
+
+// ---------------------------------------------------------------------------
+// ABA-detecting register (single- or multi-writer; the spec doesn't care who
+// writes). State: value, and one dirty flag per process. DWrite(x) by anyone
+// sets the value and marks every process dirty; DRead by q must return
+// (value, dirty[q]) and clears q's flag. A DRead before any DWrite returns
+// the initial value with flag false.
+// ---------------------------------------------------------------------------
+struct AbaRegisterSpec {
+  using State = std::vector<std::uint64_t>;  // [value, dirty_0, ..., dirty_{n-1}]
+
+  static State initial(int n, std::uint64_t initial_value) {
+    State s(static_cast<std::size_t>(n) + 1, 0);
+    s[0] = initial_value;
+    return s;
+  }
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.method) {
+      case Method::kDWrite: {
+        s[0] = op.arg;
+        for (std::size_t i = 1; i < s.size(); ++i) s[i] = 1;
+        return true;
+      }
+      case Method::kDRead: {
+        const std::size_t q = static_cast<std::size_t>(op.pid) + 1;
+        const bool dirty = s[q] != 0;
+        if (op.ret != pack_dread_result(s[0], dirty)) return false;
+        s[q] = 0;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LL/SC/VL object. State: value plus one "valid link" bit per process.
+// LL by p returns the value and validates p's link. SC(x) by p succeeds iff
+// p's link is valid (no successful SC since p's last LL); a successful SC
+// writes x and invalidates every link. VL by p reports p's link validity and
+// changes nothing.
+//
+// `initially_linked` controls the links' initial state. The paper (Fig. 5
+// footnote) assumes w.l.o.g. that a VL before any LL succeeds while no SC
+// has been executed, i.e. initially-linked semantics; the stand-alone Fig. 3
+// object is also exercised with initially-unlinked semantics.
+// ---------------------------------------------------------------------------
+struct LlscSpec {
+  using State = std::vector<std::uint64_t>;  // [value, valid_0, ..., valid_{n-1}]
+
+  static State initial(int n, std::uint64_t initial_value, bool initially_linked) {
+    State s(static_cast<std::size_t>(n) + 1, initially_linked ? 1 : 0);
+    s[0] = initial_value;
+    return s;
+  }
+
+  static bool apply(State& s, const Op& op) {
+    const std::size_t p = static_cast<std::size_t>(op.pid) + 1;
+    switch (op.method) {
+      case Method::kLL: {
+        if (op.ret != s[0]) return false;
+        s[p] = 1;
+        return true;
+      }
+      case Method::kSC: {
+        const bool can_succeed = s[p] != 0;
+        if (op.ret == 1) {
+          if (!can_succeed) return false;
+          s[0] = op.arg;
+          for (std::size_t i = 1; i < s.size(); ++i) s[i] = 0;
+          return true;
+        }
+        // A failed SC is legal only if p's link is broken.
+        return !can_succeed;
+      }
+      case Method::kVL: {
+        return op.ret == (s[p] != 0 ? 1u : 0u);
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Plain atomic register (sanity checks for the harness itself).
+// ---------------------------------------------------------------------------
+struct RegisterSpec {
+  using State = std::vector<std::uint64_t>;  // [value]
+
+  static State initial(std::uint64_t initial_value) { return {initial_value}; }
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.method) {
+      case Method::kWrite:
+        s[0] = op.arg;
+        return true;
+      case Method::kRead:
+        return op.ret == s[0];
+      default:
+        return false;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LIFO stack over uint64 values (bounded-pool push may report full).
+// State encoding: [depth, v_0 ... v_{depth-1}] with v_0 the bottom.
+// ---------------------------------------------------------------------------
+struct StackSpec {
+  using State = std::vector<std::uint64_t>;
+
+  static State initial() { return {0}; }
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.method) {
+      case Method::kPush: {
+        if (op.ret == 0) return true;  // Pool exhaustion may legally refuse.
+        s.push_back(op.arg);
+        ++s[0];
+        return true;
+      }
+      case Method::kPop: {
+        if (s[0] == 0) return op.ret == pack_opt(false, 0);
+        if (op.ret != pack_opt(true, s.back())) return false;
+        s.pop_back();
+        --s[0];
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FIFO queue over uint64 values.
+// State encoding: [length, v_0 ... v_{len-1}] with v_0 the head.
+// ---------------------------------------------------------------------------
+struct QueueSpec {
+  using State = std::vector<std::uint64_t>;
+
+  static State initial() { return {0}; }
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.method) {
+      case Method::kEnq: {
+        if (op.ret == 0) return true;  // Pool exhaustion may legally refuse.
+        s.push_back(op.arg);
+        ++s[0];
+        return true;
+      }
+      case Method::kDeq: {
+        if (s[0] == 0) return op.ret == pack_opt(false, 0);
+        if (op.ret != pack_opt(true, s[1])) return false;
+        s.erase(s.begin() + 1);
+        --s[0];
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace aba::spec

@@ -1,0 +1,187 @@
+// Hazard pointers (Michael [20, 21]) — the application-specific memory-
+// reclamation answer to the ABA problem that the paper contrasts with its
+// methodological ABA-detecting-register approach.
+//
+// A fixed domain of per-thread hazard slots; readers publish the pointer
+// they are about to dereference, then re-validate the source; retiring
+// threads defer reclamation until no slot holds the pointer. This prevents
+// both use-after-free and the pointer-recycling ABA: a node cannot be
+// recycled (and hence cannot reappear under the same address) while a
+// hazard pointer pins it.
+//
+// Native-only (std::atomic, seq_cst): this module exists for the
+// application-level comparison benches and stress tests, not for the
+// simulator-based proofs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace aba::structures {
+
+class HazardDomain {
+ public:
+  HazardDomain(int max_threads, int slots_per_thread)
+      : max_threads_(max_threads),
+        slots_per_thread_(slots_per_thread),
+        slots_(static_cast<std::size_t>(max_threads) * slots_per_thread),
+        retired_(max_threads) {
+    ABA_ASSERT(max_threads >= 1 && slots_per_thread >= 1);
+    for (auto& slot : slots_) slot.store(nullptr);
+  }
+
+  ~HazardDomain() {
+    // All threads are done: reclaim everything still retired.
+    for (auto& list : retired_) {
+      for (auto& node : list) node.deleter(node.ptr);
+      list.clear();
+    }
+  }
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Publishes src's current value in (tid, slot) and re-validates until
+  // stable. Returns the protected pointer (possibly null).
+  template <class T>
+  T* protect(int tid, int slot, const std::atomic<T*>& src) {
+    std::atomic<const void*>& hp = slot_ref(tid, slot);
+    T* ptr = src.load();
+    for (;;) {
+      hp.store(ptr);
+      T* again = src.load();
+      if (again == ptr) return ptr;
+      ptr = again;
+    }
+  }
+
+  void clear(int tid, int slot) { slot_ref(tid, slot).store(nullptr); }
+
+  // Defers reclamation of `ptr` until no hazard slot holds it.
+  void retire(int tid, void* ptr, std::function<void(void*)> deleter) {
+    auto& list = retired_[tid];
+    list.push_back(Retired{ptr, std::move(deleter)});
+    if (list.size() >= scan_threshold()) scan(tid);
+  }
+
+  // Reclaims every retired pointer not currently protected.
+  void scan(int tid) {
+    std::vector<const void*> protected_ptrs;
+    protected_ptrs.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+      const void* p = slot.load();
+      if (p != nullptr) protected_ptrs.push_back(p);
+    }
+    auto& list = retired_[tid];
+    std::vector<Retired> keep;
+    keep.reserve(list.size());
+    for (auto& node : list) {
+      bool pinned = false;
+      for (const void* p : protected_ptrs) {
+        if (p == node.ptr) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) {
+        keep.push_back(std::move(node));
+      } else {
+        node.deleter(node.ptr);
+      }
+    }
+    list = std::move(keep);
+  }
+
+  std::size_t retired_count(int tid) const { return retired_[tid].size(); }
+  std::size_t scan_threshold() const {
+    // Standard rule of thumb: 2 * H where H = total hazard slots.
+    return 2 * slots_.size();
+  }
+
+ private:
+  std::atomic<const void*>& slot_ref(int tid, int slot) {
+    ABA_ASSERT(tid >= 0 && tid < max_threads_);
+    ABA_ASSERT(slot >= 0 && slot < slots_per_thread_);
+    return slots_[static_cast<std::size_t>(tid) * slots_per_thread_ + slot];
+  }
+
+  struct Retired {
+    void* ptr;
+    std::function<void(void*)> deleter;
+  };
+
+  int max_threads_;
+  int slots_per_thread_;
+  std::vector<std::atomic<const void*>> slots_;
+  std::vector<std::vector<Retired>> retired_;  // Per-thread; thread-private.
+};
+
+// A pointer-based Treiber stack protected by hazard pointers: pop pins the
+// head node before reading head->next, so a concurrent pop/push cycle can
+// neither free the node under us nor recycle it into an ABA.
+template <class T>
+class HpTreiberStack {
+ public:
+  explicit HpTreiberStack(int max_threads)
+      : domain_(max_threads, /*slots_per_thread=*/1) {}
+
+  ~HpTreiberStack() {
+    Node* node = head_.load();
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  void push(int /*tid*/, T value) {
+    Node* node = new Node{std::move(value), head_.load()};
+    allocated_.fetch_add(1);
+    while (!head_.compare_exchange_weak(node->next, node)) {
+    }
+  }
+
+  bool pop(int tid, T& out) {
+    for (;;) {
+      Node* node = domain_.protect(tid, 0, head_);
+      if (node == nullptr) {
+        domain_.clear(tid, 0);
+        return false;
+      }
+      Node* next = node->next;  // Safe: node is pinned.
+      if (head_.compare_exchange_strong(node, next)) {
+        out = std::move(node->value);
+        domain_.clear(tid, 0);
+        domain_.retire(tid, node, [this](void* p) {
+          delete static_cast<Node*>(p);
+          freed_.fetch_add(1);
+        });
+        return true;
+      }
+      domain_.clear(tid, 0);
+    }
+  }
+
+  std::uint64_t allocated() const { return allocated_.load(); }
+  std::uint64_t freed() const { return freed_.load(); }
+  HazardDomain& domain() { return domain_; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  // Declared last: the domain's destructor runs retire-list deleters that
+  // touch the counters above, so it must be destroyed first.
+  HazardDomain domain_;
+};
+
+}  // namespace aba::structures

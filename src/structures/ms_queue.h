@@ -1,0 +1,139 @@
+// MsQueue — Michael & Scott's lock-free FIFO queue [24], the algorithm whose
+// original presentation *introduced* per-word modification counters ("tags")
+// precisely to dodge the ABA problem the paper studies.
+//
+// Index-based over a fixed node pool so it runs on the simulator and
+// natively. Head, tail and every node's next pointer are (index, tag) words
+// updated by CAS with the tag incremented on every change, wrapping at
+// 2^tag_bits. With wide tags the queue is safe in any feasible run; with
+// deliberately narrow tags the wraparound ABA becomes reachable, which is
+// the paper's point that bounded tagging is only probabilistically correct.
+//
+// Freed nodes go to per-process FIFO free lists and are reused, exactly the
+// memory-reuse pattern that makes ABA live.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/assert.h"
+
+namespace aba::structures {
+
+template <Platform P>
+class MsQueue {
+ public:
+  struct Options {
+    unsigned index_bits = 16;
+    unsigned tag_bits = 16;
+  };
+
+  // Pool: one dummy node (index 0) plus the per-process free lists.
+  MsQueue(typename P::Env& env, int n, int nodes_per_process,
+          Options options = {})
+      : options_(options),
+        head_(env, "queue.head", pack(0, 0), sim::BoundSpec::unbounded()),
+        tail_(env, "queue.tail", pack(0, 0), sim::BoundSpec::unbounded()),
+        free_(n) {
+    ABA_ASSERT(options.index_bits + options.tag_bits <= 64);
+    ABA_ASSERT(1 + static_cast<std::uint64_t>(n) * nodes_per_process <
+               index_mask());
+    const std::size_t pool = 1 + static_cast<std::size_t>(n) * nodes_per_process;
+    nodes_.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) {
+      nodes_.push_back(std::make_unique<Node>(env, pack(null_index(), 0)));
+    }
+    std::uint64_t next_node = 1;  // 0 is the dummy.
+    for (int p = 0; p < n; ++p) {
+      for (int i = 0; i < nodes_per_process; ++i) free_[p].push_back(next_node++);
+    }
+  }
+
+  bool enqueue(int p, std::uint64_t value) {
+    if (free_[p].empty()) return false;
+    const std::uint64_t node_index = free_[p].front();
+    free_[p].pop_front();
+    Node& node = *nodes_[node_index];
+    node.value.write(value);
+    // Reset next to null, bumping its tag (local to this node's lifecycle).
+    const std::uint64_t old_next = node.next.read();
+    node.next.write(pack(null_index(), tag_of(old_next) + 1));
+
+    for (;;) {
+      const std::uint64_t tail = tail_.read();
+      const std::uint64_t tail_next = nodes_[index_of(tail)]->next.read();
+      if (tail != tail_.read()) continue;  // Tail moved under us; re-read.
+      if (index_of(tail_next) == null_index()) {
+        // Tail is the last node: link the new node.
+        if (nodes_[index_of(tail)]->next.cas(
+                tail_next, pack(node_index, tag_of(tail_next) + 1))) {
+          // Swing tail (may fail if someone helped; that's fine).
+          tail_.cas(tail, pack(node_index, tag_of(tail) + 1));
+          return true;
+        }
+      } else {
+        // Tail lags: help swing it.
+        tail_.cas(tail, pack(index_of(tail_next), tag_of(tail) + 1));
+      }
+    }
+  }
+
+  std::optional<std::uint64_t> dequeue(int p) {
+    for (;;) {
+      const std::uint64_t head = head_.read();
+      const std::uint64_t tail = tail_.read();
+      const std::uint64_t head_next = nodes_[index_of(head)]->next.read();
+      if (head != head_.read()) continue;
+      if (index_of(head) == index_of(tail)) {
+        if (index_of(head_next) == null_index()) return std::nullopt;  // Empty.
+        // Tail lags behind: help.
+        tail_.cas(tail, pack(index_of(head_next), tag_of(tail) + 1));
+        continue;
+      }
+      // Read the value before the CAS (the node may be reused right after).
+      const std::uint64_t value = nodes_[index_of(head_next)]->value.read();
+      if (head_.cas(head, pack(index_of(head_next), tag_of(head) + 1))) {
+        // The old dummy node is now free for reuse.
+        free_[p].push_back(index_of(head));
+        return value;
+      }
+    }
+  }
+
+  std::size_t pool_size() const { return nodes_.size(); }
+
+ private:
+  // The all-ones index is the null marker (never a valid pool index).
+  std::uint64_t null_index() const { return index_mask(); }
+
+  std::uint64_t pack(std::uint64_t index, std::uint64_t tag) const {
+    return ((tag & tag_mask()) << options_.index_bits) |
+           (index & index_mask());
+  }
+  std::uint64_t index_of(std::uint64_t word) const { return word & index_mask(); }
+  std::uint64_t tag_of(std::uint64_t word) const {
+    return (word >> options_.index_bits) & tag_mask();
+  }
+  std::uint64_t index_mask() const { return (1ULL << options_.index_bits) - 1; }
+  std::uint64_t tag_mask() const { return (1ULL << options_.tag_bits) - 1; }
+
+  struct Node {
+    Node(typename P::Env& env, std::uint64_t initial_next)
+        : value(env, "qnode.value", 0, sim::BoundSpec::unbounded()),
+          next(env, "qnode.next", initial_next, sim::BoundSpec::unbounded()) {}
+    typename P::Register value;
+    typename P::WritableCas next;
+  };
+
+  Options options_;
+  typename P::WritableCas head_;
+  typename P::WritableCas tail_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::deque<std::uint64_t>> free_;
+};
+
+}  // namespace aba::structures

@@ -1,0 +1,182 @@
+// TreiberStack — the application-level motivation for the paper: a lock-free
+// stack whose head pointer is exactly the kind of location that suffers
+// ABAs when nodes are reused.
+//
+// The stack is index-based over a fixed node pool (so it runs unchanged on
+// the simulator and natively), with per-process FIFO free lists: a popped
+// node returns to the popper's free list and is eventually reused by its
+// next push — the reuse pattern that triggers the classic Treiber ABA.
+//
+// The head is a policy:
+//   RawCasHead        — plain CAS on the node index. ABA-vulnerable: a pop
+//                       that stalls between reading head->next and its CAS
+//                       can swing the head to a freed node (demonstrated
+//                       deterministically in tests/examples).
+//   TaggedCasHead     — CAS on (index, tag) with a bounded tag; safe until
+//                       the tag wraps (the paper's critique of bounded
+//                       tagging), quantified in bench_aba_escape.
+//   LlscHead          — LL/SC on the index using any of this repository's
+//                       LL/SC implementations; immune to ABA, which is the
+//                       paper's point about LL/SC being "an effective way of
+//                       avoiding the ABA problem".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "util/assert.h"
+#include "util/packed_word.h"
+
+namespace aba::structures {
+
+// Node indices are stored +1 so that 0 encodes "null".
+constexpr std::uint64_t kNullIndex = 0;
+
+// ------------------------------------------------------------- head policies
+
+template <Platform P>
+class RawCasHead {
+ public:
+  RawCasHead(typename P::Env& env, int /*n*/)
+      : head_(env, "head", kNullIndex, sim::BoundSpec::unbounded()) {}
+
+  // Returns the raw head word; `index_of` decodes it.
+  std::uint64_t load(int /*pid*/) { return head_.read(); }
+  static std::uint64_t index_of(std::uint64_t word) { return word; }
+
+  bool try_swing(int /*pid*/, std::uint64_t observed, std::uint64_t new_index) {
+    return head_.cas(observed, new_index);
+  }
+
+ private:
+  typename P::WritableCas head_;
+};
+
+template <Platform P>
+class TaggedCasHead {
+ public:
+  TaggedCasHead(typename P::Env& env, int /*n*/, unsigned index_bits = 16,
+                unsigned tag_bits = 16)
+      : index_bits_(index_bits),
+        tag_bits_(tag_bits),
+        head_(env, "head", kNullIndex, sim::BoundSpec::unbounded()) {
+    ABA_ASSERT(index_bits + tag_bits <= 64);
+  }
+
+  std::uint64_t load(int /*pid*/) { return head_.read(); }
+  std::uint64_t index_of(std::uint64_t word) const {
+    return word & ((1ULL << index_bits_) - 1);
+  }
+
+  bool try_swing(int /*pid*/, std::uint64_t observed, std::uint64_t new_index) {
+    const std::uint64_t tag = (observed >> index_bits_) & tag_mask();
+    const std::uint64_t next_tag = (tag + 1) & tag_mask();
+    return head_.cas(observed, (next_tag << index_bits_) | new_index);
+  }
+
+ private:
+  std::uint64_t tag_mask() const { return (1ULL << tag_bits_) - 1; }
+
+  unsigned index_bits_;
+  unsigned tag_bits_;
+  typename P::WritableCas head_;
+};
+
+// L is any LL/SC implementation in this repository (ll/sc per pid).
+template <class L>
+class LlscHead {
+ public:
+  explicit LlscHead(L& llsc) : llsc_(&llsc) {}
+
+  std::uint64_t load(int pid) { return llsc_->ll(pid); }
+  static std::uint64_t index_of(std::uint64_t word) { return word; }
+
+  bool try_swing(int pid, std::uint64_t /*observed*/, std::uint64_t new_index) {
+    return llsc_->sc(pid, new_index);
+  }
+
+ private:
+  L* llsc_;
+};
+
+// ------------------------------------------------------------------- stack
+
+template <Platform P, class Head>
+class TreiberStack {
+ public:
+  // `initial_free[p]` = node indices initially owned by process p's free
+  // list (indices into the pool, 0-based). The pool size is their total.
+  // The head policy is heap-owned because native platform objects wrap
+  // std::atomic and are not movable.
+  TreiberStack(typename P::Env& env, int n, std::unique_ptr<Head> head,
+               std::vector<std::deque<std::uint64_t>> initial_free)
+      : head_(std::move(head)), free_(std::move(initial_free)) {
+    ABA_ASSERT(static_cast<int>(free_.size()) == n);
+    std::size_t pool_size = 0;
+    for (const auto& list : free_) pool_size += list.size();
+    nodes_.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      nodes_.push_back(std::make_unique<Node>(env, i));
+    }
+  }
+
+  // Convenience: distribute `per_process` nodes to each process round-robin.
+  static std::vector<std::deque<std::uint64_t>> partition(int n, int per_process) {
+    std::vector<std::deque<std::uint64_t>> free(n);
+    std::uint64_t next = 0;
+    for (int p = 0; p < n; ++p) {
+      for (int i = 0; i < per_process; ++i) free[p].push_back(next++);
+    }
+    return free;
+  }
+
+  // Pushes `value`; returns false if p's free list is empty (pool pressure).
+  bool push(int p, std::uint64_t value) {
+    if (free_[p].empty()) return false;
+    const std::uint64_t index = free_[p].front();  // FIFO reuse.
+    free_[p].pop_front();
+    Node& node = *nodes_[index];
+    node.value.write(value);
+    for (;;) {
+      const std::uint64_t observed = head_->load(p);
+      node.next.write(head_->index_of(observed));
+      if (head_->try_swing(p, observed, index + 1)) return true;
+    }
+  }
+
+  std::optional<std::uint64_t> pop(int p) {
+    for (;;) {
+      const std::uint64_t observed = head_->load(p);
+      const std::uint64_t head_index = head_->index_of(observed);
+      if (head_index == kNullIndex) return std::nullopt;
+      Node& node = *nodes_[head_index - 1];
+      const std::uint64_t next = node.next.read();
+      if (head_->try_swing(p, observed, next)) {
+        const std::uint64_t value = node.value.read();
+        free_[p].push_back(head_index - 1);
+        return value;
+      }
+    }
+  }
+
+  std::size_t pool_size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Node(typename P::Env& env, std::size_t /*i*/)
+        : value(env, "node.value", 0, sim::BoundSpec::unbounded()),
+          next(env, "node.next", kNullIndex, sim::BoundSpec::unbounded()) {}
+    typename P::Register value;
+    typename P::Register next;
+  };
+
+  std::unique_ptr<Head> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::deque<std::uint64_t>> free_;
+};
+
+}  // namespace aba::structures

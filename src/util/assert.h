@@ -1,0 +1,31 @@
+// Lightweight always-on assertion macros.
+//
+// The algorithms in this library are reproductions of published pseudo-code
+// whose correctness proofs rely on non-obvious invariants; we keep invariant
+// checks enabled in all build types (they are cheap relative to the shared
+// memory operations they guard) and make failures loud and actionable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aba::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ABA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace aba::util
+
+#define ABA_ASSERT(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::aba::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ABA_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::aba::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

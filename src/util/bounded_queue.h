@@ -1,0 +1,62 @@
+// Fixed-capacity FIFO queue.
+//
+// Figure 4's GetSeq() keeps a process-local queue `usedQ` of the n+1 most
+// recently used sequence numbers (line 35 enqueues, line 36 dequeues). The
+// queue is process-local, so no synchronization is required; we only need a
+// small, allocation-free ring buffer with exact capacity semantics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace aba::util {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : buffer_(capacity), capacity_(capacity) {
+    ABA_ASSERT(capacity > 0);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  void enqueue(const T& value) {
+    ABA_ASSERT_MSG(!full(), "BoundedQueue overflow");
+    buffer_[(head_ + size_) % capacity_] = value;
+    ++size_;
+  }
+
+  T dequeue() {
+    ABA_ASSERT_MSG(!empty(), "BoundedQueue underflow");
+    T value = buffer_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return value;
+  }
+
+  const T& front() const {
+    ABA_ASSERT(!empty());
+    return buffer_[head_];
+  }
+
+  bool contains(const T& value) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (buffer_[(head_ + i) % capacity_] == value) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace aba::util

@@ -1,0 +1,94 @@
+// Small fixed-cost histogram / summary-statistics accumulator.
+//
+// The benchmark harness measures per-operation step counts (simulated model)
+// and latencies (native model). We care about max (the theorems bound the
+// worst case), mean, and a few tail quantiles; an exact sorted-sample
+// implementation suffices at bench scale.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace aba::util {
+
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  double mean() const {
+    ABA_ASSERT(!samples_.empty());
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // Nearest-rank quantile over the exact sample set, q in [0, 1].
+  double quantile(double q) const {
+    ABA_ASSERT(!samples_.empty());
+    sort();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Exact integer counter histogram, for step-count distributions where the
+// support is tiny (a handful of distinct step counts).
+class StepHistogram {
+ public:
+  void add(std::uint64_t steps) {
+    if (steps >= counts_.size()) counts_.resize(steps + 1, 0);
+    ++counts_[steps];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  std::uint64_t max_steps() const {
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] != 0) return static_cast<std::uint64_t>(i);
+    }
+    return 0;
+  }
+
+  double mean_steps() const {
+    ABA_ASSERT(total_ > 0);
+    double weighted = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      weighted += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    }
+    return weighted / static_cast<double>(total_);
+  }
+
+  std::uint64_t count_at(std::uint64_t steps) const {
+    return steps < counts_.size() ? counts_[steps] : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace aba::util

@@ -1,0 +1,240 @@
+// Packing helpers for bounded base objects.
+//
+// The paper's algorithms store small tuples in single bounded base objects:
+//   Figure 4's X register holds a triple (value, process id, sequence number),
+//   Figure 4's announce entries hold a pair (process id, sequence number),
+//   Figure 3's CAS object holds a pair (value, n-bit string).
+// On the native platform these tuples must fit one lock-free std::atomic
+// word, so we pack them into 64 bits with explicit field layouts. The packers
+// are constexpr and fully checked: field widths are validated at compile time
+// and stored values are range-checked at runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace aba::util {
+
+// A field layout: `width` bits starting at bit `shift`.
+struct BitField {
+  unsigned shift;
+  unsigned width;
+
+  constexpr std::uint64_t mask() const {
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+  }
+
+  constexpr std::uint64_t get(std::uint64_t word) const {
+    return (word >> shift) & mask();
+  }
+
+  constexpr std::uint64_t set(std::uint64_t word, std::uint64_t value) const {
+    ABA_ASSERT_MSG((value & ~mask()) == 0, "value exceeds bit-field width");
+    return (word & ~(mask() << shift)) | (value << shift);
+  }
+};
+
+// Triple (value, pid, seq) packed as used by Figure 4's register X.
+// Layout (from bit 0): seq | pid | valid | value.
+// The `valid` bit distinguishes the initial (bottom, bottom, bottom) state
+// from any written triple, mirroring the paper's use of a distinct initial
+// symbol.
+template <unsigned ValueBits, unsigned PidBits, unsigned SeqBits>
+class PackedTriple {
+  static_assert(ValueBits + PidBits + SeqBits + 1 <= 64,
+                "triple must fit a 64-bit word");
+
+ public:
+  static constexpr BitField kSeq{0, SeqBits};
+  static constexpr BitField kPid{SeqBits, PidBits};
+  static constexpr BitField kValid{SeqBits + PidBits, 1};
+  static constexpr BitField kValue{SeqBits + PidBits + 1, ValueBits};
+
+  // The initial word: all-bottom, valid bit clear.
+  static constexpr std::uint64_t initial() { return 0; }
+
+  static constexpr std::uint64_t pack(std::uint64_t value, std::uint64_t pid,
+                                      std::uint64_t seq) {
+    std::uint64_t w = 0;
+    w = kSeq.set(w, seq);
+    w = kPid.set(w, pid);
+    w = kValid.set(w, 1);
+    w = kValue.set(w, value);
+    return w;
+  }
+
+  static constexpr bool valid(std::uint64_t w) { return kValid.get(w) != 0; }
+  static constexpr std::uint64_t value(std::uint64_t w) { return kValue.get(w); }
+  static constexpr std::uint64_t pid(std::uint64_t w) { return kPid.get(w); }
+  static constexpr std::uint64_t seq(std::uint64_t w) { return kSeq.get(w); }
+
+  // The (pid, seq) announcement pair carried by the triple, with the valid
+  // bit included so an announced pair never equals the initial bottom pair.
+  static constexpr std::uint64_t announcement(std::uint64_t w) {
+    return (kPid.get(w) << (SeqBits + 1)) | (kSeq.get(w) << 1) |
+           (valid(w) ? 1u : 0u);
+  }
+
+  static constexpr std::uint64_t pack_announcement(std::uint64_t pid,
+                                                   std::uint64_t seq) {
+    return (pid << (SeqBits + 1)) | (seq << 1) | 1u;
+  }
+};
+
+// Pair (value, bits) packed as used by Figure 3's CAS object X = (x, a),
+// where `a` is an n-bit string (one bit per process).
+template <unsigned ValueBits, unsigned NBits>
+class PackedPair {
+  static_assert(ValueBits + NBits <= 64, "pair must fit a 64-bit word");
+
+ public:
+  static constexpr BitField kBits{0, NBits};
+  static constexpr BitField kValue{NBits, ValueBits};
+
+  static constexpr std::uint64_t pack(std::uint64_t value, std::uint64_t bits) {
+    std::uint64_t w = 0;
+    w = kBits.set(w, bits);
+    w = kValue.set(w, value);
+    return w;
+  }
+
+  static constexpr std::uint64_t value(std::uint64_t w) { return kValue.get(w); }
+  static constexpr std::uint64_t bits(std::uint64_t w) { return kBits.get(w); }
+
+  static constexpr bool bit(std::uint64_t w, unsigned p) {
+    return ((kBits.get(w) >> p) & 1u) != 0;
+  }
+
+  static constexpr std::uint64_t with_bit_cleared(std::uint64_t w, unsigned p) {
+    return w & ~(1ULL << p);
+  }
+
+  static constexpr std::uint64_t all_bits(unsigned n) {
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+  }
+};
+
+// Number of bits needed to represent values 0..n inclusive.
+constexpr unsigned bits_for(std::uint64_t n) {
+  unsigned b = 1;
+  while ((n >> b) != 0) ++b;
+  return b;
+}
+
+// Runtime-sized triple codec for Figure 4's register X = (value, pid, seq).
+//
+// Field widths are chosen from the actual process count n and payload width
+// b, so the declared register width is exactly the paper's
+// b + 2*ceil(log n) + O(1) bits (Theorem 3) and the simulator's boundedness
+// assertion is tight. Layout from bit 0: seq | pid | valid | value.
+class TripleCodec {
+ public:
+  TripleCodec(unsigned value_bits, unsigned pid_bits, unsigned seq_bits)
+      : seq_{0, seq_bits},
+        pid_{seq_bits, pid_bits},
+        valid_{seq_bits + pid_bits, 1},
+        value_{seq_bits + pid_bits + 1, value_bits} {
+    ABA_ASSERT(value_bits + pid_bits + seq_bits + 1 <= 64);
+  }
+
+  // Codec for an n-process system: pid in {0..n-1}, seq in {0..2n+1}.
+  static TripleCodec for_processes(int n, unsigned value_bits) {
+    ABA_ASSERT(n >= 1);
+    return TripleCodec(value_bits, bits_for(static_cast<std::uint64_t>(n) - 1),
+                       bits_for(2 * static_cast<std::uint64_t>(n) + 1));
+  }
+
+  // The initial all-bottom word (valid bit clear).
+  static constexpr std::uint64_t initial() { return 0; }
+
+  std::uint64_t pack(std::uint64_t value, std::uint64_t pid, std::uint64_t seq) const {
+    std::uint64_t w = 0;
+    w = seq_.set(w, seq);
+    w = pid_.set(w, pid);
+    w = valid_.set(w, 1);
+    w = value_.set(w, value);
+    return w;
+  }
+
+  bool valid(std::uint64_t w) const { return valid_.get(w) != 0; }
+  std::uint64_t value(std::uint64_t w) const { return value_.get(w); }
+  std::uint64_t pid(std::uint64_t w) const { return pid_.get(w); }
+  std::uint64_t seq(std::uint64_t w) const { return seq_.get(w); }
+
+  // The (pid, seq) pair carried by the triple, as announced in A[q]. The
+  // valid bit is included so an announcement never collides with the initial
+  // bottom pair.
+  std::uint64_t announcement(std::uint64_t w) const {
+    return (pid_.get(w) << (seq_.width + 1)) | (seq_.get(w) << 1) |
+           (valid(w) ? 1u : 0u);
+  }
+
+  std::uint64_t pack_announcement(std::uint64_t pid, std::uint64_t seq) const {
+    return (pid << (seq_.width + 1)) | (seq << 1) | 1u;
+  }
+
+  bool announcement_valid(std::uint64_t a) const { return (a & 1u) != 0; }
+  std::uint64_t announcement_pid(std::uint64_t a) const {
+    return (a >> (seq_.width + 1)) & pid_.mask();
+  }
+  std::uint64_t announcement_seq(std::uint64_t a) const {
+    return (a >> 1) & seq_.mask();
+  }
+
+  // Width of the X register in bits.
+  unsigned total_bits() const { return value_.shift + value_.width; }
+  // Width of an announce-array entry in bits.
+  unsigned announcement_bits() const { return pid_.width + seq_.width + 1; }
+  unsigned seq_bits() const { return seq_.width; }
+
+ private:
+  BitField seq_;
+  BitField pid_;
+  BitField valid_;
+  BitField value_;
+};
+
+// Runtime-sized pair codec for Figure 3's CAS object X = (x, a) where a is an
+// n-bit string with one bit per process. Layout from bit 0: a | x.
+class PairCodec {
+ public:
+  PairCodec(unsigned n, unsigned value_bits)
+      : n_(n), bits_{0, n}, value_{n, value_bits} {
+    ABA_ASSERT(n >= 1 && n + value_bits <= 64);
+  }
+
+  std::uint64_t pack(std::uint64_t value, std::uint64_t bits) const {
+    std::uint64_t w = 0;
+    w = bits_.set(w, bits);
+    w = value_.set(w, value);
+    return w;
+  }
+
+  std::uint64_t value(std::uint64_t w) const { return value_.get(w); }
+  std::uint64_t bits(std::uint64_t w) const { return bits_.get(w); }
+
+  bool bit(std::uint64_t w, unsigned p) const {
+    ABA_ASSERT(p < n_);
+    return ((w >> p) & 1u) != 0;
+  }
+
+  std::uint64_t with_bit_cleared(std::uint64_t w, unsigned p) const {
+    ABA_ASSERT(p < n_);
+    return w & ~(1ULL << p);
+  }
+
+  // The "2^n - 1" second component a successful SC installs (all bits set).
+  std::uint64_t all_bits() const {
+    return n_ >= 64 ? ~0ULL : ((1ULL << n_) - 1ULL);
+  }
+
+  unsigned total_bits() const { return value_.shift + value_.width; }
+
+ private:
+  unsigned n_;
+  BitField bits_;
+  BitField value_;
+};
+
+}  // namespace aba::util

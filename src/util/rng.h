@@ -1,0 +1,85 @@
+// Deterministic, seedable pseudo-random number generators.
+//
+// All randomized schedules, property tests and workload generators in this
+// repository draw from these generators so that any failing run can be
+// reproduced from its seed alone. SplitMix64 is used for seeding and cheap
+// hashing; xoshiro256** is the workhorse generator (both are public-domain
+// algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace aba::util {
+
+// Mixes a 64-bit value; also usable as a standalone hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Hash combiner used for configuration signatures.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL + (value << 6) + (value >> 2);
+  return splitmix64(s);
+}
+
+// xoshiro256** — fast, high-quality 64-bit generator.
+// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Multiply-shift bounded generation (Lemire); bias is negligible for the
+    // small bounds used in schedules and is irrelevant for test adversaries.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace aba::util

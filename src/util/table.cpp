@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace aba::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ABA_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ABA_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'x' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string Table::fmt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace aba::util

@@ -1,0 +1,36 @@
+// Console table printer used by the benchmark harness.
+//
+// Every experiment binary prints the rows the paper's corresponding
+// table/figure would contain, in an aligned plain-text table that is easy to
+// diff across runs and paste into EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aba::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; the row must have exactly as many cells as there are
+  // headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header rule and right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+  // Convenience: renders and writes to stdout.
+  void print() const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(std::int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aba::util

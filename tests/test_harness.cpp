@@ -1,0 +1,251 @@
+// Tests for the verification harness itself: schedule drivers, the
+// exhaustive model checker, and the invoker adapters. The harness judges
+// the paper's algorithms, so its own behaviour is pinned here — including
+// its ability to DETECT planted bugs (a checker that can't fail is not
+// evidence).
+#include <gtest/gtest.h>
+
+#include "core/aba_register_bounded.h"
+#include "core/aba_register_bounded_tag_naive.h"
+#include "harness/adapters.h"
+#include "harness/harness.h"
+#include "sim/sim_platform.h"
+#include "spec/lin_checker.h"
+#include "spec/specs.h"
+
+namespace aba::harness {
+namespace {
+
+using SimP = sim::SimPlatform;
+using spec::Method;
+
+// A deliberately broken ABA-detecting register: never sets the flag.
+struct NeverFlags {
+  struct Options {};
+  NeverFlags(sim::SimWorld& world, int, Options = {})
+      : x(world, "x", 0, sim::BoundSpec::unbounded()) {}
+  void dwrite(int, std::uint64_t v) { x.write(v); }
+  std::pair<std::uint64_t, bool> dread(int) { return {x.read(), false}; }
+  SimP::Register x;
+};
+
+// A correct single register wrapped as read/write (sanity fixture).
+struct PlainRegister {
+  struct Options {};
+  PlainRegister(sim::SimWorld& world, int, Options = {})
+      : x(world, "x", 0, sim::BoundSpec::unbounded()) {}
+  void write(int, std::uint64_t v) { x.write(v); }
+  std::uint64_t read(int) { return x.read(); }
+  SimP::Register x;
+};
+
+class PlainRegisterInvoker : public Invoker {
+ public:
+  PlainRegisterInvoker(sim::SimWorld& world, spec::History& history,
+                       std::unique_ptr<PlainRegister> impl)
+      : world_(world), history_(history), impl_(std::move(impl)) {}
+
+  void invoke(const WorkloadOp& op) override {
+    const auto idx =
+        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
+    if (op.method == Method::kWrite) {
+      world_.invoke(op.pid, [this, op, idx] {
+        impl_->write(op.pid, op.arg);
+        history_.complete(idx, 0, world_.next_event_time());
+      });
+    } else {
+      world_.invoke(op.pid, [this, op, idx] {
+        history_.complete(idx, impl_->read(op.pid), world_.next_event_time());
+      });
+    }
+  }
+
+ private:
+  sim::SimWorld& world_;
+  spec::History& history_;
+  std::unique_ptr<PlainRegister> impl_;
+};
+
+FixtureFactory plain_register_factory(int n) {
+  return [n](sim::SimWorld& world,
+             spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<PlainRegisterInvoker>(
+        world, history, std::make_unique<PlainRegister>(world, n));
+  };
+}
+
+HistoryCheck register_check() {
+  return [](const std::vector<spec::Op>& ops) {
+    return static_cast<bool>(spec::check_linearizable<spec::RegisterSpec>(
+        ops, spec::RegisterSpec::initial(0)));
+  };
+}
+
+FixtureFactory never_flags_factory(int n) {
+  return [n](sim::SimWorld& world,
+             spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<AbaRegInvoker<NeverFlags>>(
+        world, history, std::make_unique<NeverFlags>(world, n));
+  };
+}
+
+HistoryCheck aba_check(int n) {
+  return [n](const std::vector<spec::Op>& ops) {
+    return static_cast<bool>(spec::check_linearizable<spec::AbaRegisterSpec>(
+        ops, spec::AbaRegisterSpec::initial(n, 0)));
+  };
+}
+
+// ---------------------------------------------------------------- drivers
+
+TEST(RandomSchedule, IsDeterministicPerSeed) {
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kWrite, 1}, {0, Method::kWrite, 2},
+      {1, Method::kRead, 0},  {1, Method::kRead, 0},
+  };
+  const auto a = run_random_schedule(2, plain_register_factory(2), workload, 7);
+  const auto b = run_random_schedule(2, plain_register_factory(2), workload, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ret, b[i].ret);
+    EXPECT_EQ(a[i].invoke_ts, b[i].invoke_ts);
+    EXPECT_EQ(a[i].response_ts, b[i].response_ts);
+  }
+}
+
+TEST(RandomSchedule, DifferentSeedsProduceDifferentInterleavings) {
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kWrite, 1}, {0, Method::kWrite, 2}, {0, Method::kWrite, 3},
+      {1, Method::kRead, 0},  {1, Method::kRead, 0},  {1, Method::kRead, 0},
+  };
+  bool any_difference = false;
+  const auto base = run_random_schedule(2, plain_register_factory(2), workload, 0);
+  for (std::uint64_t seed = 1; seed < 20 && !any_difference; ++seed) {
+    const auto other =
+        run_random_schedule(2, plain_register_factory(2), workload, seed);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (base[i].ret != other[i].ret ||
+          base[i].invoke_ts != other[i].invoke_ts) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomSchedule, HistoriesAreComplete) {
+  const auto ops = run_random_schedule(
+      2, plain_register_factory(2),
+      {{0, Method::kWrite, 5}, {1, Method::kRead, 0}}, 3);
+  ASSERT_EQ(ops.size(), 2u);
+  for (const auto& op : ops) EXPECT_LT(op.invoke_ts, op.response_ts);
+}
+
+TEST(RoundRobin, QuantumOneInterleavesFinely) {
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kWrite, 1},
+      {1, Method::kRead, 0},
+  };
+  const auto ops = run_round_robin(2, plain_register_factory(2), workload, 1);
+  EXPECT_TRUE(register_check()(ops));
+}
+
+TEST(RoundRobin, LargeQuantumRunsOpsSolo) {
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kWrite, 9},
+      {1, Method::kRead, 0},
+  };
+  const auto ops = run_round_robin(2, plain_register_factory(2), workload, 100);
+  ASSERT_EQ(ops.size(), 2u);
+  // Solo execution: the read (runs after the write completes) must see 9.
+  EXPECT_EQ(ops[1].ret, 9u);
+}
+
+// ------------------------------------------------------------ model check
+
+TEST(ModelCheck, CountsInterleavingsOfIndependentSteps) {
+  // Two processes, one single-step op each (fused invoke+step): exactly 2
+  // interleavings.
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kWrite, 1},
+      {1, Method::kWrite, 2},
+  };
+  const auto result = model_check(2, plain_register_factory(2), workload,
+                                  register_check());
+  EXPECT_EQ(result.executions, 2u);
+  EXPECT_EQ(result.violations, 0u);
+}
+
+TEST(ModelCheck, FindsPlantedViolation) {
+  // NeverFlags misses any write completing between two reads; the checker
+  // must find interleavings where that is illegal.
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kDWrite, 1},
+      {1, Method::kDRead, 0},
+      {1, Method::kDRead, 0},
+  };
+  const auto result =
+      model_check(2, never_flags_factory(2), workload, aba_check(2));
+  EXPECT_GT(result.violations, 0u);
+  EXPECT_FALSE(result.first_violation.empty());
+}
+
+TEST(ModelCheck, BudgetStopsEarly) {
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kDWrite, 1}, {0, Method::kDWrite, 2},
+      {1, Method::kDRead, 0},  {1, Method::kDRead, 0},
+      {2, Method::kDRead, 0},
+  };
+  using Fig4 = core::AbaRegisterBounded<SimP>;
+  auto factory = [](sim::SimWorld& world,
+                    spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<AbaRegInvoker<Fig4>>(
+        world, history, std::make_unique<Fig4>(world, 3));
+  };
+  const auto result =
+      model_check(3, factory, workload, aba_check(3), /*max_executions=*/50);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.executions, 50u);
+}
+
+TEST(ModelCheck, NaiveTagBreaksUnderExhaustiveSearchWithTinyTags) {
+  // With a 1-bit tag and two same-value writes, some interleaving wraps the
+  // tag between a reader's two reads — exhaustive search must find it.
+  using Naive = core::AbaRegisterBoundedTagNaive<SimP>;
+  auto factory = [](sim::SimWorld& world,
+                    spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<AbaRegInvoker<Naive>>(
+        world, history,
+        std::make_unique<Naive>(
+            world, 2,
+            Naive::Options{.value_bits = 1, .tag_bits = 1, .initial_value = 0}));
+  };
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kDWrite, 0}, {0, Method::kDWrite, 0},
+      {1, Method::kDRead, 0},  {1, Method::kDRead, 0},
+  };
+  const auto result = model_check(2, factory, workload, aba_check(2));
+  EXPECT_GT(result.violations, 0u)
+      << "exhaustive search must expose the 1-bit tag wraparound";
+}
+
+TEST(ModelCheck, ExhaustiveMatchesRandomOnCorrectImpl) {
+  using Fig4 = core::AbaRegisterBounded<SimP>;
+  auto factory = [](sim::SimWorld& world,
+                    spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<AbaRegInvoker<Fig4>>(
+        world, history, std::make_unique<Fig4>(world, 2));
+  };
+  const std::vector<WorkloadOp> workload = {
+      {0, Method::kDWrite, 1},
+      {1, Method::kDRead, 0},
+      {1, Method::kDRead, 0},
+  };
+  const auto result = model_check(2, factory, workload, aba_check(2));
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 10u);
+}
+
+}  // namespace
+}  // namespace aba::harness

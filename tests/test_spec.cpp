@@ -1,0 +1,332 @@
+// Tests for the sequential specifications and the linearizability checker,
+// on hand-crafted histories with known verdicts. The checker is itself part
+// of the verification infrastructure, so these tests pin its behaviour
+// before it is used to judge the paper's algorithms.
+#include <gtest/gtest.h>
+
+#include "spec/history.h"
+#include "spec/lin_checker.h"
+#include "spec/specs.h"
+
+namespace aba::spec {
+namespace {
+
+Op make_op(int pid, Method m, std::uint64_t arg, std::uint64_t ret,
+           std::uint64_t inv, std::uint64_t resp) {
+  Op op;
+  op.pid = pid;
+  op.method = m;
+  op.arg = arg;
+  op.ret = ret;
+  op.invoke_ts = inv;
+  op.response_ts = resp;
+  return op;
+}
+
+// ------------------------------------------------------------ RegisterSpec
+
+TEST(RegisterSpecCheck, SequentialReadsSeeWrites) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kWrite, 5, 0, 0, 1),
+      make_op(1, Method::kRead, 0, 5, 2, 3),
+  };
+  EXPECT_TRUE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)));
+}
+
+TEST(RegisterSpecCheck, StaleSequentialReadRejected) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kWrite, 5, 0, 0, 1),
+      make_op(1, Method::kRead, 0, 0, 2, 3),  // Reads initial after write.
+  };
+  EXPECT_FALSE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)));
+}
+
+TEST(RegisterSpecCheck, OverlappingReadMayGoEitherWay) {
+  // Read overlaps the write: both old and new values are linearizable.
+  for (std::uint64_t ret : {0ull, 5ull}) {
+    std::vector<Op> ops = {
+        make_op(0, Method::kWrite, 5, 0, 0, 3),
+        make_op(1, Method::kRead, 0, ret, 1, 2),
+    };
+    EXPECT_TRUE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)))
+        << "ret=" << ret;
+  }
+}
+
+TEST(RegisterSpecCheck, ImpossibleValueRejected) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kWrite, 5, 0, 0, 3),
+      make_op(1, Method::kRead, 0, 7, 1, 2),
+  };
+  EXPECT_FALSE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)));
+}
+
+// ---------------------------------------------------------- AbaRegisterSpec
+
+TEST(AbaRegSpecCheck, FirstReadIsCleanWithoutWrites) {
+  std::vector<Op> ops = {
+      make_op(1, Method::kDRead, 0, pack_dread_result(9, false), 0, 1),
+  };
+  EXPECT_TRUE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 9)));
+}
+
+TEST(AbaRegSpecCheck, FirstReadFlagTrueWithoutWritesRejected) {
+  std::vector<Op> ops = {
+      make_op(1, Method::kDRead, 0, pack_dread_result(9, true), 0, 1),
+  };
+  EXPECT_FALSE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 9)));
+}
+
+TEST(AbaRegSpecCheck, WriteThenReadSetsFlagOnce) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kDWrite, 4, 0, 0, 1),
+      make_op(1, Method::kDRead, 0, pack_dread_result(4, true), 2, 3),
+      make_op(1, Method::kDRead, 0, pack_dread_result(4, false), 4, 5),
+  };
+  EXPECT_TRUE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 0)));
+}
+
+TEST(AbaRegSpecCheck, MissedWriteRejected) {
+  // Write completes strictly between two reads; second read must flag it.
+  std::vector<Op> ops = {
+      make_op(1, Method::kDRead, 0, pack_dread_result(0, false), 0, 1),
+      make_op(0, Method::kDWrite, 0, 0, 2, 3),  // ABA: writes the same value.
+      make_op(1, Method::kDRead, 0, pack_dread_result(0, false), 4, 5),
+  };
+  EXPECT_FALSE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 0)));
+}
+
+TEST(AbaRegSpecCheck, AbaWriteDetected) {
+  // The same history with the flag reported is accepted — this is exactly
+  // the ABA-detection property.
+  std::vector<Op> ops = {
+      make_op(1, Method::kDRead, 0, pack_dread_result(0, false), 0, 1),
+      make_op(0, Method::kDWrite, 0, 0, 2, 3),
+      make_op(1, Method::kDRead, 0, pack_dread_result(0, true), 4, 5),
+  };
+  EXPECT_TRUE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 0)));
+}
+
+TEST(AbaRegSpecCheck, FlagIsPerProcess) {
+  // p1 consumes the write's flag; p2 must still see it.
+  std::vector<Op> ops = {
+      make_op(0, Method::kDWrite, 7, 0, 0, 1),
+      make_op(1, Method::kDRead, 0, pack_dread_result(7, true), 2, 3),
+      make_op(2, Method::kDRead, 0, pack_dread_result(7, true), 4, 5),
+      make_op(1, Method::kDRead, 0, pack_dread_result(7, false), 6, 7),
+  };
+  EXPECT_TRUE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(3, 0)));
+}
+
+TEST(AbaRegSpecCheck, OverlappingWriteAllowsEitherFlag) {
+  for (bool flag : {false, true}) {
+    std::vector<Op> ops = {
+        make_op(0, Method::kDWrite, 3, 0, 0, 5),
+        make_op(1, Method::kDRead, 0,
+                pack_dread_result(flag ? 3 : 0, flag), 1, 2),
+    };
+    EXPECT_TRUE(check_linearizable<AbaRegisterSpec>(
+        ops, AbaRegisterSpec::initial(2, 0)))
+        << "flag=" << flag;
+  }
+}
+
+TEST(AbaRegSpecCheck, FlagValueMismatchRejected) {
+  // Read returns the new value but no flag, with the write completed before.
+  std::vector<Op> ops = {
+      make_op(0, Method::kDWrite, 3, 0, 0, 1),
+      make_op(1, Method::kDRead, 0, pack_dread_result(3, false), 2, 3),
+  };
+  EXPECT_FALSE(check_linearizable<AbaRegisterSpec>(
+      ops, AbaRegisterSpec::initial(2, 0)));
+}
+
+// ----------------------------------------------------------------- LlscSpec
+
+TEST(LlscSpecCheck, LlScSucceedsAlone) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(0, Method::kSC, 9, 1, 2, 3),
+      make_op(0, Method::kLL, 0, 9, 4, 5),
+  };
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+TEST(LlscSpecCheck, ScWithoutLlFailsWhenInitiallyUnlinked) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kSC, 9, 1, 0, 1),
+  };
+  EXPECT_FALSE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, true)));
+}
+
+TEST(LlscSpecCheck, InterveningScForcesFailure) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(1, Method::kLL, 0, 0, 2, 3),
+      make_op(1, Method::kSC, 5, 1, 4, 5),
+      make_op(0, Method::kSC, 9, 1, 6, 7),  // Claims success: must fail.
+  };
+  EXPECT_FALSE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+  ops[3].ret = 0;  // Reporting failure is the only legal outcome.
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+TEST(LlscSpecCheck, VlReflectsLinkState) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(0, Method::kVL, 0, 1, 2, 3),
+      make_op(1, Method::kLL, 0, 0, 4, 5),
+      make_op(1, Method::kSC, 5, 1, 6, 7),
+      make_op(0, Method::kVL, 0, 0, 8, 9),
+  };
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+TEST(LlscSpecCheck, FailedScDoesNotBreakOthersLinks) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(1, Method::kSC, 5, 0, 2, 3),  // Fails (p1 unlinked).
+      make_op(0, Method::kSC, 9, 1, 4, 5),  // p0 still linked: succeeds.
+  };
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+TEST(LlscSpecCheck, ConcurrentScsOnlyOneSucceeds) {
+  // Two overlapping SCs after fresh LLs: both claiming success is invalid.
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(1, Method::kLL, 0, 0, 2, 3),
+      make_op(0, Method::kSC, 7, 1, 4, 7),
+      make_op(1, Method::kSC, 8, 1, 5, 6),
+  };
+  EXPECT_FALSE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+  ops[2].ret = 0;
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+TEST(LlscSpecCheck, LlReturnsLatestSuccessfulScValue) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kLL, 0, 0, 0, 1),
+      make_op(0, Method::kSC, 7, 1, 2, 3),
+      make_op(1, Method::kLL, 0, 0, 4, 5),  // Must see 7, not 0.
+  };
+  EXPECT_FALSE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+  ops[2].ret = 7;
+  EXPECT_TRUE(check_linearizable<LlscSpec>(ops, LlscSpec::initial(2, 0, false)));
+}
+
+// ------------------------------------------------------- Stack / Queue specs
+
+TEST(StackSpecCheck, LifoOrder) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kPush, 1, 1, 0, 1),
+      make_op(0, Method::kPush, 2, 1, 2, 3),
+      make_op(1, Method::kPop, 0, pack_opt(true, 2), 4, 5),
+      make_op(1, Method::kPop, 0, pack_opt(true, 1), 6, 7),
+      make_op(1, Method::kPop, 0, pack_opt(false, 0), 8, 9),
+  };
+  EXPECT_TRUE(check_linearizable<StackSpec>(ops, StackSpec::initial()));
+}
+
+TEST(StackSpecCheck, FifoOrderRejected) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kPush, 1, 1, 0, 1),
+      make_op(0, Method::kPush, 2, 1, 2, 3),
+      make_op(1, Method::kPop, 0, pack_opt(true, 1), 4, 5),
+  };
+  EXPECT_FALSE(check_linearizable<StackSpec>(ops, StackSpec::initial()));
+}
+
+TEST(QueueSpecCheck, FifoOrder) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kEnq, 1, 1, 0, 1),
+      make_op(0, Method::kEnq, 2, 1, 2, 3),
+      make_op(1, Method::kDeq, 0, pack_opt(true, 1), 4, 5),
+      make_op(1, Method::kDeq, 0, pack_opt(true, 2), 6, 7),
+      make_op(1, Method::kDeq, 0, pack_opt(false, 0), 8, 9),
+  };
+  EXPECT_TRUE(check_linearizable<QueueSpec>(ops, QueueSpec::initial()));
+}
+
+TEST(QueueSpecCheck, LifoOrderRejected) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kEnq, 1, 1, 0, 1),
+      make_op(0, Method::kEnq, 2, 1, 2, 3),
+      make_op(1, Method::kDeq, 0, pack_opt(true, 2), 4, 5),
+  };
+  EXPECT_FALSE(check_linearizable<QueueSpec>(ops, QueueSpec::initial()));
+}
+
+// ------------------------------------------------------------ checker edge
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  std::vector<Op> ops;
+  EXPECT_TRUE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)));
+}
+
+TEST(Checker, WitnessRespectsHappensBefore) {
+  std::vector<Op> ops = {
+      make_op(0, Method::kWrite, 1, 0, 0, 1),
+      make_op(1, Method::kWrite, 2, 0, 2, 3),
+      make_op(0, Method::kRead, 0, 2, 4, 5),
+  };
+  const auto result =
+      check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0));
+  ASSERT_TRUE(result);
+  ASSERT_EQ(result.witness.size(), 3u);
+  // The non-overlapping ops must appear in real-time order.
+  EXPECT_EQ(result.witness[0], 0u);
+  EXPECT_EQ(result.witness[1], 1u);
+  EXPECT_EQ(result.witness[2], 2u);
+}
+
+TEST(Checker, ExplainsOutcomes) {
+  std::vector<Op> ops = {make_op(0, Method::kWrite, 1, 0, 0, 1)};
+  const auto good = check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0));
+  EXPECT_NE(explain(ops, good).find("witness"), std::string::npos);
+  std::vector<Op> bad = {make_op(0, Method::kRead, 0, 9, 0, 1)};
+  const auto fail = check_linearizable<RegisterSpec>(bad, RegisterSpec::initial(0));
+  EXPECT_NE(explain(bad, fail).find("NOT linearizable"), std::string::npos);
+}
+
+TEST(Checker, HandlesManyOverlappingOps) {
+  // 3 writers x 4 ops, all overlapping: stress the memoization.
+  std::vector<Op> ops;
+  std::uint64_t t = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int pid = 0; pid < 3; ++pid) {
+      ops.push_back(make_op(pid, Method::kWrite,
+                            static_cast<std::uint64_t>(10 * pid + round), 0,
+                            100 * round + pid, 1000000 + t++));
+    }
+  }
+  // Fix response times so ops of one process do not overlap each other.
+  for (auto& op : ops) op.response_ts = op.invoke_ts + 50;
+  EXPECT_TRUE(check_linearizable<RegisterSpec>(ops, RegisterSpec::initial(0)));
+}
+
+// History recorder.
+
+TEST(History, RecordsAndRenders) {
+  History h;
+  const auto idx = h.begin_op(0, Method::kDRead, 0, 1);
+  h.complete(idx, pack_dread_result(5, true), 2);
+  const auto ops = h.ops();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].pid, 0);
+  EXPECT_EQ(dread_value(ops[0].ret), 5u);
+  EXPECT_TRUE(dread_flag(ops[0].ret));
+  EXPECT_NE(h.to_string().find("DRead"), std::string::npos);
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aba::spec

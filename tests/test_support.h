@@ -1,0 +1,136 @@
+// Shared helpers for the test suites: fixture factories binding each
+// implementation to the harness, linearizability-check closures, and
+// workload generators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/aba_register_bounded.h"
+#include "core/aba_register_from_llsc.h"
+#include "core/aba_register_unbounded_tag.h"
+#include "core/llsc_register_array.h"
+#include "core/llsc_single_cas.h"
+#include "core/llsc_unbounded_tag.h"
+#include "harness/adapters.h"
+#include "harness/harness.h"
+#include "sim/sim_platform.h"
+#include "spec/lin_checker.h"
+#include "spec/specs.h"
+#include "util/rng.h"
+
+namespace aba::testing {
+
+using SimP = sim::SimPlatform;
+
+// ------------------------------------------------------------- factories
+
+template <class Impl>
+harness::FixtureFactory aba_reg_factory(int n, typename Impl::Options options = {}) {
+  return [n, options](sim::SimWorld& world,
+                      spec::History& history) -> std::unique_ptr<harness::Invoker> {
+    auto impl = std::make_unique<Impl>(world, n, options);
+    return std::make_unique<harness::AbaRegInvoker<Impl>>(world, history,
+                                                          std::move(impl));
+  };
+}
+
+template <class Impl>
+harness::FixtureFactory llsc_factory(int n, typename Impl::Options options = {}) {
+  return [n, options](sim::SimWorld& world,
+                      spec::History& history) -> std::unique_ptr<harness::Invoker> {
+    auto impl = std::make_unique<Impl>(world, n, options);
+    return std::make_unique<harness::LlscInvoker<Impl>>(world, history,
+                                                        std::move(impl));
+  };
+}
+
+// Figure 5 composed over a given LL/SC/VL implementation (always built with
+// initially_linked = true, the convention the reduction requires).
+template <class Llsc>
+harness::FixtureFactory fig5_factory(int n, std::uint64_t initial_value,
+                                     typename Llsc::Options llsc_options = {}) {
+  llsc_options.initially_linked = true;
+  llsc_options.initial_value = initial_value;
+  return [n, initial_value, llsc_options](
+             sim::SimWorld& world,
+             spec::History& history) -> std::unique_ptr<harness::Invoker> {
+    struct Composed {
+      Composed(sim::SimWorld& world, int n, std::uint64_t init,
+               const typename Llsc::Options& opt)
+          : llsc(world, n, opt), reg(llsc, n, init) {}
+      std::pair<std::uint64_t, bool> dread(int q) { return reg.dread(q); }
+      void dwrite(int p, std::uint64_t x) { reg.dwrite(p, x); }
+      Llsc llsc;
+      core::AbaRegisterFromLlsc<Llsc> reg;
+    };
+    auto impl = std::make_unique<Composed>(world, n, initial_value, llsc_options);
+    return std::make_unique<harness::AbaRegInvoker<Composed>>(world, history,
+                                                              std::move(impl));
+  };
+}
+
+// ------------------------------------------------------- history checks
+
+inline harness::HistoryCheck aba_reg_check(int n, std::uint64_t initial_value) {
+  return [n, initial_value](const std::vector<spec::Op>& ops) {
+    return static_cast<bool>(spec::check_linearizable<spec::AbaRegisterSpec>(
+        ops, spec::AbaRegisterSpec::initial(n, initial_value)));
+  };
+}
+
+inline harness::HistoryCheck llsc_check(int n, std::uint64_t initial_value,
+                                        bool initially_linked) {
+  return [n, initial_value, initially_linked](const std::vector<spec::Op>& ops) {
+    return static_cast<bool>(spec::check_linearizable<spec::LlscSpec>(
+        ops, spec::LlscSpec::initial(n, initial_value, initially_linked)));
+  };
+}
+
+// --------------------------------------------------------- workloads
+
+// Random mixed DRead/DWrite workload: `ops_per_process` ops per process;
+// write probability ~40%; values in [0, 2^value_bits).
+inline std::vector<harness::WorkloadOp> random_aba_workload(int n,
+                                                            int ops_per_process,
+                                                            unsigned value_bits,
+                                                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<harness::WorkloadOp> workload;
+  for (int pid = 0; pid < n; ++pid) {
+    for (int i = 0; i < ops_per_process; ++i) {
+      if (rng.chance(2, 5)) {
+        workload.push_back({pid, spec::Method::kDWrite,
+                            rng.below(1ULL << value_bits)});
+      } else {
+        workload.push_back({pid, spec::Method::kDRead, 0});
+      }
+    }
+  }
+  return workload;
+}
+
+// Random mixed LL/SC/VL workload.
+inline std::vector<harness::WorkloadOp> random_llsc_workload(int n,
+                                                             int ops_per_process,
+                                                             unsigned value_bits,
+                                                             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<harness::WorkloadOp> workload;
+  for (int pid = 0; pid < n; ++pid) {
+    for (int i = 0; i < ops_per_process; ++i) {
+      const auto dice = rng.below(10);
+      if (dice < 4) {
+        workload.push_back({pid, spec::Method::kLL, 0});
+      } else if (dice < 8) {
+        workload.push_back({pid, spec::Method::kSC,
+                            rng.below(1ULL << value_bits)});
+      } else {
+        workload.push_back({pid, spec::Method::kVL, 0});
+      }
+    }
+  }
+  return workload;
+}
+
+}  // namespace aba::testing

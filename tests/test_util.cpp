@@ -1,0 +1,294 @@
+// Unit tests for the utility layer: packing codecs, bounded queue, RNG,
+// histograms, table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bounded_queue.h"
+#include "util/histogram.h"
+#include "util/packed_word.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace aba::util {
+namespace {
+
+// ---------------------------------------------------------------- BitField
+
+TEST(BitField, GetSetRoundTrip) {
+  BitField f{5, 7};
+  std::uint64_t w = 0;
+  w = f.set(w, 0x55);
+  EXPECT_EQ(f.get(w), 0x55u);
+  EXPECT_EQ(w, 0x55ull << 5);
+}
+
+TEST(BitField, SetPreservesOtherBits) {
+  BitField lo{0, 8};
+  BitField hi{8, 8};
+  std::uint64_t w = 0;
+  w = lo.set(w, 0xAB);
+  w = hi.set(w, 0xCD);
+  EXPECT_EQ(lo.get(w), 0xABu);
+  EXPECT_EQ(hi.get(w), 0xCDu);
+  w = lo.set(w, 0x01);
+  EXPECT_EQ(lo.get(w), 0x01u);
+  EXPECT_EQ(hi.get(w), 0xCDu);
+}
+
+TEST(BitField, FullWidthMask) {
+  BitField f{0, 64};
+  EXPECT_EQ(f.mask(), ~0ULL);
+  EXPECT_EQ(f.get(~0ULL), ~0ULL);
+}
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+// ------------------------------------------------------------ PackedTriple
+
+using Triple = PackedTriple<8, 4, 6>;
+
+TEST(PackedTriple, InitialIsInvalid) {
+  EXPECT_FALSE(Triple::valid(Triple::initial()));
+}
+
+TEST(PackedTriple, RoundTrip) {
+  const std::uint64_t w = Triple::pack(0xAB, 3, 17);
+  EXPECT_TRUE(Triple::valid(w));
+  EXPECT_EQ(Triple::value(w), 0xABu);
+  EXPECT_EQ(Triple::pid(w), 3u);
+  EXPECT_EQ(Triple::seq(w), 17u);
+}
+
+TEST(PackedTriple, AnnouncementMatchesPackAnnouncement) {
+  const std::uint64_t w = Triple::pack(0xAB, 3, 17);
+  EXPECT_EQ(Triple::announcement(w), Triple::pack_announcement(3, 17));
+}
+
+TEST(PackedTriple, AnnouncementOfInitialDiffersFromAnyValid) {
+  const std::uint64_t init_a = Triple::announcement(Triple::initial());
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    for (std::uint64_t s = 0; s < 10; ++s) {
+      EXPECT_NE(init_a, Triple::pack_announcement(p, s));
+    }
+  }
+}
+
+// ------------------------------------------------------------- TripleCodec
+
+TEST(TripleCodec, ForProcessesWidths) {
+  // n = 8: pid in {0..7} -> 3 bits, seq in {0..17} -> 5 bits. With b = 8:
+  // total = 8 + 3 + 5 + 1 = 17 = b + 2*log n + O(1).
+  auto codec = TripleCodec::for_processes(8, 8);
+  EXPECT_EQ(codec.total_bits(), 17u);
+  EXPECT_EQ(codec.announcement_bits(), 9u);
+}
+
+TEST(TripleCodec, RoundTrip) {
+  auto codec = TripleCodec::for_processes(5, 8);
+  const std::uint64_t w = codec.pack(200, 4, 11);
+  EXPECT_TRUE(codec.valid(w));
+  EXPECT_EQ(codec.value(w), 200u);
+  EXPECT_EQ(codec.pid(w), 4u);
+  EXPECT_EQ(codec.seq(w), 11u);
+  EXPECT_FALSE(codec.valid(TripleCodec::initial()));
+}
+
+TEST(TripleCodec, AnnouncementRoundTrip) {
+  auto codec = TripleCodec::for_processes(5, 8);
+  const std::uint64_t w = codec.pack(200, 4, 11);
+  const std::uint64_t a = codec.announcement(w);
+  EXPECT_TRUE(codec.announcement_valid(a));
+  EXPECT_EQ(codec.announcement_pid(a), 4u);
+  EXPECT_EQ(codec.announcement_seq(a), 11u);
+  EXPECT_EQ(a, codec.pack_announcement(4, 11));
+  EXPECT_FALSE(codec.announcement_valid(codec.announcement(TripleCodec::initial())));
+}
+
+TEST(TripleCodec, DistinctTriplesDistinctWords) {
+  auto codec = TripleCodec::for_processes(3, 4);
+  std::set<std::uint64_t> words;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    for (std::uint64_t p = 0; p < 3; ++p) {
+      for (std::uint64_t s = 0; s < 8; ++s) {
+        words.insert(codec.pack(v, p, s));
+      }
+    }
+  }
+  EXPECT_EQ(words.size(), 16u * 3u * 8u);
+}
+
+// --------------------------------------------------------------- PairCodec
+
+TEST(PairCodec, RoundTrip) {
+  PairCodec codec(8, 16);
+  const std::uint64_t w = codec.pack(0xBEEF, 0xA5);
+  EXPECT_EQ(codec.value(w), 0xBEEFu);
+  EXPECT_EQ(codec.bits(w), 0xA5u);
+  EXPECT_EQ(codec.total_bits(), 24u);
+}
+
+TEST(PairCodec, BitOperations) {
+  PairCodec codec(8, 8);
+  std::uint64_t w = codec.pack(7, codec.all_bits());
+  EXPECT_EQ(codec.bits(w), 0xFFu);
+  for (unsigned p = 0; p < 8; ++p) EXPECT_TRUE(codec.bit(w, p));
+  w = codec.with_bit_cleared(w, 3);
+  EXPECT_FALSE(codec.bit(w, 3));
+  EXPECT_TRUE(codec.bit(w, 2));
+  EXPECT_EQ(codec.value(w), 7u);
+}
+
+TEST(PairCodec, AllBitsWidth) {
+  EXPECT_EQ(PairCodec(1, 8).all_bits(), 1u);
+  EXPECT_EQ(PairCodec(4, 8).all_bits(), 15u);
+  EXPECT_EQ(PairCodec(32, 16).all_bits(), 0xFFFFFFFFull);
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(3);
+  q.enqueue(1);
+  q.enqueue(2);
+  q.enqueue(3);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  q.enqueue(4);
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_EQ(q.dequeue(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, Contains) {
+  BoundedQueue<int> q(4);
+  q.enqueue(10);
+  q.enqueue(20);
+  EXPECT_TRUE(q.contains(10));
+  EXPECT_TRUE(q.contains(20));
+  EXPECT_FALSE(q.contains(30));
+  q.dequeue();
+  EXPECT_FALSE(q.contains(10));
+}
+
+TEST(BoundedQueue, WrapsAroundManyTimes) {
+  BoundedQueue<int> q(2);
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(i);
+    EXPECT_EQ(q.dequeue(), i);
+  }
+}
+
+TEST(BoundedQueue, FrontPeeks) {
+  BoundedQueue<int> q(2);
+  q.enqueue(5);
+  q.enqueue(6);
+  EXPECT_EQ(q.front(), 5);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// --------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    if (va != b()) all_equal = false;
+    if (va != c()) any_diff_from_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, HashCombineSpreads) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    hashes.insert(hash_combine(0, i));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+// ----------------------------------------------------------------- Summary
+
+TEST(Summary, Statistics) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(StepHistogram, CountsAndMax) {
+  StepHistogram h;
+  h.add(2);
+  h.add(2);
+  h.add(4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.max_steps(), 4u);
+  EXPECT_EQ(h.count_at(2), 2u);
+  EXPECT_EQ(h.count_at(3), 0u);
+  EXPECT_NEAR(h.mean_steps(), (2 + 2 + 4) / 3.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "n", "value"});
+  t.add_row({"alpha", "1", "2.50"});
+  t.add_row({"beta-long-name", "100", "0.01"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long-name"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace aba::util
