@@ -1,8 +1,10 @@
 // Shared helpers for the benchmark/experiment binaries.
 //
-// Each binary reproduces one experiment row from DESIGN.md (E1..E8): it
-// prints the table/figure-equivalent the paper's claim corresponds to, and
-// registers google-benchmark timings for the native-platform parts.
+// Each binary reproduces one experiment row from docs/DESIGN.md (E1..E9):
+// it prints the table/figure-equivalent the paper's claim corresponds to,
+// and registers google-benchmark timings for the native-platform parts.
+// E9 (bench_throughput_matrix) does not use google-benchmark; it emits the
+// BENCH_native.json perf-trajectory file via bench_json.h instead.
 #pragma once
 
 #include <benchmark/benchmark.h>

@@ -20,7 +20,7 @@
 namespace {
 
 using SimFig3 = aba::core::LlscSingleCas<aba::sim::SimPlatform>;
-using NativeFig3 = aba::core::LlscSingleCas<aba::native::NativePlatform>;
+using NativeFig3 = aba::core::LlscSingleCas<aba::native::NativePlatform<>>;
 
 struct ContentionStats {
   std::uint64_t worst_ll = 0;
@@ -103,7 +103,7 @@ void print_table() {
 
 // ---- native timing ----
 
-aba::native::NativePlatform::Env g_env;
+aba::native::NativePlatform<>::Env g_env;
 
 void BM_Fig3_SoloLlScVl(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -16,7 +16,7 @@
 namespace {
 
 using SimFig4 = aba::core::AbaRegisterBounded<aba::sim::SimPlatform>;
-using NativeFig4 = aba::core::AbaRegisterBounded<aba::native::NativePlatform>;
+using NativeFig4 = aba::core::AbaRegisterBounded<aba::native::NativePlatform<>>;
 
 struct Worst {
   std::uint64_t dwrite = 0;
@@ -96,7 +96,7 @@ void print_table() {
 
 // ---- native timing ----
 
-aba::native::NativePlatform::Env g_env;
+aba::native::NativePlatform<>::Env g_env;
 
 void BM_Fig4_SoloDWriteDRead(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -129,10 +129,10 @@ void print_table() {
 
 // ---- native timing: composed vs direct ----
 
-aba::native::NativePlatform::Env g_env;
+aba::native::NativePlatform<>::Env g_env;
 
 void BM_Fig5_OverMoir_Native(benchmark::State& state) {
-  using Llsc = aba::core::LlscUnboundedTag<aba::native::NativePlatform>;
+  using Llsc = aba::core::LlscUnboundedTag<aba::native::NativePlatform<>>;
   static Llsc llsc(g_env, 4,
                    {.value_bits = 8, .initial_value = 0, .initially_linked = true});
   static aba::core::AbaRegisterFromLlsc<Llsc> reg(llsc, 4, 0);
@@ -145,7 +145,7 @@ void BM_Fig5_OverMoir_Native(benchmark::State& state) {
 BENCHMARK(BM_Fig5_OverMoir_Native);
 
 void BM_Fig4_Direct_Native(benchmark::State& state) {
-  using Fig4 = aba::core::AbaRegisterBounded<aba::native::NativePlatform>;
+  using Fig4 = aba::core::AbaRegisterBounded<aba::native::NativePlatform<>>;
   static Fig4 reg(g_env, 4, {.value_bits = 8});
   std::uint64_t i = 0;
   for (auto _ : state) {

@@ -1,0 +1,97 @@
+#include "bench_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aba::bench {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string number(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void JsonReport::add_context(const std::string& key, const std::string& value) {
+  context_.emplace_back(key, value);
+}
+
+void JsonReport::add(JsonRecord record) { records_.push_back(std::move(record)); }
+
+std::string JsonReport::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + escape_json(name_) + "\",\n";
+  out += "  \"context\": {";
+  for (std::size_t i = 0; i < context_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    \"" + escape_json(context_[i].first) + "\": \"" +
+           escape_json(context_[i].second) + "\"";
+  }
+  out += context_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"results\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const JsonRecord& r = records_[i];
+    if (i > 0) out += ",";
+    out += "\n    {\"scenario\": \"" + escape_json(r.scenario) +
+           "\", \"platform\": \"" + escape_json(r.platform) +
+           "\", \"orderings\": \"" + escape_json(r.orderings) +
+           "\", \"threads\": " + number(static_cast<std::uint64_t>(r.threads)) +
+           ", \"ops\": " + number(r.ops) +
+           ", \"seconds\": " + number(r.seconds) +
+           ", \"ops_per_sec\": " + number(r.ops_per_sec) + "}";
+  }
+  out += records_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string doc = to_json();
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  const bool ok = written == doc.size() && close_ok;
+  if (!ok) std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace aba::bench

@@ -1,0 +1,54 @@
+// Minimal JSON reporter for the perf-trajectory files (BENCH_*.json).
+//
+// Successive PRs regress against these files: each bench binary that feeds
+// the trajectory appends structured records (scenario, platform policy,
+// thread count, measured throughput) and writes one self-contained JSON
+// document. Deliberately dependency-free — a hand-rolled emitter is ~100
+// lines and keeps the bench pipeline buildable even where google-benchmark
+// is absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aba::bench {
+
+// One measured cell of a scenario sweep.
+struct JsonRecord {
+  std::string scenario;   // e.g. "treiber_stack"
+  std::string platform;   // "counted" | "fast"
+  std::string orderings;  // "seq_cst" | "acquire_release"
+  int threads = 0;
+  std::uint64_t ops = 0;      // completed operations across all threads
+  double seconds = 0.0;       // measured wall time
+  double ops_per_sec = 0.0;   // ops / seconds
+};
+
+// Escapes a string for embedding in a JSON string literal.
+std::string escape_json(const std::string& s);
+
+// Accumulates records plus free-form context (host facts, build flags) and
+// serializes them as one JSON document:
+//   { "bench": ..., "context": {...}, "results": [ {...}, ... ] }
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void add_context(const std::string& key, const std::string& value);
+  void add(JsonRecord record);
+
+  const std::vector<JsonRecord>& records() const { return records_; }
+
+  std::string to_json() const;
+  // Returns false (and prints to stderr) if the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace aba::bench

@@ -24,9 +24,9 @@
 namespace {
 
 using namespace aba;
-using NativeP = native::NativePlatform;
+using NativeP = native::NativePlatform<>;
 
-native::NativePlatform::Env g_env;
+native::NativePlatform<>::Env g_env;
 
 constexpr int kMaxThreads = 4;
 constexpr int kNodesPerThread = 64;

@@ -1,0 +1,289 @@
+// E9 — the native fast-path matrix: NativePlatform<Counted> vs
+// NativePlatform<Fast> throughput across the repository's contended objects,
+// swept over thread counts, written to BENCH_native.json.
+//
+// Four scenarios, each exercised by real threads hammering one shared
+// object (the object an algorithm's proofs are about):
+//   llsc_single_cas — Figure 3 LL;SC pairs on the single CAS word;
+//   aba_register    — Figure 4 DWrite/DRead mix on X plus the announce array;
+//   treiber_stack   — push;pop pairs through a bounded-tag CAS head;
+//   ms_queue        — enqueue;dequeue pairs on Michael-Scott head/tail.
+//
+// Both sides run the *identical* algorithm templates; the fast side drops
+// instrumentation (step counting + bound checks), isolates cache lines and
+// backs off on contended CAS. Memory orderings are chosen per scenario by
+// its documented soundness argument (see native_platform.h): the
+// single-word LL/SC and the publication-shaped structures run on
+// FastRelaxed (acquire/release, always sound for them); the Figure 4
+// announce-array register needs seq_cst's cross-word total order, so its
+// fast cells use the Fast policy, whose orderings follow the
+// ABA_RELAXED_ORDERINGS build option (seq_cst by default). Every JSON
+// record carries the orderings that produced it. The counted-vs-fast delta
+// is what subsequent PRs regress against.
+//
+// Flags (google-benchmark-compatible where it matters for CI):
+//   --benchmark_min_time=SECONDS  per-cell measurement time (default 0.2)
+//   --out=PATH                    output JSON path (default BENCH_native.json)
+//   --threads=1,2,4               thread counts to sweep
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/aba_register_bounded.h"
+#include "core/llsc_single_cas.h"
+#include "native/native_platform.h"
+#include "structures/ms_queue.h"
+#include "structures/treiber_stack.h"
+
+namespace {
+
+using namespace aba;
+
+template <class Policy>
+constexpr const char* orderings_label() {
+  return Policy::kStoreOrder == std::memory_order_seq_cst ? "seq_cst"
+                                                          : "acquire_release";
+}
+
+struct Cell {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+};
+
+// Runs n threads for ~min_seconds. make_worker(pid) returns a callable that
+// performs one small batch of operations and returns the batch's op count;
+// workers loop batches until the stop flag flips. Duration-based (rather
+// than fixed-count) measurement keeps every cell comparable even when the
+// two policies differ several-fold in speed.
+template <class MakeWorker>
+Cell measure(int n, double min_seconds, MakeWorker make_worker) {
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(n), 0);
+  std::barrier sync(n + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      auto work = make_worker(pid);
+      sync.arrive_and_wait();
+      std::uint64_t count = 0;
+      while (!stop.load(std::memory_order_relaxed)) count += work();
+      ops[static_cast<std::size_t>(pid)] = count;
+    });
+  }
+  sync.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(min_seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  Cell cell;
+  for (const auto c : ops) cell.ops += c;
+  cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return cell;
+}
+
+constexpr int kBatch = 64;
+
+template <class P>
+Cell run_llsc(int n, double secs) {
+  typename P::Env env;
+  core::LlscSingleCas<P> obj(
+      env, n,
+      typename core::LlscSingleCas<P>::Options{
+          .value_bits = 16, .initial_value = 0, .initially_linked = true});
+  return measure(n, secs, [&](int pid) {
+    return [&obj, pid] {
+      for (int i = 0; i < kBatch; ++i) {
+        const std::uint64_t v = obj.ll(pid);
+        obj.sc(pid, (v + 1) & 0xFFFF);
+      }
+      return std::uint64_t{2 * kBatch};
+    };
+  });
+}
+
+template <class P>
+Cell run_aba_register(int n, double secs) {
+  typename P::Env env;
+  core::AbaRegisterBounded<P> reg(
+      env, n, typename core::AbaRegisterBounded<P>::Options{.value_bits = 8});
+  return measure(n, secs, [&](int pid) {
+    return [&reg, pid, x = std::uint64_t{0}]() mutable {
+      for (int i = 0; i < kBatch; ++i) {
+        reg.dwrite(pid, x++ & 255);
+        reg.dread(pid);
+      }
+      return std::uint64_t{2 * kBatch};
+    };
+  });
+}
+
+template <class P>
+Cell run_treiber_stack(int n, double secs) {
+  using Head = structures::TaggedCasHead<P>;
+  using Stack = structures::TreiberStack<P, Head>;
+  typename P::Env env;
+  Stack stack(env, n, std::make_unique<Head>(env, n),
+              Stack::partition(n, /*per_process=*/64));
+  return measure(n, secs, [&](int pid) {
+    return [&stack, pid, v = std::uint64_t{0}]() mutable {
+      for (int i = 0; i < kBatch; ++i) {
+        // push;pop pairs keep the pool balanced; if this process's free
+        // list drained (its nodes were popped by others), pop to refill.
+        if (!stack.push(pid, v++)) stack.pop(pid);
+        stack.pop(pid);
+      }
+      return std::uint64_t{2 * kBatch};
+    };
+  });
+}
+
+template <class P>
+Cell run_ms_queue(int n, double secs) {
+  typename P::Env env;
+  structures::MsQueue<P> queue(env, n, /*nodes_per_process=*/64);
+  return measure(n, secs, [&](int pid) {
+    return [&queue, pid, v = std::uint64_t{0}]() mutable {
+      for (int i = 0; i < kBatch; ++i) {
+        if (!queue.enqueue(pid, v++)) queue.dequeue(pid);
+        queue.dequeue(pid);
+      }
+      return std::uint64_t{2 * kBatch};
+    };
+  });
+}
+
+// One side of the matrix. Policies are per scenario: LlscPolicy for the
+// single-word LL/SC, AbaPolicy for the Figure 4 register, StructPolicy for
+// the stack/queue (see the orderings note in the header comment).
+template <class LlscPolicy, class AbaPolicy, class StructPolicy>
+void run_side(const char* label, const std::vector<int>& thread_counts,
+              double secs, bench::JsonReport& report) {
+  struct Scenario {
+    const char* name;
+    Cell (*run)(int, double);
+    const char* orderings;
+  };
+  const Scenario scenarios[] = {
+      {"llsc_single_cas", &run_llsc<native::NativePlatform<LlscPolicy>>,
+       orderings_label<LlscPolicy>()},
+      {"aba_register", &run_aba_register<native::NativePlatform<AbaPolicy>>,
+       orderings_label<AbaPolicy>()},
+      {"treiber_stack", &run_treiber_stack<native::NativePlatform<StructPolicy>>,
+       orderings_label<StructPolicy>()},
+      {"ms_queue", &run_ms_queue<native::NativePlatform<StructPolicy>>,
+       orderings_label<StructPolicy>()},
+  };
+  for (const auto& scenario : scenarios) {
+    for (const int n : thread_counts) {
+      const Cell cell = scenario.run(n, secs);
+      const double rate =
+          cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
+      report.add(bench::JsonRecord{scenario.name, label, scenario.orderings, n,
+                                   cell.ops, cell.seconds, rate});
+      std::printf("  %-16s %-8s threads=%d  %-15s %12.0f ops/s\n",
+                  scenario.name, label, n, scenario.orderings, rate);
+      std::fflush(stdout);
+    }
+  }
+}
+
+double find_rate(const bench::JsonReport& report, const std::string& scenario,
+                 const std::string& platform, int threads) {
+  for (const auto& r : report.records()) {
+    if (r.scenario == scenario && r.platform == platform && r.threads == threads) {
+      return r.ops_per_sec;
+    }
+  }
+  return 0;
+}
+
+std::vector<int> parse_threads(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos
+                                                ? std::string::npos
+                                                : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n >= 1) out.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_seconds = 0.2;
+  std::string out_path = "BENCH_native.json";
+  std::vector<int> thread_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      // Accepts google-benchmark spellings "0.01" and "0.01s".
+      min_seconds = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
+      if (min_seconds <= 0) min_seconds = 0.01;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts = parse_threads(arg.substr(std::strlen("--threads=")));
+      if (thread_counts.empty()) thread_counts = {1, 2, 4};
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
+                   "[--threads=1,2,4]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::JsonReport report("native_throughput_matrix");
+  report.add_context("hardware_concurrency",
+                     std::to_string(std::thread::hardware_concurrency()));
+  report.add_context("min_seconds_per_cell", std::to_string(min_seconds));
+#ifdef ABA_RELAXED_ORDERINGS
+  report.add_context("relaxed_orderings_option", "on");
+#else
+  report.add_context("relaxed_orderings_option", "off");
+#endif
+#ifdef NDEBUG
+  report.add_context("build", "NDEBUG");
+#else
+  report.add_context("build", "debug");
+#endif
+
+  std::printf("E9  native throughput matrix (counted vs fast)\n");
+  run_side<native::Counted, native::Counted, native::Counted>(
+      "counted", thread_counts, min_seconds, report);
+  run_side<native::FastRelaxed, native::Fast, native::FastRelaxed>(
+      "fast", thread_counts, min_seconds, report);
+
+  std::printf("\n  fast/counted speedup:\n");
+  for (const char* scenario :
+       {"llsc_single_cas", "aba_register", "treiber_stack", "ms_queue"}) {
+    for (const int n : thread_counts) {
+      const double counted = find_rate(report, scenario, "counted", n);
+      const double fast = find_rate(report, scenario, "fast", n);
+      if (counted > 0) {
+        std::printf("  %-16s threads=%d  %.2fx\n", scenario, n, fast / counted);
+      }
+    }
+  }
+
+  if (!report.write_file(out_path)) return 1;
+  std::printf("\n  wrote %s (%zu records)\n", out_path.c_str(),
+              report.records().size());
+  return 0;
+}

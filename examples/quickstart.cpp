@@ -13,7 +13,7 @@
 #include "native/native_platform.h"
 
 int main() {
-  using Platform = aba::native::NativePlatform;
+  using Platform = aba::native::NativePlatform<>;
   Platform::Env env;
   constexpr int kProcesses = 4;
 

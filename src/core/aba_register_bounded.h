@@ -33,6 +33,7 @@
 
 #include "core/platform.h"
 #include "core/sequence_reservation.h"
+#include "util/cacheline.h"
 #include "util/packed_word.h"
 
 namespace aba::core {
@@ -60,9 +61,9 @@ class AbaRegisterBounded {
         x_(env, "X", util::TripleCodec::initial(),
            sim::BoundSpec::bounded(codec_.total_bits())),
         locals_(n) {
-    ABA_ASSERT(n >= 1);
-    ABA_ASSERT(options.value_bits >= 1 && options.value_bits <= 40);
-    ABA_ASSERT(codec_.value(codec_.pack(options.initial_value, 0, 0)) ==
+    ABA_CHECK(n >= 1);
+    ABA_CHECK(options.value_bits >= 1 && options.value_bits <= 40);
+    ABA_CHECK(codec_.value(codec_.pack(options.initial_value, 0, 0)) ==
                options.initial_value);
   }
 
@@ -103,7 +104,8 @@ class AbaRegisterBounded {
   bool is_under_provisioned() const { return board_.is_under_provisioned(); }
 
  private:
-  struct Local {
+  // Owner-written only; padded against false sharing between neighbours.
+  struct alignas(util::kCacheLineSize) Local {
     bool b = false;  // "a DWrite linearized during my previous DRead".
   };
 

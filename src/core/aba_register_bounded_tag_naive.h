@@ -37,7 +37,7 @@ class AbaRegisterBoundedTagNaive {
         x_(env, "X", pack(options.initial_value, 0),
            sim::BoundSpec::bounded(options.value_bits + options.tag_bits)),
         locals_(n) {
-    ABA_ASSERT(options.value_bits + options.tag_bits <= 64);
+    ABA_CHECK(options.value_bits + options.tag_bits <= 64);
     for (auto& local : locals_) local.last_word = pack(options.initial_value, 0);
   }
 

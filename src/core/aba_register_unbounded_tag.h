@@ -35,7 +35,7 @@ class AbaRegisterUnboundedTag {
         x_(env, "X", pack(options.initial_value, 0),
            sim::BoundSpec::unbounded()),
         locals_(n) {
-    ABA_ASSERT(n >= 1);
+    ABA_CHECK(n >= 1);
     for (auto& local : locals_) local.last_word = pack(options.initial_value, 0);
   }
 

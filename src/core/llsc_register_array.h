@@ -38,6 +38,7 @@
 
 #include "core/platform.h"
 #include "core/sequence_reservation.h"
+#include "util/cacheline.h"
 #include "util/packed_word.h"
 
 namespace aba::core {
@@ -64,7 +65,7 @@ class LlscRegisterArray {
         x_(env, "X", util::TripleCodec::initial(),
            sim::BoundSpec::bounded(codec_.total_bits())),
         locals_(n) {
-    ABA_ASSERT(n >= 1);
+    ABA_CHECK(n >= 1);
     for (auto& local : locals_) {
       local.link_word = util::TripleCodec::initial();
       local.b = !options.initially_linked;
@@ -118,7 +119,8 @@ class LlscRegisterArray {
     return codec_.valid(w) ? codec_.value(w) : options_.initial_value;
   }
 
-  struct Local {
+  // Owner-written only; padded against false sharing between neighbours.
+  struct alignas(util::kCacheLineSize) Local {
     std::uint64_t link_word = 0;
     bool b = false;
   };

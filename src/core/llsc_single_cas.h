@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "util/cacheline.h"
 #include "util/packed_word.h"
 
 namespace aba::core {
@@ -55,7 +56,7 @@ class LlscSingleCas {
                        options.initially_linked ? 0 : codec_.all_bits()),
            sim::BoundSpec::bounded(codec_.total_bits())),
         locals_(n) {
-    ABA_ASSERT(n >= 1 && n + options.value_bits <= 64);
+    ABA_CHECK(n >= 1 && n + options.value_bits <= 64);
   }
 
   // LL_p() — Figure 3 lines 14-25.
@@ -66,6 +67,7 @@ class LlscSingleCas {
       local.b = false;        // line 16
       return codec_.value(w);  // line 17
     }
+    PlatformBackoffT<P> backoff;
     for (int i = 0; i < n_; ++i) {  // line 19
       const std::uint64_t w2 = x_.read();  // line 20
       ABA_ASSERT_MSG(codec_.bit(w2, static_cast<unsigned>(p)),
@@ -74,6 +76,9 @@ class LlscSingleCas {
         local.b = false;         // line 22
         return codec_.value(w2);  // line 23
       }
+      // Local-only; the loop stays bounded by n (Claim 6). Skipped on the
+      // last iteration — there is no further attempt to pace.
+      if (i + 1 < n_) backoff();
     }
     local.b = true;          // line 24
     return codec_.value(w);  // line 25
@@ -83,6 +88,7 @@ class LlscSingleCas {
   bool sc(int p, std::uint64_t x) {
     Local& local = locals_[p];
     if (local.b) return false;  // line 1
+    PlatformBackoffT<P> backoff;
     for (int i = 0; i < n_; ++i) {  // line 2
       const std::uint64_t w = x_.read();  // line 3
       if (codec_.bit(w, static_cast<unsigned>(p))) {  // line 4
@@ -91,6 +97,7 @@ class LlscSingleCas {
       if (x_.cas(w, codec_.pack(x, codec_.all_bits()))) {  // line 6
         return true;  // line 7
       }
+      if (i + 1 < n_) backoff();
     }
     return false;  // line 8
   }
@@ -111,7 +118,9 @@ class LlscSingleCas {
   int worst_case_vl_steps() const { return 1; }
 
  private:
-  struct Local {
+  // Only process p touches locals_[p]; padded so adjacent entries in the
+  // vector never share (and hence never ping-pong) a cache line.
+  struct alignas(util::kCacheLineSize) Local {
     bool b = false;
   };
 

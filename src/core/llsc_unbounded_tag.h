@@ -33,7 +33,7 @@ class LlscUnboundedTag {
         options_(options),
         x_(env, "X", pack(options.initial_value, 0), sim::BoundSpec::unbounded()),
         locals_(n) {
-    ABA_ASSERT(options.value_bits <= 16);
+    ABA_CHECK(options.value_bits <= 16);
     for (auto& local : locals_) {
       local.link_word = pack(options.initial_value, 0);
       local.linked = options.initially_linked;

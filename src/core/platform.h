@@ -10,8 +10,11 @@
 // Two platforms implement the concept:
 //   aba::sim::SimPlatform      — objects live in a SimWorld; every access is
 //                                a scheduled, traceable step (see sim_world.h)
-//   aba::native::NativePlatform — objects are std::atomic<uint64_t> with
-//                                sequentially consistent ordering
+//   aba::native::NativePlatform<Policy> — objects are std::atomic<uint64_t>;
+//                                the policy (Counted or Fast) selects step
+//                                counting, bound checking, memory orderings,
+//                                cache-line isolation and contention backoff
+//                                (see native/native_platform.h)
 //
 // Object constructors take (Env&, name, initial, BoundSpec): the environment
 // (a SimWorld for the simulator, an empty token natively), a debug name, the
@@ -23,8 +26,10 @@
 
 #include <concepts>
 #include <cstdint>
+#include <type_traits>
 
 #include "sim/types.h"
+#include "util/backoff.h"
 
 namespace aba {
 
@@ -47,5 +52,27 @@ concept Platform = requires(typename P::Env& env, typename P::Register& r,
   { w.cas(v, v) } -> std::same_as<bool>;
   { w.write(v) } -> std::same_as<void>;
 };
+
+// Contention-backoff selection. Algorithms with CAS retry loops instantiate
+// a PlatformBackoffT<P> per operation and invoke it after each failed
+// attempt. A platform opts in by exposing a member typedef `Backoff`; the
+// default is util::NullBackoff, which compiles to nothing — the simulator
+// must not have its adversary-controlled schedules perturbed, and the
+// Counted native policy keeps the retry loops bit-identical to the paper's
+// pseudo-code. Backoff performs no shared-memory steps, so it never changes
+// step complexity or linearizability; it only reduces coherence traffic on
+// real hardware.
+template <class P, class = void>
+struct PlatformBackoff {
+  using type = util::NullBackoff;
+};
+
+template <class P>
+struct PlatformBackoff<P, std::void_t<typename P::Backoff>> {
+  using type = typename P::Backoff;
+};
+
+template <class P>
+using PlatformBackoffT = typename PlatformBackoff<P>::type;
 
 }  // namespace aba

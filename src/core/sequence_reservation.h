@@ -30,6 +30,7 @@
 
 #include "core/platform.h"
 #include "util/bounded_queue.h"
+#include "util/cacheline.h"
 #include "util/packed_word.h"
 
 namespace aba::core {
@@ -44,8 +45,12 @@ class SequenceReservation {
   SequenceReservation(typename P::Env& env, int n, const util::TripleCodec& codec,
                       std::uint64_t seq_domain)
       : n_(n), codec_(codec), seq_domain_(seq_domain) {
-    ABA_ASSERT(n >= 1);
-    ABA_ASSERT(seq_domain_ >= 2);
+    ABA_CHECK(n >= 1);
+    ABA_CHECK(seq_domain_ >= 2);
+    // Each announce entry is its own heap allocation: with a cache-line-
+    // isolating platform (NativePlatform<Fast>) the registers are over-
+    // aligned, so A[q] and A[q'] — written by different processes on every
+    // DRead — can never false-share a line.
     announce_.reserve(n_);
     for (int q = 0; q < n_; ++q) {
       announce_.push_back(std::make_unique<typename P::Register>(
@@ -114,7 +119,9 @@ class SequenceReservation {
   std::uint64_t seq_domain() const { return seq_domain_; }
 
  private:
-  struct Local {
+  // Per-process bookkeeping; owner-written only, padded against false
+  // sharing between neighbouring entries of locals_.
+  struct alignas(util::kCacheLineSize) Local {
     Local(int n, std::uint64_t seq_domain)
         : na(n),
           used_q(static_cast<std::size_t>(n) + 1),

@@ -43,7 +43,7 @@ class AbaRegInvoker : public Invoker {
         });
         break;
       default:
-        ABA_ASSERT_MSG(false, "AbaRegInvoker: unsupported method");
+        ABA_CHECK_MSG(false, "AbaRegInvoker: unsupported method");
     }
   }
 
@@ -86,7 +86,7 @@ class LlscInvoker : public Invoker {
         });
         break;
       default:
-        ABA_ASSERT_MSG(false, "LlscInvoker: unsupported method");
+        ABA_CHECK_MSG(false, "LlscInvoker: unsupported method");
     }
   }
 
@@ -126,7 +126,7 @@ class StackInvoker : public Invoker {
         });
         break;
       default:
-        ABA_ASSERT_MSG(false, "StackInvoker: unsupported method");
+        ABA_CHECK_MSG(false, "StackInvoker: unsupported method");
     }
   }
 
@@ -166,7 +166,7 @@ class QueueInvoker : public Invoker {
         });
         break;
       default:
-        ABA_ASSERT_MSG(false, "QueueInvoker: unsupported method");
+        ABA_CHECK_MSG(false, "QueueInvoker: unsupported method");
     }
   }
 

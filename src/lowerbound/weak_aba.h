@@ -59,7 +59,7 @@ class WeakAbaAdapter : public WeakAbaInstance {
   }
 
   void invoke_weak_read(int pid) override {
-    ABA_ASSERT(pid >= 1);
+    ABA_CHECK(pid >= 1);
     world_.invoke(pid, [this, pid] { flags_[pid] = impl_->dread(pid).second; });
   }
 

@@ -1,3 +1,7 @@
+// The simulator is a checking engine: its object-kind and declared-width
+// rejection is semantics the tests and lower-bound experiments rely on, not
+// debug instrumentation. The aba library target therefore compiles with
+// ABA_FORCE_ASSERTS in every build type (see the root CMakeLists.txt).
 #include "sim/sim_world.h"
 
 #include <sstream>

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/backoff.h"
+#include "util/cacheline.h"
 
 namespace aba::structures {
 
@@ -30,8 +32,7 @@ class HazardDomain {
         slots_per_thread_(slots_per_thread),
         slots_(static_cast<std::size_t>(max_threads) * slots_per_thread),
         retired_(max_threads) {
-    ABA_ASSERT(max_threads >= 1 && slots_per_thread >= 1);
-    for (auto& slot : slots_) slot.store(nullptr);
+    ABA_CHECK(max_threads >= 1 && slots_per_thread >= 1);
   }
 
   ~HazardDomain() {
@@ -49,7 +50,7 @@ class HazardDomain {
   // stable. Returns the protected pointer (possibly null).
   template <class T>
   T* protect(int tid, int slot, const std::atomic<T*>& src) {
-    std::atomic<const void*>& hp = slot_ref(tid, slot);
+    std::atomic<const void*>& hp = slot_ref(tid, slot).ptr;
     T* ptr = src.load();
     for (;;) {
       hp.store(ptr);
@@ -59,7 +60,7 @@ class HazardDomain {
     }
   }
 
-  void clear(int tid, int slot) { slot_ref(tid, slot).store(nullptr); }
+  void clear(int tid, int slot) { slot_ref(tid, slot).ptr.store(nullptr); }
 
   // Defers reclamation of `ptr` until no hazard slot holds it.
   void retire(int tid, void* ptr, std::function<void(void*)> deleter) {
@@ -73,7 +74,7 @@ class HazardDomain {
     std::vector<const void*> protected_ptrs;
     protected_ptrs.reserve(slots_.size());
     for (const auto& slot : slots_) {
-      const void* p = slot.load();
+      const void* p = slot.ptr.load();
       if (p != nullptr) protected_ptrs.push_back(p);
     }
     auto& list = retired_[tid];
@@ -103,7 +104,14 @@ class HazardDomain {
   }
 
  private:
-  std::atomic<const void*>& slot_ref(int tid, int slot) {
+  // Each hazard slot is written by exactly one thread (its owner) and read
+  // by every scanning thread; one slot per cache line keeps a thread's
+  // publish/clear traffic from invalidating its neighbours' slots.
+  struct alignas(util::kCacheLineSize) HazardSlot {
+    std::atomic<const void*> ptr{nullptr};
+  };
+
+  HazardSlot& slot_ref(int tid, int slot) {
     ABA_ASSERT(tid >= 0 && tid < max_threads_);
     ABA_ASSERT(slot >= 0 && slot < slots_per_thread_);
     return slots_[static_cast<std::size_t>(tid) * slots_per_thread_ + slot];
@@ -116,7 +124,7 @@ class HazardDomain {
 
   int max_threads_;
   int slots_per_thread_;
-  std::vector<std::atomic<const void*>> slots_;
+  std::vector<HazardSlot> slots_;
   std::vector<std::vector<Retired>> retired_;  // Per-thread; thread-private.
 };
 
@@ -141,11 +149,14 @@ class HpTreiberStack {
   void push(int /*tid*/, T value) {
     Node* node = new Node{std::move(value), head_.load()};
     allocated_.fetch_add(1);
+    util::ExpBackoff backoff;
     while (!head_.compare_exchange_weak(node->next, node)) {
+      backoff();
     }
   }
 
   bool pop(int tid, T& out) {
+    util::ExpBackoff backoff;
     for (;;) {
       Node* node = domain_.protect(tid, 0, head_);
       if (node == nullptr) {
@@ -163,6 +174,7 @@ class HpTreiberStack {
         return true;
       }
       domain_.clear(tid, 0);
+      backoff();
     }
   }
 

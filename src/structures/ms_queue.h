@@ -39,8 +39,8 @@ class MsQueue {
         head_(env, "queue.head", pack(0, 0), sim::BoundSpec::unbounded()),
         tail_(env, "queue.tail", pack(0, 0), sim::BoundSpec::unbounded()),
         free_(n) {
-    ABA_ASSERT(options.index_bits + options.tag_bits <= 64);
-    ABA_ASSERT(1 + static_cast<std::uint64_t>(n) * nodes_per_process <
+    ABA_CHECK(options.index_bits + options.tag_bits <= 64);
+    ABA_CHECK(1 + static_cast<std::uint64_t>(n) * nodes_per_process <
                index_mask());
     const std::size_t pool = 1 + static_cast<std::size_t>(n) * nodes_per_process;
     nodes_.reserve(pool);
@@ -63,10 +63,14 @@ class MsQueue {
     const std::uint64_t old_next = node.next.read();
     node.next.write(pack(null_index(), tag_of(old_next) + 1));
 
+    PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t tail = tail_.read();
       const std::uint64_t tail_next = nodes_[index_of(tail)]->next.read();
-      if (tail != tail_.read()) continue;  // Tail moved under us; re-read.
+      if (tail != tail_.read()) {  // Tail moved under us; re-read.
+        backoff();
+        continue;
+      }
       if (index_of(tail_next) == null_index()) {
         // Tail is the last node: link the new node.
         if (nodes_[index_of(tail)]->next.cas(
@@ -79,15 +83,20 @@ class MsQueue {
         // Tail lags: help swing it.
         tail_.cas(tail, pack(index_of(tail_next), tag_of(tail) + 1));
       }
+      backoff();
     }
   }
 
   std::optional<std::uint64_t> dequeue(int p) {
+    PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t head = head_.read();
       const std::uint64_t tail = tail_.read();
       const std::uint64_t head_next = nodes_[index_of(head)]->next.read();
-      if (head != head_.read()) continue;
+      if (head != head_.read()) {
+        backoff();
+        continue;
+      }
       if (index_of(head) == index_of(tail)) {
         if (index_of(head_next) == null_index()) return std::nullopt;  // Empty.
         // Tail lags behind: help.
@@ -101,6 +110,7 @@ class MsQueue {
         free_[p].push_back(index_of(head));
         return value;
       }
+      backoff();
     }
   }
 

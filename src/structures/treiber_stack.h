@@ -64,7 +64,7 @@ class TaggedCasHead {
       : index_bits_(index_bits),
         tag_bits_(tag_bits),
         head_(env, "head", kNullIndex, sim::BoundSpec::unbounded()) {
-    ABA_ASSERT(index_bits + tag_bits <= 64);
+    ABA_CHECK(index_bits + tag_bits <= 64);
   }
 
   std::uint64_t load(int /*pid*/) { return head_.read(); }
@@ -115,7 +115,7 @@ class TreiberStack {
   TreiberStack(typename P::Env& env, int n, std::unique_ptr<Head> head,
                std::vector<std::deque<std::uint64_t>> initial_free)
       : head_(std::move(head)), free_(std::move(initial_free)) {
-    ABA_ASSERT(static_cast<int>(free_.size()) == n);
+    ABA_CHECK(static_cast<int>(free_.size()) == n);
     std::size_t pool_size = 0;
     for (const auto& list : free_) pool_size += list.size();
     nodes_.reserve(pool_size);
@@ -141,14 +141,17 @@ class TreiberStack {
     free_[p].pop_front();
     Node& node = *nodes_[index];
     node.value.write(value);
+    PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t observed = head_->load(p);
       node.next.write(head_->index_of(observed));
       if (head_->try_swing(p, observed, index + 1)) return true;
+      backoff();
     }
   }
 
   std::optional<std::uint64_t> pop(int p) {
+    PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t observed = head_->load(p);
       const std::uint64_t head_index = head_->index_of(observed);
@@ -160,6 +163,7 @@ class TreiberStack {
         free_[p].push_back(head_index - 1);
         return value;
       }
+      backoff();
     }
   }
 

@@ -1,13 +1,32 @@
-// Lightweight always-on assertion macros.
+// Assertion macros for the paper-invariant checks.
 //
-// The algorithms in this library are reproductions of published pseudo-code
-// whose correctness proofs rely on non-obvious invariants; we keep invariant
-// checks enabled in all build types (they are cheap relative to the shared
-// memory operations they guard) and make failures loud and actionable.
+// Two tiers, CHECK/DCHECK style:
+//
+//   ABA_CHECK / ABA_CHECK_MSG — always on, in every build type. For
+//     one-time configuration validation (constructor arguments, codec
+//     widths): the cost is paid once per object, and proceeding past a
+//     misconfiguration is undefined behavior (shifts >= 64, overlapping
+//     bit-fields), so these must never compile out.
+//
+//   ABA_ASSERT / ABA_ASSERT_MSG — per-operation invariant checks. On in
+//     debug builds; under NDEBUG they compile out entirely (the condition
+//     is NOT evaluated — it stays inside an unevaluated sizeof so it cannot
+//     bit-rot), because the native fast path must not pay a branch per
+//     shared-memory operation for invariants the proofs already discharge.
+//     Defining ABA_FORCE_ASSERTS keeps them on regardless of NDEBUG: the
+//     test suite builds with it, and so do the checking-engine translation
+//     units (simulator, linearizability checker, lower-bound engines),
+//     whose assertions are semantics rather than instrumentation.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+
+#if defined(ABA_FORCE_ASSERTS) || !defined(NDEBUG)
+#define ABA_ASSERTS_ENABLED 1
+#else
+#define ABA_ASSERTS_ENABLED 0
+#endif
 
 namespace aba::util {
 
@@ -20,12 +39,26 @@ namespace aba::util {
 
 }  // namespace aba::util
 
-#define ABA_ASSERT(expr)                                                \
+#define ABA_CHECK(expr)                                                 \
   do {                                                                  \
     if (!(expr)) ::aba::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
   } while (0)
 
-#define ABA_ASSERT_MSG(expr, msg)                                       \
+#define ABA_CHECK_MSG(expr, msg)                                        \
   do {                                                                  \
     if (!(expr)) ::aba::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+#if ABA_ASSERTS_ENABLED
+
+#define ABA_ASSERT(expr) ABA_CHECK(expr)
+#define ABA_ASSERT_MSG(expr, msg) ABA_CHECK_MSG(expr, msg)
+
+#else  // !ABA_ASSERTS_ENABLED
+
+// Compiled out: not evaluated, still type-checked.
+#define ABA_ASSERT(expr) ((void)sizeof((expr) ? 1 : 0))
+#define ABA_ASSERT_MSG(expr, msg) \
+  ((void)sizeof((expr) ? 1 : 0), (void)sizeof(msg))
+
+#endif  // ABA_ASSERTS_ENABLED

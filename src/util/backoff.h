@@ -1,0 +1,76 @@
+// Truncated exponential backoff for CAS retry loops.
+//
+// A failed CAS means another process won the word; immediately retrying
+// turns the retry loop into a coherence-traffic generator that slows the
+// winner down (and, on an oversubscribed machine, can burn the very
+// timeslice the winner needs to make progress). The standard remedy —
+// used by production hazard-pointer and concurrent-container libraries —
+// is to pause for an exponentially growing, truncated number of cpu-relax
+// cycles between attempts, and to yield the timeslice once saturated.
+//
+// Backoff is purely local work: it performs no shared-memory steps, so it
+// never changes an algorithm's step complexity or its linearizability
+// argument; it only reshapes the schedule that real hardware produces.
+// Platforms select a backoff type via PlatformBackoff (core/platform.h):
+// the simulator and the Counted native policy use NullBackoff (schedules
+// there are adversary- or test-controlled and must not be perturbed); the
+// Fast native policy uses ExpBackoff.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace aba::util {
+
+// One spin-wait hint: cheaper than a yield, keeps the core's pipeline from
+// speculating into the retry load.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Truncated exponential backoff. operator() is called after each failed
+// attempt: it spins cpu_relax() `current_spins()` times, then doubles the
+// budget, truncating at max_spins(). Once saturated it additionally yields
+// the timeslice. reset() restores the initial budget (call after a
+// successful attempt if the object is reused across operations).
+class ExpBackoff {
+ public:
+  explicit ExpBackoff(std::uint32_t initial_spins = 4,
+                      std::uint32_t max_spins = 1024)
+      : initial_(initial_spins), max_(max_spins), current_(initial_spins) {}
+
+  void operator()() {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ >= max_) {
+      // Saturated: heavy contention or the winner is descheduled — give the
+      // scheduler a chance to run it.
+      std::this_thread::yield();
+    } else {
+      current_ = current_ * 2 < max_ ? current_ * 2 : max_;
+    }
+  }
+
+  void reset() { current_ = initial_; }
+
+  std::uint32_t current_spins() const { return current_; }
+  std::uint32_t initial_spins() const { return initial_; }
+  std::uint32_t max_spins() const { return max_; }
+
+ private:
+  std::uint32_t initial_;
+  std::uint32_t max_;
+  std::uint32_t current_;
+};
+
+// No-op backoff: compiles to nothing, so instrumented/simulated retry loops
+// are bit-identical to the paper's pseudo-code.
+struct NullBackoff {
+  void operator()() {}
+  void reset() {}
+};
+
+}  // namespace aba::util

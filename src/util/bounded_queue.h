@@ -18,7 +18,7 @@ class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity)
       : buffer_(capacity), capacity_(capacity) {
-    ABA_ASSERT(capacity > 0);
+    ABA_CHECK(capacity > 0);
   }
 
   std::size_t size() const { return size_; }

@@ -135,12 +135,12 @@ class TripleCodec {
         pid_{seq_bits, pid_bits},
         valid_{seq_bits + pid_bits, 1},
         value_{seq_bits + pid_bits + 1, value_bits} {
-    ABA_ASSERT(value_bits + pid_bits + seq_bits + 1 <= 64);
+    ABA_CHECK(value_bits + pid_bits + seq_bits + 1 <= 64);
   }
 
   // Codec for an n-process system: pid in {0..n-1}, seq in {0..2n+1}.
   static TripleCodec for_processes(int n, unsigned value_bits) {
-    ABA_ASSERT(n >= 1);
+    ABA_CHECK(n >= 1);
     return TripleCodec(value_bits, bits_for(static_cast<std::uint64_t>(n) - 1),
                        bits_for(2 * static_cast<std::uint64_t>(n) + 1));
   }
@@ -201,7 +201,7 @@ class PairCodec {
  public:
   PairCodec(unsigned n, unsigned value_bits)
       : n_(n), bits_{0, n}, value_{n, value_bits} {
-    ABA_ASSERT(n >= 1 && n + value_bits <= 64);
+    ABA_CHECK(n >= 1 && n + value_bits <= 64);
   }
 
   std::uint64_t pack(std::uint64_t value, std::uint64_t bits) const {

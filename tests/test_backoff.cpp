@@ -1,0 +1,73 @@
+// Backoff semantics: truncated exponential growth, reset, and the
+// platform-level selection trait.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "core/platform.h"
+#include "native/native_platform.h"
+#include "sim/sim_platform.h"
+#include "util/backoff.h"
+
+namespace aba::testing {
+namespace {
+
+TEST(ExpBackoff, DoublesUntilTruncatedAtMax) {
+  util::ExpBackoff b(/*initial_spins=*/2, /*max_spins=*/16);
+  EXPECT_EQ(b.current_spins(), 2u);
+  b();
+  EXPECT_EQ(b.current_spins(), 4u);
+  b();
+  EXPECT_EQ(b.current_spins(), 8u);
+  b();
+  EXPECT_EQ(b.current_spins(), 16u);
+  // Saturated: stays at max however often it fires.
+  for (int i = 0; i < 10; ++i) b();
+  EXPECT_EQ(b.current_spins(), 16u);
+}
+
+TEST(ExpBackoff, GrowthIsBoundedByMaxForAnyCallCount) {
+  util::ExpBackoff b(/*initial_spins=*/3, /*max_spins=*/100);
+  for (int i = 0; i < 64; ++i) {
+    b();
+    EXPECT_LE(b.current_spins(), 100u);
+    EXPECT_GE(b.current_spins(), 3u);
+  }
+  EXPECT_EQ(b.current_spins(), 100u);  // Truncated, not wrapped.
+}
+
+TEST(ExpBackoff, ResetRestoresInitialBudget) {
+  util::ExpBackoff b(/*initial_spins=*/4, /*max_spins=*/64);
+  b();
+  b();
+  ASSERT_GT(b.current_spins(), 4u);
+  b.reset();
+  EXPECT_EQ(b.current_spins(), 4u);
+  // And growth restarts from the initial budget.
+  b();
+  EXPECT_EQ(b.current_spins(), 8u);
+}
+
+TEST(ExpBackoff, DefaultsAreSane) {
+  util::ExpBackoff b;
+  EXPECT_GE(b.max_spins(), b.initial_spins());
+  EXPECT_EQ(b.current_spins(), b.initial_spins());
+}
+
+TEST(Backoff, PlatformSelection) {
+  // The simulator never backs off (adversary-controlled schedules), the
+  // Counted native policy never backs off (deterministic step counts), and
+  // the Fast native policy uses truncated exponential backoff.
+  static_assert(std::is_same_v<PlatformBackoffT<sim::SimPlatform>,
+                               util::NullBackoff>);
+  static_assert(
+      std::is_same_v<PlatformBackoffT<native::NativePlatform<native::Counted>>,
+                     util::NullBackoff>);
+  static_assert(
+      std::is_same_v<PlatformBackoffT<native::NativePlatform<native::Fast>>,
+                     util::ExpBackoff>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aba::testing

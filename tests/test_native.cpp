@@ -23,14 +23,15 @@
 #include "native/native_platform.h"
 #include "spec/lin_checker.h"
 #include "spec/specs.h"
+#include "util/cacheline.h"
 #include "util/rng.h"
 
 namespace aba::testing {
 namespace {
 
-using NativeP = native::NativePlatform;
+using NativeP = native::NativePlatform<>;
 
-native::NativePlatform::Env g_env;
+native::NativePlatform<>::Env g_env;
 
 // ------------------------------------------------------------ burst checks
 
@@ -302,6 +303,84 @@ TEST(NativeStepCounter, CountsSharedOperations) {
   const std::uint64_t mid = native::step_counter();
   reg.dread(1);
   EXPECT_EQ(native::step_counter() - mid, 4u);
+}
+
+// ------------------------------------------------------ policy equivalence
+
+// Both policies must satisfy the Platform concept, and the Fast policy must
+// actually isolate its words on cache lines.
+static_assert(aba::Platform<native::NativePlatform<native::Counted>>);
+static_assert(aba::Platform<native::NativePlatform<native::Fast>>);
+static_assert(alignof(native::NativePlatform<native::Fast>::Cas) >=
+              util::kCacheLineSize);
+// And the isolated object is exactly one line — the unused bound metadata
+// must not push it to two.
+static_assert(sizeof(native::NativePlatform<native::Fast>::Cas) ==
+              util::kCacheLineSize);
+static_assert(alignof(native::NativePlatform<native::Counted>::Cas) <
+              util::kCacheLineSize);
+
+// Runs a deterministic token-serialized multithreaded LL/SC workload: n real
+// threads, but each operation runs only when the global turn counter hands
+// it the token, so the schedule — and hence every operation's result — is a
+// pure function of (n, rounds). Running the identical schedule on both
+// platform policies must produce identical traces: the Fast policy changes
+// instrumentation, layout and backoff, never results.
+template <class P>
+std::vector<std::uint64_t> tokenized_llsc_trace(int n, int rounds) {
+  typename P::Env env;
+  core::LlscSingleCas<P> obj(
+      env, n,
+      typename core::LlscSingleCas<P>::Options{
+          .value_bits = 16, .initial_value = 0, .initially_linked = true});
+  std::vector<std::uint64_t> trace(static_cast<std::size_t>(n) * rounds, 0);
+  std::atomic<int> turn{0};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      for (int r = 0; r < rounds; ++r) {
+        const int my_step = r * n + pid;
+        while (turn.load() != my_step) std::this_thread::yield();
+        std::uint64_t result = 0;
+        switch ((pid + r) % 3) {
+          case 0:
+            result = obj.ll(pid);
+            break;
+          case 1:
+            result = obj.sc(pid, static_cast<std::uint64_t>(my_step) & 0xFFFF)
+                         ? 1
+                         : 0;
+            break;
+          default:
+            result = obj.vl(pid) ? 1 : 0;
+            break;
+        }
+        trace[static_cast<std::size_t>(my_step)] = result;
+        turn.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return trace;
+}
+
+TEST(NativePolicy, FastMatchesCountedOnLlscWorkload) {
+  using CountedP = native::NativePlatform<native::Counted>;
+  using FastP = native::NativePlatform<native::Fast>;
+  const auto counted = tokenized_llsc_trace<CountedP>(3, 64);
+  const auto fast = tokenized_llsc_trace<FastP>(3, 64);
+  EXPECT_EQ(counted, fast);
+}
+
+TEST(NativePolicy, FastPlatformCountsNoSteps) {
+  using FastP = native::NativePlatform<native::Fast>;
+  FastP::Env env;
+  core::LlscSingleCas<FastP> obj(env, 2, {});
+  const std::uint64_t before = native::step_counter();
+  obj.ll(0);
+  obj.sc(0, 1);
+  obj.vl(0);
+  EXPECT_EQ(native::step_counter(), before);
 }
 
 TEST(NativeStepCounter, Fig3WorstCaseRespected) {

@@ -24,7 +24,7 @@ namespace aba {
 namespace {
 
 using SimP = sim::SimPlatform;
-using NativeP = native::NativePlatform;
+using NativeP = native::NativePlatform<>;
 
 // ------------------------------------------------------------ API concepts
 
