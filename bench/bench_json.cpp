@@ -70,6 +70,7 @@ std::string JsonReport::to_json() const {
     out += "\n    {\"scenario\": \"" + escape_json(r.scenario) +
            "\", \"platform\": \"" + escape_json(r.platform) +
            "\", \"orderings\": \"" + escape_json(r.orderings) +
+           "\", \"reclaimer\": \"" + escape_json(r.reclaimer) +
            "\", \"threads\": " + number(static_cast<std::uint64_t>(r.threads)) +
            ", \"ops\": " + number(r.ops) +
            ", \"seconds\": " + number(r.seconds) +

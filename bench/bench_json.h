@@ -20,6 +20,7 @@ struct JsonRecord {
   std::string scenario;   // e.g. "treiber_stack"
   std::string platform;   // "counted" | "fast"
   std::string orderings;  // "seq_cst" | "acquire_release"
+  std::string reclaimer;  // "tagged" | "leaky" | "hazard" | "epoch" | "none"
   int threads = 0;
   std::uint64_t ops = 0;      // completed operations across all threads
   double seconds = 0.0;       // measured wall time

@@ -1,15 +1,24 @@
 // E8 — Section 1 (applications): lock-free structures under the different
 // ABA regimes, compared natively.
 //
-// Throughput of four stacks under thread contention:
-//   * Treiber + bounded tag (the practice the paper critiques),
+// Since the reclamation rework the regimes are one orthogonal axis
+// (src/reclaim/) instead of bespoke implementations. Stack rows:
+//   * Treiber + bounded tag + immediate reuse (TaggedReclaimer — the
+//     practice the paper critiques),
+//   * the same stack under HazardPointerReclaimer and EpochBasedReclaimer
+//     (deferred reuse: Michael's application-specific answer, and its
+//     cheaper-dereference/weaker-space-bound epoch sibling),
 //   * Treiber + LL/SC head (Moir-style unbounded-tag LL/SC — the object the
 //     paper's constructions provide from bounded primitives),
-//   * Treiber + hazard pointers (Michael's application-specific answer),
+//   * the pointer-based, heap-allocating hazard stack (HpTreiberStack),
 //   * a mutex-guarded stack (the non-lock-free control),
-// plus the Michael-Scott queue. Correctness of each lock-free flavor under
-// interleaving is established separately by the simulator tests (E8 is
-// about relative cost, not correctness).
+// plus the Michael-Scott queue under the tagged and hazard reclaimers.
+// The LeakyReclaimer floor is measured in E9 (bench_throughput_matrix),
+// whose duration-based harness handles its drain-limited cells; a
+// google-benchmark loop would just spin on an exhausted pool.
+//
+// Correctness of each flavor under interleaving is established separately
+// by the simulator tests (E8 is about relative cost, not correctness).
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -17,7 +26,10 @@
 #include "bench_common.h"
 #include "core/llsc_unbounded_tag.h"
 #include "native/native_platform.h"
-#include "structures/hazard_pointers.h"
+#include "reclaim/epoch.h"
+#include "reclaim/hazard_pointer.h"
+#include "reclaim/tagged.h"
+#include "structures/hp_stack.h"
 #include "structures/ms_queue.h"
 #include "structures/treiber_stack.h"
 
@@ -33,14 +45,16 @@ constexpr int kNodesPerThread = 64;
 
 // ---- candidates ----
 
-using TaggedStack =
-    structures::TreiberStack<NativeP, structures::TaggedCasHead<NativeP>>;
+template <class R>
+using ReclaimedStack =
+    structures::TreiberStack<NativeP, structures::TaggedCasHead<NativeP>, R>;
 
-TaggedStack& tagged_stack() {
-  static TaggedStack stack(
+template <class R>
+ReclaimedStack<R>& reclaimed_stack() {
+  static ReclaimedStack<R> stack(
       g_env, kMaxThreads,
       std::make_unique<structures::TaggedCasHead<NativeP>>(g_env, kMaxThreads),
-      TaggedStack::partition(kMaxThreads, kNodesPerThread));
+      ReclaimedStack<R>::partition(kMaxThreads, kNodesPerThread));
   return stack;
 }
 
@@ -92,22 +106,39 @@ MutexStack& mutex_stack() {
   return stack;
 }
 
-structures::MsQueue<NativeP>& ms_queue() {
-  static structures::MsQueue<NativeP> queue(g_env, kMaxThreads, kNodesPerThread);
+template <class R>
+structures::MsQueue<NativeP, R>& ms_queue() {
+  static structures::MsQueue<NativeP, R> queue(g_env, kMaxThreads,
+                                               kNodesPerThread);
   return queue;
 }
 
 // ---- benchmarks: one push+pop pair per iteration ----
 
-void BM_Stack_TaggedCas(benchmark::State& state) {
-  auto& stack = tagged_stack();
+template <class R>
+void BM_Stack_Reclaimed(benchmark::State& state) {
+  auto& stack = reclaimed_stack<R>();
   const int pid = state.thread_index();
   for (auto _ : state) {
     stack.push(pid, 42);
     benchmark::DoNotOptimize(stack.pop(pid));
   }
 }
-BENCHMARK(BM_Stack_TaggedCas)->Threads(1)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_Stack_Reclaimed, reclaim::TaggedReclaimer<NativeP>)
+    ->Name("BM_Stack_TaggedCas")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(BM_Stack_Reclaimed, reclaim::HazardPointerReclaimer<NativeP>)
+    ->Name("BM_Stack_HazardReclaimer")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(BM_Stack_Reclaimed, reclaim::EpochBasedReclaimer<NativeP>)
+    ->Name("BM_Stack_EpochReclaimer")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
 
 void BM_Stack_LlscHead(benchmark::State& state) {
   auto& stack = llsc_stack().stack;
@@ -140,15 +171,25 @@ void BM_Stack_Mutex(benchmark::State& state) {
 }
 BENCHMARK(BM_Stack_Mutex)->Threads(1)->Threads(2)->Threads(4);
 
+template <class R>
 void BM_Queue_MichaelScott(benchmark::State& state) {
-  auto& queue = ms_queue();
+  auto& queue = ms_queue<R>();
   const int pid = state.thread_index();
   for (auto _ : state) {
     queue.enqueue(pid, 42);
     benchmark::DoNotOptimize(queue.dequeue(pid));
   }
 }
-BENCHMARK(BM_Queue_MichaelScott)->Threads(1)->Threads(2)->Threads(4);
+BENCHMARK_TEMPLATE(BM_Queue_MichaelScott, reclaim::TaggedReclaimer<NativeP>)
+    ->Name("BM_Queue_MichaelScott")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(BM_Queue_MichaelScott, reclaim::HazardPointerReclaimer<NativeP>)
+    ->Name("BM_Queue_MichaelScott_Hazard")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
 
 }  // namespace
 
@@ -157,12 +198,17 @@ int main(int argc, char** argv) {
                 "Lock-free structures under the ABA-protection regimes "
                 "(native throughput)");
   bench::note(
-      "Stacks: bounded-tag CAS head vs LL/SC head vs hazard pointers vs\n"
-      "mutex; plus the Michael-Scott queue. Expected shape: all lock-free\n"
-      "flavors are within a small factor of each other; the LL/SC head pays\n"
-      "its extra link/validate steps; hazard pointers pay publish+fence; the\n"
-      "mutex collapses under contention on multicore machines (on a 1-core\n"
-      "host the gap narrows since there is no true parallelism).");
+      "Stacks: bounded-tag CAS head under the tagged/hazard/epoch reclaimers\n"
+      "(one orthogonal axis, src/reclaim/), vs LL/SC head, pointer-based\n"
+      "hazard pointers, and a mutex; plus the Michael-Scott queue under the\n"
+      "tagged and hazard reclaimers. Expected shape: all lock-free flavors\n"
+      "are within a small factor of each other; the LL/SC head pays its\n"
+      "extra link/validate steps; hazard pays publish+revalidate per\n"
+      "dereference; epoch pays one announce per op and amortized advance\n"
+      "scans; the mutex collapses under contention on multicore machines\n"
+      "(on a 1-core host the gap narrows since there is no true\n"
+      "parallelism). The leaky floor lives in E9, whose duration-based\n"
+      "harness handles drain-limited cells.");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

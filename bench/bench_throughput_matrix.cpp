@@ -2,29 +2,52 @@
 // NativePlatform<Fast> throughput across the repository's contended objects,
 // swept over thread counts, written to BENCH_native.json.
 //
-// Four scenarios, each exercised by real threads hammering one shared
-// object (the object an algorithm's proofs are about):
-//   llsc_single_cas — Figure 3 LL;SC pairs on the single CAS word;
-//   aba_register    — Figure 4 DWrite/DRead mix on X plus the announce array;
-//   treiber_stack   — push;pop pairs through a bounded-tag CAS head;
-//   ms_queue        — enqueue;dequeue pairs on Michael-Scott head/tail.
+// Two scenario families, each exercised by real threads hammering one
+// shared object (the object an algorithm's proofs are about):
+//
+//   core objects (reclaimer = "none"):
+//     llsc_single_cas — Figure 3 LL;SC pairs on the single CAS word;
+//     aba_register    — Figure 4 DWrite/DRead mix on X plus the announce
+//                       array;
+//
+//   structures × reclamation policy (reclaimer = tagged|leaky|hazard|epoch,
+//   the src/reclaim/ axis — relative cost of each ABA answer):
+//     treiber_stack         — push;pop pairs through a bounded-tag CAS head;
+//     ms_queue              — enqueue;dequeue pairs on Michael-Scott
+//                             head/tail;
+//     treiber_stack_90_10   — read-heavy mix: 90% pops / 10% pushes, so the
+//                             stack is empty most of the time and the
+//                             common case is the head-read fast path (what
+//                             a guard-per-dereference policy taxes most);
+//     treiber_stack_oversub — push;pop pairs with 4× hardware_concurrency
+//                             threads: preemption mid-operation, the regime
+//                             where backoff yields and stalled readers
+//                             (epoch's weakness) actually happen.
+//
+// Leaky cells are drain-limited: the pool is finite and never refills, so a
+// worker that can no longer make useful progress exits and the cell records
+// the ops and seconds actually measured (the no-reclamation throughput
+// floor, while it lasts).
 //
 // Both sides run the *identical* algorithm templates; the fast side drops
 // instrumentation (step counting + bound checks), isolates cache lines and
-// backs off on contended CAS. Memory orderings are chosen per scenario by
-// its documented soundness argument (see native_platform.h): the
-// single-word LL/SC and the publication-shaped structures run on
-// FastRelaxed (acquire/release, always sound for them); the Figure 4
-// announce-array register needs seq_cst's cross-word total order, so its
-// fast cells use the Fast policy, whose orderings follow the
+// backs off on contended CAS. Memory orderings are chosen per cell by its
+// documented soundness argument (see native_platform.h): the single-word
+// LL/SC and the structures under the guard-free tagged/leaky reclaimers
+// run on FastRelaxed (acquire/release, always sound for them); every
+// StoreLoad-shaped protocol — the Figure 4 announce-array register, and
+// the hazard/epoch reclaimers (guard publish → revalidation read, epoch
+// announce → global re-read) — needs seq_cst's cross-word ordering, so
+// those fast cells use the Fast policy, whose orderings follow the
 // ABA_RELAXED_ORDERINGS build option (seq_cst by default). Every JSON
-// record carries the orderings that produced it. The counted-vs-fast delta
-// is what subsequent PRs regress against.
+// record carries the orderings and reclaimer that produced it. The
+// counted-vs-fast delta is what subsequent PRs regress against.
 //
 // Flags (google-benchmark-compatible where it matters for CI):
 //   --benchmark_min_time=SECONDS  per-cell measurement time (default 0.2)
 //   --out=PATH                    output JSON path (default BENCH_native.json)
 //   --threads=1,2,4               thread counts to sweep
+//   --reclaimers=tagged,epoch     reclamation policies to sweep (default all)
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -40,6 +63,10 @@
 #include "core/aba_register_bounded.h"
 #include "core/llsc_single_cas.h"
 #include "native/native_platform.h"
+#include "reclaim/epoch.h"
+#include "reclaim/hazard_pointer.h"
+#include "reclaim/leaky.h"
+#include "reclaim/tagged.h"
 #include "structures/ms_queue.h"
 #include "structures/treiber_stack.h"
 
@@ -59,14 +86,22 @@ struct Cell {
 };
 
 // Runs n threads for ~min_seconds. make_worker(pid) returns a callable that
-// performs one small batch of operations and returns the batch's op count;
-// workers loop batches until the stop flag flips. Duration-based (rather
-// than fixed-count) measurement keeps every cell comparable even when the
-// two policies differ several-fold in speed.
+// performs one small batch of operations and returns the batch's completed
+// op count; workers loop batches until the stop flag flips, or exit early
+// when a batch reports no useful work (a drained leaky pool). Duration-based
+// (rather than fixed-count) measurement keeps every cell comparable even
+// when the two policies differ several-fold in speed.
 template <class MakeWorker>
 Cell measure(int n, double min_seconds, MakeWorker make_worker) {
   std::atomic<bool> stop{false};
+  std::atomic<int> done{0};
   std::vector<std::uint64_t> ops(static_cast<std::size_t>(n), 0);
+  // Each worker times itself and the cell reports the makespan (longest
+  // worker duration): on an oversubscribed or 1-core host a fast-draining
+  // worker can finish before the coordinating thread is even scheduled
+  // again, so coordinator-side timestamps would wildly inflate the rate of
+  // drain-limited (leaky) cells.
+  std::vector<double> seconds(static_cast<std::size_t>(n), 0.0);
   std::barrier sync(n + 1);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
@@ -74,24 +109,37 @@ Cell measure(int n, double min_seconds, MakeWorker make_worker) {
     threads.emplace_back([&, pid] {
       auto work = make_worker(pid);
       sync.arrive_and_wait();
+      const auto start = std::chrono::steady_clock::now();
       std::uint64_t count = 0;
-      while (!stop.load(std::memory_order_relaxed)) count += work();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t did = work();
+        if (did == 0) break;  // No useful work left (drained pool).
+        count += did;
+      }
+      const auto end = std::chrono::steady_clock::now();
       ops[static_cast<std::size_t>(pid)] = count;
+      seconds[static_cast<std::size_t>(pid)] =
+          std::chrono::duration<double>(end - start).count();
+      done.fetch_add(1);
     });
   }
   sync.arrive_and_wait();
-  const auto t0 = std::chrono::steady_clock::now();
-  std::this_thread::sleep_for(std::chrono::duration<double>(min_seconds));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(min_seconds);
+  while (done.load() < n && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
   stop.store(true);
   for (auto& t : threads) t.join();
-  const auto t1 = std::chrono::steady_clock::now();
   Cell cell;
   for (const auto c : ops) cell.ops += c;
-  cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto s : seconds) cell.seconds = cell.seconds > s ? cell.seconds : s;
   return cell;
 }
 
 constexpr int kBatch = 64;
+
+// --------------------------------------------- core objects (no reclaimer)
 
 template <class P>
 Cell run_llsc(int n, double secs) {
@@ -127,80 +175,187 @@ Cell run_aba_register(int n, double secs) {
   });
 }
 
-template <class P>
+// ------------------------------------- structures × reclamation policies
+
+// Pool sizing: deferred-reuse policies keep a bounded backlog, so a modest
+// pool suffices; the leaky policy consumes one node per push forever, so it
+// gets a large (but bounded) budget and its cells end at drain. Either way
+// the total pool must fit the structures' 16-bit index fields, even at the
+// oversubscribed thread counts.
+template <class R>
+int pool_per_thread(int n) {
+  const int budget = std::strcmp(R::kName, "leaky") == 0 ? (1 << 13) : 256;
+  const int index_space_cap = 60000 / n;
+  return budget < index_space_cap ? budget : index_space_cap;
+}
+
+template <class P, class R>
 Cell run_treiber_stack(int n, double secs) {
   using Head = structures::TaggedCasHead<P>;
-  using Stack = structures::TreiberStack<P, Head>;
+  using Stack = structures::TreiberStack<P, Head, R>;
   typename P::Env env;
   Stack stack(env, n, std::make_unique<Head>(env, n),
-              Stack::partition(n, /*per_process=*/64));
+              Stack::partition(n, pool_per_thread<R>(n)));
   return measure(n, secs, [&](int pid) {
     return [&stack, pid, v = std::uint64_t{0}]() mutable {
+      std::uint64_t completed = 0;
+      bool useful = false;
       for (int i = 0; i < kBatch; ++i) {
-        // push;pop pairs keep the pool balanced; if this process's free
-        // list drained (its nodes were popped by others), pop to refill.
-        if (!stack.push(pid, v++)) stack.pop(pid);
-        stack.pop(pid);
+        // push;pop pairs keep the pool balanced; if this thread's free
+        // list drained (its nodes were popped by others, or leaked), pop
+        // to keep making progress.
+        if (stack.push(pid, v++)) {
+          ++completed;
+          useful = true;
+        } else if (stack.pop(pid).has_value()) {
+          ++completed;
+          useful = true;
+        }
+        ++completed;  // The paired pop below always completes as an op.
+        if (stack.pop(pid).has_value()) useful = true;
       }
-      return std::uint64_t{2 * kBatch};
+      return useful ? completed : 0;
     };
   });
 }
 
-template <class P>
-Cell run_ms_queue(int n, double secs) {
+template <class P, class R>
+Cell run_treiber_stack_90_10(int n, double secs) {
+  using Head = structures::TaggedCasHead<P>;
+  using Stack = structures::TreiberStack<P, Head, R>;
   typename P::Env env;
-  structures::MsQueue<P> queue(env, n, /*nodes_per_process=*/64);
+  Stack stack(env, n, std::make_unique<Head>(env, n),
+              Stack::partition(n, pool_per_thread<R>(n)));
   return measure(n, secs, [&](int pid) {
-    return [&queue, pid, v = std::uint64_t{0}]() mutable {
+    return [&stack, pid, v = std::uint64_t{0}]() mutable {
+      std::uint64_t completed = 0;
+      bool useful = false;
       for (int i = 0; i < kBatch; ++i) {
-        if (!queue.enqueue(pid, v++)) queue.dequeue(pid);
-        queue.dequeue(pid);
+        if (i % 10 == 0) {
+          if (stack.push(pid, v++)) useful = true;
+          ++completed;
+        } else {
+          // Mostly pops against a mostly-empty stack: the read-dominated
+          // common case (head load, no CAS).
+          if (stack.pop(pid).has_value()) useful = true;
+          ++completed;
+        }
       }
-      return std::uint64_t{2 * kBatch};
+      return useful ? completed : 0;
     };
   });
+}
+
+template <class P, class R>
+Cell run_ms_queue(int n, double secs) {
+  using Queue = structures::MsQueue<P, R>;
+  typename P::Env env;
+  Queue queue(env, n, pool_per_thread<R>(n));
+  return measure(n, secs, [&](int pid) {
+    return [&queue, pid, v = std::uint64_t{0}]() mutable {
+      std::uint64_t completed = 0;
+      bool useful = false;
+      for (int i = 0; i < kBatch; ++i) {
+        if (queue.enqueue(pid, v++)) {
+          ++completed;
+          useful = true;
+        } else if (queue.dequeue(pid).has_value()) {
+          ++completed;
+          useful = true;
+        }
+        ++completed;
+        if (queue.dequeue(pid).has_value()) useful = true;
+      }
+      return useful ? completed : 0;
+    };
+  });
+}
+
+// ------------------------------------------------------------ the matrix
+
+int oversub_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw == 0 ? 8 : 4 * hw);
+}
+
+struct MatrixConfig {
+  std::vector<int> thread_counts;
+  std::vector<std::string> reclaimers;
+  double secs = 0.2;
+};
+
+bool wants(const MatrixConfig& config, const char* reclaimer) {
+  for (const auto& r : config.reclaimers) {
+    if (r == reclaimer) return true;
+  }
+  return false;
+}
+
+void emit(bench::JsonReport& report, const char* scenario, const char* label,
+          const char* orderings, const char* reclaimer, int n,
+          const Cell& cell) {
+  const double rate =
+      cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
+  report.add(bench::JsonRecord{scenario, label, orderings, reclaimer, n,
+                               cell.ops, cell.seconds, rate});
+  std::printf("  %-22s %-8s %-7s threads=%-3d %-15s %12.0f ops/s\n", scenario,
+              label, reclaimer, n, orderings, rate);
+  std::fflush(stdout);
+}
+
+// One reclaimer column of one platform side.
+template <class P, class R>
+void run_reclaim_column(const char* label, const char* orderings,
+                        const MatrixConfig& config, bench::JsonReport& report) {
+  if (!wants(config, R::kName)) return;
+  for (const int n : config.thread_counts) {
+    emit(report, "treiber_stack", label, orderings, R::kName, n,
+         run_treiber_stack<P, R>(n, config.secs));
+    emit(report, "ms_queue", label, orderings, R::kName, n,
+         run_ms_queue<P, R>(n, config.secs));
+    emit(report, "treiber_stack_90_10", label, orderings, R::kName, n,
+         run_treiber_stack_90_10<P, R>(n, config.secs));
+  }
+  const int oversub = oversub_threads();
+  emit(report, "treiber_stack_oversub", label, orderings, R::kName, oversub,
+       run_treiber_stack<P, R>(oversub, config.secs));
 }
 
 // One side of the matrix. Policies are per scenario: LlscPolicy for the
-// single-word LL/SC, AbaPolicy for the Figure 4 register, StructPolicy for
-// the stack/queue (see the orderings note in the header comment).
-template <class LlscPolicy, class AbaPolicy, class StructPolicy>
-void run_side(const char* label, const std::vector<int>& thread_counts,
-              double secs, bench::JsonReport& report) {
-  struct Scenario {
-    const char* name;
-    Cell (*run)(int, double);
-    const char* orderings;
-  };
-  const Scenario scenarios[] = {
-      {"llsc_single_cas", &run_llsc<native::NativePlatform<LlscPolicy>>,
-       orderings_label<LlscPolicy>()},
-      {"aba_register", &run_aba_register<native::NativePlatform<AbaPolicy>>,
-       orderings_label<AbaPolicy>()},
-      {"treiber_stack", &run_treiber_stack<native::NativePlatform<StructPolicy>>,
-       orderings_label<StructPolicy>()},
-      {"ms_queue", &run_ms_queue<native::NativePlatform<StructPolicy>>,
-       orderings_label<StructPolicy>()},
-  };
-  for (const auto& scenario : scenarios) {
-    for (const int n : thread_counts) {
-      const Cell cell = scenario.run(n, secs);
-      const double rate =
-          cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
-      report.add(bench::JsonRecord{scenario.name, label, scenario.orderings, n,
-                                   cell.ops, cell.seconds, rate});
-      std::printf("  %-16s %-8s threads=%d  %-15s %12.0f ops/s\n",
-                  scenario.name, label, n, scenario.orderings, rate);
-      std::fflush(stdout);
-    }
+// single-word LL/SC, SeqCstPolicy for every construction whose protocol
+// contains a StoreLoad pattern — the Figure 4 announce-array register AND
+// the hazard/epoch reclaimers (guard publish → source revalidation, epoch
+// announce → global re-read), which acquire/release cannot order —
+// StructPolicy for the structures under the guard-free reclaimers (see the
+// orderings note in the header comment and in the reclaimer headers).
+template <class LlscPolicy, class SeqCstPolicy, class StructPolicy>
+void run_side(const char* label, const MatrixConfig& config,
+              bench::JsonReport& report) {
+  using LlscP = native::NativePlatform<LlscPolicy>;
+  using SeqCstP = native::NativePlatform<SeqCstPolicy>;
+  using StructP = native::NativePlatform<StructPolicy>;
+  for (const int n : config.thread_counts) {
+    emit(report, "llsc_single_cas", label, orderings_label<LlscPolicy>(),
+         "none", n, run_llsc<LlscP>(n, config.secs));
+    emit(report, "aba_register", label, orderings_label<SeqCstPolicy>(), "none",
+         n, run_aba_register<SeqCstP>(n, config.secs));
   }
+  run_reclaim_column<StructP, reclaim::TaggedReclaimer<StructP>>(
+      label, orderings_label<StructPolicy>(), config, report);
+  run_reclaim_column<StructP, reclaim::LeakyReclaimer<StructP>>(
+      label, orderings_label<StructPolicy>(), config, report);
+  run_reclaim_column<SeqCstP, reclaim::HazardPointerReclaimer<SeqCstP>>(
+      label, orderings_label<SeqCstPolicy>(), config, report);
+  run_reclaim_column<SeqCstP, reclaim::EpochBasedReclaimer<SeqCstP>>(
+      label, orderings_label<SeqCstPolicy>(), config, report);
 }
 
 double find_rate(const bench::JsonReport& report, const std::string& scenario,
-                 const std::string& platform, int threads) {
+                 const std::string& platform, const std::string& reclaimer,
+                 int threads) {
   for (const auto& r : report.records()) {
-    if (r.scenario == scenario && r.platform == platform && r.threads == threads) {
+    if (r.scenario == scenario && r.platform == platform &&
+        r.reclaimer == reclaimer && r.threads == threads) {
       return r.ops_per_sec;
     }
   }
@@ -223,27 +378,54 @@ std::vector<int> parse_threads(const std::string& csv) {
   return out;
 }
 
+std::vector<std::string> parse_reclaimers(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos
+                                                ? std::string::npos
+                                                : comma - pos);
+    if (tok == "tagged" || tok == "leaky" || tok == "hazard" || tok == "epoch") {
+      out.push_back(tok);
+    } else if (!tok.empty()) {
+      std::fprintf(stderr, "unknown reclaimer '%s' (want tagged|leaky|hazard|epoch)\n",
+                   tok.c_str());
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  double min_seconds = 0.2;
+  MatrixConfig config;
+  config.thread_counts = {1, 2, 4};
+  config.reclaimers = {"tagged", "leaky", "hazard", "epoch"};
   std::string out_path = "BENCH_native.json";
-  std::vector<int> thread_counts = {1, 2, 4};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--benchmark_min_time=", 0) == 0) {
       // Accepts google-benchmark spellings "0.01" and "0.01s".
-      min_seconds = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
-      if (min_seconds <= 0) min_seconds = 0.01;
+      config.secs = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
+      if (config.secs <= 0) config.secs = 0.01;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(std::strlen("--out="));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      thread_counts = parse_threads(arg.substr(std::strlen("--threads=")));
-      if (thread_counts.empty()) thread_counts = {1, 2, 4};
+      config.thread_counts = parse_threads(arg.substr(std::strlen("--threads=")));
+      if (config.thread_counts.empty()) config.thread_counts = {1, 2, 4};
+    } else if (arg.rfind("--reclaimers=", 0) == 0) {
+      config.reclaimers = parse_reclaimers(arg.substr(std::strlen("--reclaimers=")));
+      if (config.reclaimers.empty()) {
+        std::fprintf(stderr, "no valid reclaimers selected\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
-                   "[--threads=1,2,4]\n",
+                   "[--threads=1,2,4] [--reclaimers=tagged,leaky,hazard,epoch]\n",
                    argv[0]);
       return 2;
     }
@@ -252,7 +434,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("native_throughput_matrix");
   report.add_context("hardware_concurrency",
                      std::to_string(std::thread::hardware_concurrency()));
-  report.add_context("min_seconds_per_cell", std::to_string(min_seconds));
+  report.add_context("min_seconds_per_cell", std::to_string(config.secs));
+  report.add_context("oversub_threads", std::to_string(oversub_threads()));
 #ifdef ABA_RELAXED_ORDERINGS
   report.add_context("relaxed_orderings_option", "on");
 #else
@@ -264,20 +447,32 @@ int main(int argc, char** argv) {
   report.add_context("build", "debug");
 #endif
 
-  std::printf("E9  native throughput matrix (counted vs fast)\n");
-  run_side<native::Counted, native::Counted, native::Counted>(
-      "counted", thread_counts, min_seconds, report);
+  std::printf("E9  native throughput matrix (counted vs fast × reclaimers)\n");
+  run_side<native::Counted, native::Counted, native::Counted>("counted", config,
+                                                              report);
   run_side<native::FastRelaxed, native::Fast, native::FastRelaxed>(
-      "fast", thread_counts, min_seconds, report);
+      "fast", config, report);
 
   std::printf("\n  fast/counted speedup:\n");
-  for (const char* scenario :
-       {"llsc_single_cas", "aba_register", "treiber_stack", "ms_queue"}) {
-    for (const int n : thread_counts) {
-      const double counted = find_rate(report, scenario, "counted", n);
-      const double fast = find_rate(report, scenario, "fast", n);
+  for (const char* scenario : {"llsc_single_cas", "aba_register"}) {
+    for (const int n : config.thread_counts) {
+      const double counted = find_rate(report, scenario, "counted", "none", n);
+      const double fast = find_rate(report, scenario, "fast", "none", n);
       if (counted > 0) {
-        std::printf("  %-16s threads=%d  %.2fx\n", scenario, n, fast / counted);
+        std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario, "none", n,
+                    fast / counted);
+      }
+    }
+  }
+  for (const char* scenario : {"treiber_stack", "ms_queue", "treiber_stack_90_10"}) {
+    for (const auto& reclaimer : config.reclaimers) {
+      for (const int n : config.thread_counts) {
+        const double counted = find_rate(report, scenario, "counted", reclaimer, n);
+        const double fast = find_rate(report, scenario, "fast", reclaimer, n);
+        if (counted > 0) {
+          std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario,
+                      reclaimer.c_str(), n, fast / counted);
+        }
       }
     }
   }

@@ -3,6 +3,12 @@
 // Each adapter owns the implementation instance and translates WorkloadOps
 // into method invocations on the owning SimWorld, recording invocation and
 // response events (with SimWorld logical-clock timestamps) into the History.
+//
+// make_factory<InvokerT>(...) packages the adapter + implementation pair as
+// a FixtureFactory, which is what lets the test suite sweep one workload
+// across a whole axis of implementations — in particular every
+// (head policy × reclamation policy) combination of the structures layer —
+// without a bespoke factory lambda per combination.
 #pragma once
 
 #include <memory>
@@ -175,5 +181,19 @@ class QueueInvoker : public Invoker {
   spec::History& history_;
   std::unique_ptr<Impl> impl_;
 };
+
+// Builds a FixtureFactory for any Impl constructible from
+// (SimWorld&, int n, Args...), wired through the given Invoker template
+// (StackInvoker, QueueInvoker, ...). Args are captured by value and must be
+// copyable; the factory can be invoked repeatedly (each model-checker
+// replay constructs a fresh Impl).
+template <template <class> class InvokerT, class Impl, class... Args>
+FixtureFactory make_factory(int n, Args... args) {
+  return [n, args...](sim::SimWorld& world,
+                      spec::History& history) -> std::unique_ptr<Invoker> {
+    return std::make_unique<InvokerT<Impl>>(
+        world, history, std::make_unique<Impl>(world, n, args...));
+  };
+}
 
 }  // namespace aba::harness

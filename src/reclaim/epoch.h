@@ -1,0 +1,180 @@
+// EpochBasedReclaimer — epoch-based reclamation (Fraser-style EBR) over the
+// index pool.
+//
+// One global epoch counter (a WritableCas) plus one announcement register
+// per process. begin_op(p) reads the global epoch and announces it,
+// validating that the epoch did not move past the announcement (see the
+// method comment); end_op(p) announces quiescence. No per-dereference
+// guards: an op pins *every* node reachable during its region at once,
+// which is the whole appeal — dereference is free, and retire is one
+// shared read plus thread-private work (the index appended to a limbo list
+// stamped with the current global epoch). The epoch advances from e to e+1
+// only when every non-quiescent announcement equals e, so once the global
+// epoch reaches s+2 no active region can still hold a node stamped s —
+// that is the classic two-epoch grace period under which limbo nodes flow
+// back to the free list.
+//
+// Per-thread announcements are one shared register each; under the native
+// Fast policy every platform word is cache-line padded, so announcements
+// never false-share (the util/cacheline.h idiom — the thread-private
+// bookkeeping below is padded the same way). Note the announce protocol is
+// a StoreLoad pattern (write the announcement, then read the global
+// epoch): on native platforms it needs seq_cst orderings, like the
+// Figure 4 register — run it on Counted or Fast, not FastRelaxed (E9's
+// matrix makes exactly that carve-out).
+//
+// The dual weakness, measured by the retire-bound stress test: one stalled
+// reader freezes the epoch and makes *system-wide* unreclaimed garbage
+// unbounded, where hazard pointers bound it by the slot count. The paper's
+// lens: epochs answer ABA like tags with an unbounded tag you only advance
+// when it is provably safe — immune like LL/SC, but at the cost of
+// unbounded space under stalls (exactly the bounded-vs-unbounded tension
+// Theorem 1 is about).
+//
+// Contract: allocate(p) must be called *outside* p's begin_op/end_op
+// region — a process cannot advance the epoch past its own stale
+// announcement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/platform.h"
+#include "reclaim/reclaimer.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+
+namespace aba::reclaim {
+
+template <Platform P>
+class EpochBasedReclaimer {
+ public:
+  static constexpr const char* kName = "epoch";
+  static constexpr bool kNeedsGuard = false;
+  // Retires between advance attempts: amortizes the O(n) announcement scan.
+  static constexpr std::size_t kAdvanceEvery = 4;
+
+  EpochBasedReclaimer(typename P::Env& env, int n, FreeLists initial_free)
+      : n_(n),
+        global_(env, "epoch.global", 0, sim::BoundSpec::unbounded()),
+        procs_(static_cast<std::size_t>(n)) {
+    ABA_CHECK(static_cast<int>(initial_free.size()) == n);
+    for (int p = 0; p < n; ++p) {
+      procs_[p].free = std::move(initial_free[p]);
+      pool_size_ += procs_[p].free.size();
+    }
+    announce_.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      announce_.push_back(std::make_unique<typename P::Register>(
+          env, "epoch.announce", kQuiescent, sim::BoundSpec::unbounded()));
+    }
+  }
+
+  // Announce-then-validate: after writing the announcement we re-read the
+  // global epoch and retry until it matches. Without the validation a
+  // process that stalls between reading the epoch and publishing it could
+  // announce an arbitrarily stale value — the epoch would meanwhile have
+  // advanced past it, collapsing the grace period for nodes other readers
+  // still hold. With it, once begin_op returns the global epoch can be at
+  // most announce+1 for as long as this region is active (the advance rule
+  // vetoes anything further), which is what the reuse bound relies on.
+  void begin_op(int p) {
+    for (;;) {
+      const std::uint64_t e = global_.read();
+      announce_[p]->write(e);
+      if (global_.read() == e) return;
+    }
+  }
+
+  void guard(int /*p*/, int /*slot*/, std::uint64_t /*idx*/) {}
+
+  void end_op(int p) { announce_[p]->write(kQuiescent); }
+
+  std::optional<std::uint64_t> allocate(int p) {
+    auto& free = procs_[p].free;
+    if (free.empty()) {
+      // Pool pressure: a fresh retiree needs two advances to mature, so try
+      // up to two advance+flush rounds before reporting exhaustion.
+      for (int round = 0; round < 2 && free.empty(); ++round) {
+        flush(p, try_advance());
+      }
+    }
+    if (free.empty()) return std::nullopt;
+    const std::uint64_t idx = free.front();
+    free.pop_front();
+    return idx;
+  }
+
+  // Stamps the node with the global epoch read *now* (one shared read per
+  // retire), not with the retiring region's announced epoch: a concurrent
+  // reader may have announced one epoch later than the retirer and still
+  // hold a pre-unlink snapshot of this node, and the begin-time stamp
+  // would let the node mature while that reader is active. With the
+  // retire-time stamp g, every reader that can hold the node announced
+  // a ≤ g, and the epoch cannot pass a+1 ≤ g+1 < g+2 while it is active.
+  void retire(int p, std::uint64_t idx) {
+    procs_[p].limbo.push_back(Limbo{idx, global_.read()});
+    if (++procs_[p].retires_since_advance >= kAdvanceEvery) {
+      procs_[p].retires_since_advance = 0;
+      flush(p, try_advance());
+    }
+  }
+
+  // Attempts one epoch advance; returns the freshest global epoch known.
+  // Advance succeeds only when every announcement is quiescent or current —
+  // a single stale reader (announcement < e) vetoes it.
+  std::uint64_t try_advance() {
+    const std::uint64_t e = global_.read();
+    for (int q = 0; q < n_; ++q) {
+      const std::uint64_t a = announce_[q]->read();
+      if (a != kQuiescent && a != e) return e;
+    }
+    // CAS, not write: concurrent advancers must bump at most once from e.
+    return global_.cas(e, e + 1) ? e + 1 : e;
+  }
+
+  // Moves p's matured limbo nodes (stamped ≤ epoch − 2) to the free list.
+  void flush(int p, std::uint64_t epoch) {
+    auto& limbo = procs_[p].limbo;
+    while (!limbo.empty() && limbo.front().epoch + 2 <= epoch) {
+      procs_[p].free.push_back(limbo.front().index);
+      limbo.pop_front();
+    }
+  }
+
+  std::uint64_t global_epoch() { return global_.read(); }
+  std::size_t pool_size() const { return pool_size_; }
+  std::size_t unreclaimed(int p) const { return procs_[p].limbo.size(); }
+  std::size_t free_count(int p) const { return procs_[p].free.size(); }
+
+ private:
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  struct Limbo {
+    std::uint64_t index;
+    std::uint64_t epoch;  // Global epoch at retire time.
+  };
+
+  // Thread-private bookkeeping, one cache line per process so the limbo/
+  // free container headers touched on every retire/allocate never
+  // false-share between processes.
+  struct alignas(util::kCacheLineSize) PerProcess {
+    std::deque<std::uint64_t> free;
+    std::deque<Limbo> limbo;
+    std::size_t retires_since_advance = 0;
+  };
+
+  int n_;
+  typename P::WritableCas global_;
+  // unique_ptr: platform objects are immovable; Fast pads each to a line.
+  std::vector<std::unique_ptr<typename P::Register>> announce_;
+  std::vector<PerProcess> procs_;
+  std::size_t pool_size_ = 0;
+};
+
+}  // namespace aba::reclaim

@@ -1,17 +1,20 @@
-// Hazard pointers (Michael [20, 21]) — the application-specific memory-
-// reclamation answer to the ABA problem that the paper contrasts with its
-// methodological ABA-detecting-register approach.
+// HazardDomain — pointer-based hazard pointers (Michael [20, 21]) for
+// native heap-allocated structures.
 //
-// A fixed domain of per-thread hazard slots; readers publish the pointer
-// they are about to dereference, then re-validate the source; retiring
-// threads defer reclamation until no slot holds the pointer. This prevents
-// both use-after-free and the pointer-recycling ABA: a node cannot be
-// recycled (and hence cannot reappear under the same address) while a
-// hazard pointer pins it.
+// This is the application-specific memory-reclamation answer to the ABA
+// problem that the paper contrasts with its methodological ABA-detecting-
+// register approach. A fixed domain of per-thread hazard slots; readers
+// publish the pointer they are about to dereference, then re-validate the
+// source; retiring threads defer reclamation until no slot holds the
+// pointer. This prevents both use-after-free and the pointer-recycling ABA:
+// a node cannot be recycled (and hence cannot reappear under the same
+// address) while a hazard pointer pins it.
 //
-// Native-only (std::atomic, seq_cst): this module exists for the
-// application-level comparison benches and stress tests, not for the
-// simulator-based proofs.
+// Native-only (std::atomic, seq_cst): this type serves the heap-allocating
+// HpTreiberStack (structures/hp_stack.h) used by the application-level
+// comparison benches and stress tests. The platform-generic, index-based
+// variant that the simulator proofs and the reclaimer sweeps use is
+// HazardPointerReclaimer (reclaim/hazard_pointer.h).
 #pragma once
 
 #include <atomic>
@@ -23,7 +26,7 @@
 #include "util/backoff.h"
 #include "util/cacheline.h"
 
-namespace aba::structures {
+namespace aba::reclaim {
 
 class HazardDomain {
  public:
@@ -128,72 +131,4 @@ class HazardDomain {
   std::vector<std::vector<Retired>> retired_;  // Per-thread; thread-private.
 };
 
-// A pointer-based Treiber stack protected by hazard pointers: pop pins the
-// head node before reading head->next, so a concurrent pop/push cycle can
-// neither free the node under us nor recycle it into an ABA.
-template <class T>
-class HpTreiberStack {
- public:
-  explicit HpTreiberStack(int max_threads)
-      : domain_(max_threads, /*slots_per_thread=*/1) {}
-
-  ~HpTreiberStack() {
-    Node* node = head_.load();
-    while (node != nullptr) {
-      Node* next = node->next;
-      delete node;
-      node = next;
-    }
-  }
-
-  void push(int /*tid*/, T value) {
-    Node* node = new Node{std::move(value), head_.load()};
-    allocated_.fetch_add(1);
-    util::ExpBackoff backoff;
-    while (!head_.compare_exchange_weak(node->next, node)) {
-      backoff();
-    }
-  }
-
-  bool pop(int tid, T& out) {
-    util::ExpBackoff backoff;
-    for (;;) {
-      Node* node = domain_.protect(tid, 0, head_);
-      if (node == nullptr) {
-        domain_.clear(tid, 0);
-        return false;
-      }
-      Node* next = node->next;  // Safe: node is pinned.
-      if (head_.compare_exchange_strong(node, next)) {
-        out = std::move(node->value);
-        domain_.clear(tid, 0);
-        domain_.retire(tid, node, [this](void* p) {
-          delete static_cast<Node*>(p);
-          freed_.fetch_add(1);
-        });
-        return true;
-      }
-      domain_.clear(tid, 0);
-      backoff();
-    }
-  }
-
-  std::uint64_t allocated() const { return allocated_.load(); }
-  std::uint64_t freed() const { return freed_.load(); }
-  HazardDomain& domain() { return domain_; }
-
- private:
-  struct Node {
-    T value;
-    Node* next;
-  };
-
-  std::atomic<Node*> head_{nullptr};
-  std::atomic<std::uint64_t> allocated_{0};
-  std::atomic<std::uint64_t> freed_{0};
-  // Declared last: the domain's destructor runs retire-list deleters that
-  // touch the counters above, so it must be destroyed first.
-  HazardDomain domain_;
-};
-
-}  // namespace aba::structures
+}  // namespace aba::reclaim

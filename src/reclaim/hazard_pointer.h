@@ -1,0 +1,169 @@
+// HazardPointerReclaimer — Michael's hazard pointers over the index pool.
+//
+// Migrated from the pointer-based HazardDomain (now reclaim/hazard_domain.h)
+// into a platform-generic index policy: each process owns kSlotsPerProcess
+// single-writer multi-reader Platform registers; guard(p, slot, i) publishes
+// i there, and the structure re-validates its source word after the publish
+// (if the word is unchanged, node i was not yet retired when the guard
+// became visible, so every later scan sees it). retire(p, i) defers i on a
+// thread-private list; once the list reaches the scan threshold — the
+// standard 2·H rule, H = total slots — scan(p) reads all H slots once and
+// releases every unguarded index back to p's free list.
+//
+// Guarantees (docs/RECLAMATION.md has the comparison table):
+//   space  — unreclaimed garbage is bounded: per process at most the scan
+//            threshold + H guarded nodes, independent of stalled readers'
+//            *duration* (a stalled reader pins at most its own slots). This
+//            is the bound the hazard-vs-epoch stress test measures.
+//   time   — retire is O(1) amortized; every 2·H retires pay one O(H) scan.
+//            guard costs one shared write plus the structure's revalidation
+//            read on every dereference — the per-op tax E8/E9 measure.
+//
+// The paper's trichotomy: this is the application-specific reclamation
+// answer to ABA, contrasted with bounded tags (TaggedReclaimer + tagged
+// head) and LL/SC (which the paper constructs from bounded CAS).
+//
+// Memory orderings: publish-then-revalidate is a StoreLoad pattern (the
+// guard write must be visible before the revalidation read of a different
+// word), exactly like the Figure 4 announce-array register. On native
+// platforms run it under seq_cst orderings — Counted or Fast, not
+// FastRelaxed (E9's matrix makes that carve-out per reclaimer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/platform.h"
+#include "reclaim/reclaimer.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+
+namespace aba::reclaim {
+
+template <Platform P>
+class HazardPointerReclaimer {
+ public:
+  static constexpr const char* kName = "hazard";
+  static constexpr bool kNeedsGuard = true;
+  // Two slots cover every structure here: the Treiber stack guards the head
+  // node (slot 0); the MS queue guards head (0) and head->next (1).
+  static constexpr int kSlotsPerProcess = 2;
+
+  HazardPointerReclaimer(typename P::Env& env, int n, FreeLists initial_free)
+      : n_(n), procs_(static_cast<std::size_t>(n)) {
+    ABA_CHECK(static_cast<int>(initial_free.size()) == n);
+    for (int p = 0; p < n; ++p) {
+      procs_[p].free = std::move(initial_free[p]);
+      pool_size_ += procs_[p].free.size();
+    }
+    slots_.reserve(static_cast<std::size_t>(n) * kSlotsPerProcess);
+    for (int i = 0; i < n * kSlotsPerProcess; ++i) {
+      slots_.push_back(std::make_unique<typename P::Register>(
+          env, "hp.slot", kNone, sim::BoundSpec::unbounded()));
+    }
+  }
+
+  void begin_op(int /*p*/) {}
+
+  // Publishes node `idx` in (p, slot). One shared write; the *structure*
+  // must re-read its source word afterwards and retry if it moved.
+  void guard(int p, int slot, std::uint64_t idx) {
+    ABA_ASSERT(slot >= 0 && slot < kSlotsPerProcess);
+    slot_ref(p, slot).write(idx + 1);
+    procs_[p].dirty_slots |= 1u << slot;
+  }
+
+  // Clears only the slots this op actually published (tracked privately),
+  // so an op that never guarded pays no shared steps here.
+  void end_op(int p) {
+    std::uint32_t dirty = procs_[p].dirty_slots;
+    for (int slot = 0; dirty != 0; ++slot, dirty >>= 1) {
+      if (dirty & 1u) slot_ref(p, slot).write(kNone);
+    }
+    procs_[p].dirty_slots = 0;
+  }
+
+  std::optional<std::uint64_t> allocate(int p) {
+    auto& free = procs_[p].free;
+    if (free.empty()) scan(p);  // Pool pressure: reclaim eagerly.
+    if (free.empty()) return std::nullopt;
+    const std::uint64_t idx = free.front();
+    free.pop_front();
+    return idx;
+  }
+
+  void retire(int p, std::uint64_t idx) {
+    procs_[p].retired.push_back(idx);
+    if (procs_[p].retired.size() >= scan_threshold()) scan(p);
+  }
+
+  // Reads every hazard slot once and frees p's retired nodes that no slot
+  // guards. O(H + retired) local work, H shared reads.
+  void scan(int p) {
+    std::vector<std::uint64_t> guarded;
+    guarded.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+      const std::uint64_t word = slot->read();
+      if (word != kNone) guarded.push_back(word - 1);
+    }
+    auto& retired = procs_[p].retired;
+    std::vector<std::uint64_t> keep;
+    keep.reserve(retired.size());
+    for (const std::uint64_t idx : retired) {
+      bool pinned = false;
+      for (const std::uint64_t g : guarded) {
+        if (g == idx) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) {
+        keep.push_back(idx);
+      } else {
+        procs_[p].free.push_back(idx);
+      }
+    }
+    retired = std::move(keep);
+  }
+
+  // 2·H: scans amortize to O(1) shared reads per retire while unreclaimed
+  // garbage stays linear in the slot count.
+  std::size_t scan_threshold() const { return 2 * slots_.size(); }
+
+  std::size_t pool_size() const { return pool_size_; }
+  std::size_t unreclaimed(int p) const { return procs_[p].retired.size(); }
+  std::size_t free_count(int p) const { return procs_[p].free.size(); }
+
+ private:
+  static constexpr std::uint64_t kNone = 0;  // Indices are stored +1.
+
+  typename P::Register& slot_ref(int p, int slot) {
+    ABA_ASSERT(p >= 0 && p < n_);
+    return *slots_[static_cast<std::size_t>(p) * kSlotsPerProcess + slot];
+  }
+
+  // Thread-private bookkeeping, one cache line per process: the dirty mask
+  // is written on every guard/end_op and the container headers on every
+  // allocate/retire, so packing neighbours together would false-share.
+  struct alignas(util::kCacheLineSize) PerProcess {
+    std::deque<std::uint64_t> free;
+    std::vector<std::uint64_t> retired;
+    std::uint32_t dirty_slots = 0;
+  };
+
+  int n_;
+  // unique_ptr because platform objects wrap std::atomic and are immovable;
+  // the native Fast policy pads each register to its own cache line, which
+  // keeps one process's publish/clear traffic from invalidating its
+  // neighbours' slots (the role HazardDomain's alignas played).
+  std::vector<std::unique_ptr<typename P::Register>> slots_;
+  std::vector<PerProcess> procs_;
+  std::size_t pool_size_ = 0;
+};
+
+}  // namespace aba::reclaim

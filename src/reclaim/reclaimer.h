@@ -1,0 +1,91 @@
+// The Reclaimer concept — pluggable node-reuse policies for the index-based
+// lock-free structures.
+//
+// The paper frames lock-free data structures as choosing among answers to
+// the ABA problem: bounded tags (cheap, probabilistically correct), LL/SC
+// (immune at the word, which the paper constructs from bounded CAS), or
+// application-specific memory reclamation such as hazard pointers. In this
+// repository the *structures* own the CAS-site policy (RawCasHead /
+// TaggedCasHead / LlscHead, or the MS queue's internal tags) and a
+// Reclaimer owns the orthogonal axis: when a retired node index may be
+// handed out again. Four policies implement the concept:
+//
+//   TaggedReclaimer        — immediate FIFO reuse; safety is delegated to a
+//                            bounded-tag (or LL/SC) CAS site. The regime the
+//                            paper critiques as only probabilistically
+//                            correct (E7 quantifies the escape probability).
+//   LeakyReclaimer         — retired nodes are never reused. The no-free
+//                            baseline: trivially ABA-immune (an index never
+//                            reappears) and the throughput floor benches
+//                            compare against.
+//   HazardPointerReclaimer — per-process hazard slots; reuse of a retired
+//                            node is deferred until no slot guards it
+//                            (Michael). Bounded unreclaimed garbage.
+//   EpochBasedReclaimer    — per-process epoch announcements against a
+//                            global epoch; reuse is deferred two epoch
+//                            advances. Amortized O(1) retire, but a single
+//                            stalled reader blocks reclamation system-wide.
+//
+// All four operate on *node indices* into a fixed pool, not raw pointers,
+// so they run unchanged on the simulator (every shared access a scheduled,
+// traceable step — this is how the linearizability suite checks each
+// platform × reclaimer combination) and natively. Shared state lives in
+// Platform objects; per-process bookkeeping (retired/limbo lists, free
+// lists) is thread-private plain memory, which costs no shared steps.
+//
+// The protocol a structure follows (see treiber_stack.h / ms_queue.h):
+//
+//   allocate(p)        — outside any begin_op/end_op region: obtain a node
+//                        index whose reuse is safe, or nullopt under pool
+//                        pressure. May reclaim internally (hazard scan,
+//                        epoch flush).
+//   begin_op(p)        — enter a protected region (epoch announce; no-op
+//                        for the others).
+//   guard(p, slot, i)  — publish intent to dereference node i. Only needed
+//                        when kNeedsGuard; the structure must re-validate
+//                        its source word after the publish (the classic
+//                        publish-then-revalidate handshake) before trusting
+//                        node i's fields.
+//   end_op(p)          — leave the region, clearing any guards this op set.
+//   retire(p, i)       — after end_op: node i was unlinked by p's CAS and
+//                        may be recycled once the policy's safety condition
+//                        holds.
+//
+// kNeedsGuard lets no-guard policies compile the publish/revalidate steps
+// out entirely (if constexpr), so the Tagged/Leaky fast paths execute the
+// exact step sequence of the paper's pseudo-code — the deterministic
+// step-counted schedules in the test suite rely on that.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+
+namespace aba::reclaim {
+
+// Per-process initial free lists of 0-based node indices; the pool size is
+// their total. Every reclaimer is constructed from (Env&, n, FreeLists).
+using FreeLists = std::vector<std::deque<std::uint64_t>>;
+
+template <class R, class P>
+concept ReclaimerFor =
+    Platform<P> &&
+    std::constructible_from<R, typename P::Env&, int, FreeLists> &&
+    requires(R r, const R cr, int p, std::uint64_t idx) {
+      { R::kName } -> std::convertible_to<const char*>;
+      { R::kNeedsGuard } -> std::convertible_to<bool>;
+      { r.begin_op(p) } -> std::same_as<void>;
+      { r.guard(p, 0, idx) } -> std::same_as<void>;
+      { r.end_op(p) } -> std::same_as<void>;
+      { r.allocate(p) } -> std::same_as<std::optional<std::uint64_t>>;
+      { r.retire(p, idx) } -> std::same_as<void>;
+      { cr.pool_size() } -> std::same_as<std::size_t>;
+      { cr.unreclaimed(p) } -> std::same_as<std::size_t>;
+    };
+
+}  // namespace aba::reclaim

@@ -1,0 +1,87 @@
+// HpTreiberStack — a pointer-based Treiber stack protected by hazard
+// pointers (reclaim/hazard_domain.h): pop pins the head node before reading
+// head->next, so a concurrent pop/push cycle can neither free the node
+// under us nor recycle it into an ABA.
+//
+// Native-only and heap-allocating — the realistic deployment shape the E8
+// comparison benches measure. The simulator-checked, index-based stack with
+// a pluggable reclamation policy is TreiberStack<P, Head, R>
+// (treiber_stack.h), whose hazard flavor is TreiberStack with
+// HazardPointerReclaimer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "reclaim/hazard_domain.h"
+#include "util/backoff.h"
+
+namespace aba::structures {
+
+template <class T>
+class HpTreiberStack {
+ public:
+  explicit HpTreiberStack(int max_threads)
+      : domain_(max_threads, /*slots_per_thread=*/1) {}
+
+  ~HpTreiberStack() {
+    Node* node = head_.load();
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  void push(int /*tid*/, T value) {
+    Node* node = new Node{std::move(value), head_.load()};
+    allocated_.fetch_add(1);
+    util::ExpBackoff backoff;
+    while (!head_.compare_exchange_weak(node->next, node)) {
+      backoff();
+    }
+  }
+
+  bool pop(int tid, T& out) {
+    util::ExpBackoff backoff;
+    for (;;) {
+      Node* node = domain_.protect(tid, 0, head_);
+      if (node == nullptr) {
+        domain_.clear(tid, 0);
+        return false;
+      }
+      Node* next = node->next;  // Safe: node is pinned.
+      if (head_.compare_exchange_strong(node, next)) {
+        out = std::move(node->value);
+        domain_.clear(tid, 0);
+        domain_.retire(tid, node, [this](void* p) {
+          delete static_cast<Node*>(p);
+          freed_.fetch_add(1);
+        });
+        return true;
+      }
+      domain_.clear(tid, 0);
+      backoff();
+    }
+  }
+
+  std::uint64_t allocated() const { return allocated_.load(); }
+  std::uint64_t freed() const { return freed_.load(); }
+  reclaim::HazardDomain& domain() { return domain_; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  // Declared last: the domain's destructor runs retire-list deleters that
+  // touch the counters above, so it must be destroyed first.
+  reclaim::HazardDomain domain_;
+};
+
+}  // namespace aba::structures

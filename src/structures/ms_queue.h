@@ -9,8 +9,13 @@
 // deliberately narrow tags the wraparound ABA becomes reachable, which is
 // the paper's point that bounded tagging is only probabilistically correct.
 //
-// Freed nodes go to per-process FIFO free lists and are reused, exactly the
-// memory-reuse pattern that makes ABA live.
+// Node reuse is a Reclaimer policy (src/reclaim/): the default
+// TaggedReclaimer recycles a dequeued dummy immediately — the original
+// algorithm, whose safety rests entirely on the tags — while the hazard/
+// epoch reclaimers defer reuse until no concurrent operation can still hold
+// the node, making the queue safe independent of tag width (dequeue guards
+// head and head->next, slots 0 and 1, in the hazard case). LeakyReclaimer
+// never reuses — the ABA-free baseline.
 #pragma once
 
 #include <cstdint>
@@ -20,25 +25,32 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "reclaim/reclaimer.h"
+#include "reclaim/tagged.h"
 #include "util/assert.h"
 
 namespace aba::structures {
 
-template <Platform P>
+template <Platform P, class R = reclaim::TaggedReclaimer<P>>
 class MsQueue {
+  static_assert(reclaim::ReclaimerFor<R, P>,
+                "R must satisfy the Reclaimer concept for platform P");
+
  public:
   struct Options {
     unsigned index_bits = 16;
     unsigned tag_bits = 16;
   };
 
-  // Pool: one dummy node (index 0) plus the per-process free lists.
+  // Pool: one dummy node (index 0) plus `nodes_per_process` per process,
+  // handed to the reclaimer as the initial free lists. The dummy enters
+  // circulation the first time it is dequeued past and retired.
   MsQueue(typename P::Env& env, int n, int nodes_per_process,
           Options options = {})
       : options_(options),
         head_(env, "queue.head", pack(0, 0), sim::BoundSpec::unbounded()),
         tail_(env, "queue.tail", pack(0, 0), sim::BoundSpec::unbounded()),
-        free_(n) {
+        reclaimer_(env, n, initial_free(n, nodes_per_process)) {
     ABA_CHECK(options.index_bits + options.tag_bits <= 64);
     ABA_CHECK(1 + static_cast<std::uint64_t>(n) * nodes_per_process <
                index_mask());
@@ -47,27 +59,36 @@ class MsQueue {
     for (std::size_t i = 0; i < pool; ++i) {
       nodes_.push_back(std::make_unique<Node>(env, pack(null_index(), 0)));
     }
+  }
+
+  static std::vector<std::deque<std::uint64_t>> initial_free(
+      int n, int nodes_per_process) {
+    std::vector<std::deque<std::uint64_t>> free(n);
     std::uint64_t next_node = 1;  // 0 is the dummy.
     for (int p = 0; p < n; ++p) {
-      for (int i = 0; i < nodes_per_process; ++i) free_[p].push_back(next_node++);
+      for (int i = 0; i < nodes_per_process; ++i) free[p].push_back(next_node++);
     }
+    return free;
   }
 
   bool enqueue(int p, std::uint64_t value) {
-    if (free_[p].empty()) return false;
-    const std::uint64_t node_index = free_[p].front();
-    free_[p].pop_front();
+    // Allocation precedes the protected region (the epoch contract).
+    const std::optional<std::uint64_t> node_opt = reclaimer_.allocate(p);
+    if (!node_opt) return false;
+    const std::uint64_t node_index = *node_opt;
     Node& node = *nodes_[node_index];
     node.value.write(value);
     // Reset next to null, bumping its tag (local to this node's lifecycle).
     const std::uint64_t old_next = node.next.read();
     node.next.write(pack(null_index(), tag_of(old_next) + 1));
 
+    reclaimer_.begin_op(p);
     PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t tail = tail_.read();
+      if constexpr (R::kNeedsGuard) reclaimer_.guard(p, 0, index_of(tail));
       const std::uint64_t tail_next = nodes_[index_of(tail)]->next.read();
-      if (tail != tail_.read()) {  // Tail moved under us; re-read.
+      if (tail != tail_.read()) {  // Tail moved under us (validates the guard).
         backoff();
         continue;
       }
@@ -77,6 +98,7 @@ class MsQueue {
                 tail_next, pack(node_index, tag_of(tail_next) + 1))) {
           // Swing tail (may fail if someone helped; that's fine).
           tail_.cas(tail, pack(node_index, tag_of(tail) + 1));
+          reclaimer_.end_op(p);
           return true;
         }
       } else {
@@ -88,26 +110,40 @@ class MsQueue {
   }
 
   std::optional<std::uint64_t> dequeue(int p) {
+    reclaimer_.begin_op(p);
     PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t head = head_.read();
+      if constexpr (R::kNeedsGuard) reclaimer_.guard(p, 0, index_of(head));
       const std::uint64_t tail = tail_.read();
       const std::uint64_t head_next = nodes_[index_of(head)]->next.read();
-      if (head != head_.read()) {
+      if (head != head_.read()) {  // Also validates the slot-0 guard.
         backoff();
         continue;
       }
       if (index_of(head) == index_of(tail)) {
-        if (index_of(head_next) == null_index()) return std::nullopt;  // Empty.
+        if (index_of(head_next) == null_index()) {
+          reclaimer_.end_op(p);
+          return std::nullopt;  // Empty.
+        }
         // Tail lags behind: help.
         tail_.cas(tail, pack(index_of(head_next), tag_of(tail) + 1));
         continue;
       }
+      if constexpr (R::kNeedsGuard) {
+        reclaimer_.guard(p, 1, index_of(head_next));
+        // head unchanged ⇒ head_next is still linked, so the guard is valid.
+        if (head != head_.read()) {
+          backoff();
+          continue;
+        }
+      }
       // Read the value before the CAS (the node may be reused right after).
       const std::uint64_t value = nodes_[index_of(head_next)]->value.read();
       if (head_.cas(head, pack(index_of(head_next), tag_of(head) + 1))) {
-        // The old dummy node is now free for reuse.
-        free_[p].push_back(index_of(head));
+        reclaimer_.end_op(p);
+        // The old dummy node is now free for reuse once the policy allows.
+        reclaimer_.retire(p, index_of(head));
         return value;
       }
       backoff();
@@ -115,6 +151,8 @@ class MsQueue {
   }
 
   std::size_t pool_size() const { return nodes_.size(); }
+  R& reclaimer() { return reclaimer_; }
+  const R& reclaimer() const { return reclaimer_; }
 
  private:
   // The all-ones index is the null marker (never a valid pool index).
@@ -143,7 +181,7 @@ class MsQueue {
   typename P::WritableCas head_;
   typename P::WritableCas tail_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::deque<std::uint64_t>> free_;
+  R reclaimer_;
 };
 
 }  // namespace aba::structures

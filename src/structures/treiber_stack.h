@@ -3,22 +3,29 @@
 // ABAs when nodes are reused.
 //
 // The stack is index-based over a fixed node pool (so it runs unchanged on
-// the simulator and natively), with per-process FIFO free lists: a popped
-// node returns to the popper's free list and is eventually reused by its
-// next push — the reuse pattern that triggers the classic Treiber ABA.
+// the simulator and natively) and is parameterized on two orthogonal
+// policies:
 //
-// The head is a policy:
-//   RawCasHead        — plain CAS on the node index. ABA-vulnerable: a pop
-//                       that stalls between reading head->next and its CAS
-//                       can swing the head to a freed node (demonstrated
-//                       deterministically in tests/examples).
-//   TaggedCasHead     — CAS on (index, tag) with a bounded tag; safe until
-//                       the tag wraps (the paper's critique of bounded
-//                       tagging), quantified in bench_aba_escape.
-//   LlscHead          — LL/SC on the index using any of this repository's
-//                       LL/SC implementations; immune to ABA, which is the
-//                       paper's point about LL/SC being "an effective way of
-//                       avoiding the ABA problem".
+//   Head — how the CAS site detects interference:
+//     RawCasHead        — plain CAS on the node index. ABA-vulnerable under
+//                         immediate reuse: a pop that stalls between reading
+//                         head->next and its CAS can swing the head to a
+//                         freed node (demonstrated deterministically in
+//                         tests/examples).
+//     TaggedCasHead     — CAS on (index, tag) with a bounded tag; safe until
+//                         the tag wraps (the paper's critique of bounded
+//                         tagging), quantified in bench_aba_escape.
+//     LlscHead          — LL/SC on the index using any of this repository's
+//                         LL/SC implementations; immune to ABA, which is the
+//                         paper's point about LL/SC being "an effective way
+//                         of avoiding the ABA problem".
+//
+//   R — when a popped node may be reused (src/reclaim/): TaggedReclaimer
+//       (immediate FIFO reuse — the default, pairing with a protected
+//       head), LeakyReclaimer (never reuse), HazardPointerReclaimer or
+//       EpochBasedReclaimer (deferred reuse, which makes even RawCasHead
+//       safe — reclamation as the ABA answer). docs/RECLAMATION.md maps the
+//       combinations.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,8 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "reclaim/reclaimer.h"
+#include "reclaim/tagged.h"
 #include "util/assert.h"
 #include "util/packed_word.h"
 
@@ -105,21 +114,22 @@ class LlscHead {
 
 // ------------------------------------------------------------------- stack
 
-template <Platform P, class Head>
+template <Platform P, class Head, class R = reclaim::TaggedReclaimer<P>>
 class TreiberStack {
+  static_assert(reclaim::ReclaimerFor<R, P>,
+                "R must satisfy the Reclaimer concept for platform P");
+
  public:
   // `initial_free[p]` = node indices initially owned by process p's free
-  // list (indices into the pool, 0-based). The pool size is their total.
-  // The head policy is heap-owned because native platform objects wrap
-  // std::atomic and are not movable.
+  // list (indices into the pool, 0-based). The pool size is their total;
+  // the reclaimer takes ownership of the index lifecycle. The head policy
+  // is heap-owned because native platform objects wrap std::atomic and are
+  // not movable.
   TreiberStack(typename P::Env& env, int n, std::unique_ptr<Head> head,
                std::vector<std::deque<std::uint64_t>> initial_free)
-      : head_(std::move(head)), free_(std::move(initial_free)) {
-    ABA_CHECK(static_cast<int>(free_.size()) == n);
-    std::size_t pool_size = 0;
-    for (const auto& list : free_) pool_size += list.size();
-    nodes_.reserve(pool_size);
-    for (std::size_t i = 0; i < pool_size; ++i) {
+      : head_(std::move(head)), reclaimer_(env, n, std::move(initial_free)) {
+    nodes_.reserve(reclaimer_.pool_size());
+    for (std::size_t i = 0; i < reclaimer_.pool_size(); ++i) {
       nodes_.push_back(std::make_unique<Node>(env, i));
     }
   }
@@ -134,33 +144,48 @@ class TreiberStack {
     return free;
   }
 
-  // Pushes `value`; returns false if p's free list is empty (pool pressure).
+  // Pushes `value`; returns false if the reclaimer cannot produce a safe
+  // node (pool pressure). Allocation happens outside the protected region
+  // (the epoch reclaimer's contract).
   bool push(int p, std::uint64_t value) {
-    if (free_[p].empty()) return false;
-    const std::uint64_t index = free_[p].front();  // FIFO reuse.
-    free_[p].pop_front();
-    Node& node = *nodes_[index];
+    const std::optional<std::uint64_t> index = reclaimer_.allocate(p);
+    if (!index) return false;
+    Node& node = *nodes_[*index];
     node.value.write(value);
     PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t observed = head_->load(p);
       node.next.write(head_->index_of(observed));
-      if (head_->try_swing(p, observed, index + 1)) return true;
+      if (head_->try_swing(p, observed, *index + 1)) return true;
       backoff();
     }
   }
 
   std::optional<std::uint64_t> pop(int p) {
+    reclaimer_.begin_op(p);
     PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t observed = head_->load(p);
       const std::uint64_t head_index = head_->index_of(observed);
-      if (head_index == kNullIndex) return std::nullopt;
+      if (head_index == kNullIndex) {
+        reclaimer_.end_op(p);
+        return std::nullopt;
+      }
+      if constexpr (R::kNeedsGuard) {
+        reclaimer_.guard(p, 0, head_index - 1);
+        // Publish-then-revalidate: if the head moved before the guard was
+        // visible, the node may already be retired (and the guard too late).
+        if (head_->load(p) != observed) {
+          backoff();
+          continue;
+        }
+      }
       Node& node = *nodes_[head_index - 1];
-      const std::uint64_t next = node.next.read();
+      const std::uint64_t next = node.next.read();  // Guarded (or tag-checked).
       if (head_->try_swing(p, observed, next)) {
         const std::uint64_t value = node.value.read();
-        free_[p].push_back(head_index - 1);
+        reclaimer_.end_op(p);
+        reclaimer_.retire(p, head_index - 1);
         return value;
       }
       backoff();
@@ -168,6 +193,8 @@ class TreiberStack {
   }
 
   std::size_t pool_size() const { return nodes_.size(); }
+  R& reclaimer() { return reclaimer_; }
+  const R& reclaimer() const { return reclaimer_; }
 
  private:
   struct Node {
@@ -180,7 +207,7 @@ class TreiberStack {
 
   std::unique_ptr<Head> head_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::deque<std::uint64_t>> free_;
+  R reclaimer_;
 };
 
 }  // namespace aba::structures

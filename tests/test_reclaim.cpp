@@ -1,0 +1,726 @@
+// Tests for the memory-reclamation subsystem (src/reclaim/):
+//
+//   * unit semantics of each Reclaimer policy (tagged / leaky / hazard /
+//     epoch) over the native platform;
+//   * the reclaimer-equivalence suite — a scripted stack/queue workload on
+//     the simulator must produce *identical* result sequences under all
+//     four reclaimers (reclamation changes when nodes recycle, never what
+//     the abstract object returns);
+//   * random-schedule linearizability sweeps across (head policy ×
+//     reclaimer) on the simulator — the ABA answers as one orthogonal axis;
+//   * the deterministic Treiber ABA schedule that corrupts a raw-CAS head
+//     under immediate reuse (test_structures.cpp) is re-run against the
+//     deferred-reuse reclaimers, which survive it: reclamation as the
+//     paper's third ABA answer, made into a regression test;
+//   * the hazard-vs-epoch retire-bound stress: with one reader stalled,
+//     hazard pointers keep unreclaimed garbage bounded by the scan
+//     threshold while the epoch scheme's limbo grows without bound;
+//   * native (std::atomic) stress for every reclaimer;
+//   * the migrated pointer-based HazardDomain / HpTreiberStack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "harness/adapters.h"
+#include "harness/harness.h"
+#include "native/native_platform.h"
+#include "reclaim/epoch.h"
+#include "reclaim/hazard_domain.h"
+#include "reclaim/hazard_pointer.h"
+#include "reclaim/leaky.h"
+#include "reclaim/reclaimer.h"
+#include "reclaim/tagged.h"
+#include "sim/sim_platform.h"
+#include "spec/lin_checker.h"
+#include "spec/specs.h"
+#include "structures/hp_stack.h"
+#include "structures/ms_queue.h"
+#include "structures/treiber_stack.h"
+#include "util/rng.h"
+
+namespace aba::reclaim {
+namespace {
+
+using SimP = sim::SimPlatform;
+using NativeP = native::NativePlatform<native::Counted>;
+using harness::WorkloadOp;
+using spec::Method;
+
+// The concept is the contract every policy (and both platforms) satisfies.
+static_assert(ReclaimerFor<TaggedReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<LeakyReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<HazardPointerReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<EpochBasedReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<TaggedReclaimer<NativeP>, NativeP>);
+static_assert(ReclaimerFor<LeakyReclaimer<NativeP>, NativeP>);
+static_assert(ReclaimerFor<HazardPointerReclaimer<NativeP>, NativeP>);
+static_assert(ReclaimerFor<EpochBasedReclaimer<NativeP>, NativeP>);
+
+FreeLists one_process_pool(int nodes) {
+  FreeLists free(1);
+  for (int i = 0; i < nodes; ++i) free[0].push_back(i);
+  return free;
+}
+
+// --------------------------------------------------- unit: tagged / leaky
+
+TEST(TaggedReclaimer, ImmediateFifoReuse) {
+  typename NativeP::Env env;
+  TaggedReclaimer<NativeP> r(env, 1, one_process_pool(2));
+  EXPECT_EQ(r.pool_size(), 2u);
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(r.allocate(0), std::nullopt);
+  r.retire(0, 1);
+  r.retire(0, 0);
+  // FIFO: the first retiree is the next allocation.
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(r.unreclaimed(0), 0u);
+}
+
+TEST(LeakyReclaimer, RetiredNodesNeverReturn) {
+  typename NativeP::Env env;
+  LeakyReclaimer<NativeP> r(env, 1, one_process_pool(2));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.retire(0, 0);
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  r.retire(0, 1);
+  EXPECT_EQ(r.allocate(0), std::nullopt) << "a leaky pool must drain";
+  EXPECT_EQ(r.unreclaimed(0), 2u);
+}
+
+// --------------------------------------------------------- unit: hazard
+
+TEST(HazardPointerReclaimer, GuardPinsAcrossScan) {
+  typename NativeP::Env env;
+  FreeLists free(2);
+  free[0] = {0, 1};
+  HazardPointerReclaimer<NativeP> r(env, 2, free);
+  // Process 1 guards node 0; process 0 retires it.
+  r.guard(1, 0, 0);
+  r.retire(0, 0);
+  r.scan(0);
+  EXPECT_EQ(r.unreclaimed(0), 1u) << "guarded node must survive a scan";
+  r.end_op(1);
+  r.scan(0);
+  EXPECT_EQ(r.unreclaimed(0), 0u) << "unguarded node must be reclaimed";
+}
+
+TEST(HazardPointerReclaimer, AllocateScansUnderPoolPressure) {
+  typename NativeP::Env env;
+  HazardPointerReclaimer<NativeP> r(env, 1, one_process_pool(1));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.retire(0, 0);
+  // Free list is empty but node 0 is unguarded: allocate must reclaim it.
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+}
+
+TEST(HazardPointerReclaimer, ThresholdTriggersScan) {
+  typename NativeP::Env env;
+  HazardPointerReclaimer<NativeP> r(env, 1, one_process_pool(64));
+  const std::size_t threshold = r.scan_threshold();
+  for (std::size_t i = 0; i < threshold; ++i) {
+    auto idx = r.allocate(0);
+    ASSERT_TRUE(idx.has_value());
+    r.retire(0, *idx);
+  }
+  EXPECT_LT(r.unreclaimed(0), threshold)
+      << "hitting the threshold must trigger a reclaiming scan";
+}
+
+// ---------------------------------------------------------- unit: epoch
+
+TEST(EpochBasedReclaimer, TwoAdvancesMatureALimboNode) {
+  typename NativeP::Env env;
+  EpochBasedReclaimer<NativeP> r(env, 1, one_process_pool(1));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.begin_op(0);
+  r.end_op(0);
+  r.retire(0, 0);
+  EXPECT_EQ(r.unreclaimed(0), 1u);
+  // Everyone quiescent: allocate's two advance+flush rounds mature it.
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(r.unreclaimed(0), 0u);
+}
+
+TEST(EpochBasedReclaimer, ActiveReaderBlocksReclamation) {
+  typename NativeP::Env env;
+  FreeLists free(2);
+  free[0] = {0, 1};
+  EpochBasedReclaimer<NativeP> r(env, 2, free);
+  r.begin_op(1);  // Reader active: epoch advance is vetoed past +1.
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.begin_op(0);
+  r.end_op(0);
+  r.retire(0, 0);
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  r.retire(0, 1);
+  EXPECT_EQ(r.allocate(0), std::nullopt)
+      << "a stalled reader must block epoch reclamation";
+  r.end_op(1);  // Reader leaves: the backlog matures.
+  EXPECT_TRUE(r.allocate(0).has_value());
+}
+
+// ----------------------------------------- equivalence across reclaimers
+//
+// Reclamation decides when a node index recycles — it must never change
+// the abstract object's behaviour. One scripted workload, each op run to
+// completion on the simulator, must yield identical (method, arg, ret)
+// sequences under all four reclaimers.
+
+using Triple = std::tuple<Method, std::uint64_t, std::uint64_t>;
+
+std::vector<Triple> triples(const std::vector<spec::Op>& ops) {
+  std::vector<Triple> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) out.emplace_back(op.method, op.arg, op.ret);
+  return out;
+}
+
+const std::vector<WorkloadOp>& stack_script() {
+  static const std::vector<WorkloadOp> script = {
+      {0, Method::kPush, 10}, {1, Method::kPush, 20}, {0, Method::kPush, 30},
+      {1, Method::kPop, 0},   {0, Method::kPop, 0},   {1, Method::kPush, 40},
+      {0, Method::kPush, 50}, {1, Method::kPop, 0},   {0, Method::kPop, 0},
+      {1, Method::kPop, 0},   {0, Method::kPop, 0},   {1, Method::kPop, 0},
+      {0, Method::kPush, 60}, {1, Method::kPush, 70}, {0, Method::kPop, 0},
+      {1, Method::kPop, 0},
+  };
+  return script;
+}
+
+template <class R>
+std::vector<Triple> run_stack_script() {
+  using Stack = structures::TreiberStack<SimP, structures::TaggedCasHead<SimP>, R>;
+  sim::SimWorld world(2);
+  spec::History history;
+  // Pool ≥ pushes per process so even the leaky reclaimer never drains.
+  auto invoker = std::make_unique<harness::StackInvoker<Stack>>(
+      world, history,
+      std::make_unique<Stack>(
+          world, 2, std::make_unique<structures::TaggedCasHead<SimP>>(world, 2),
+          Stack::partition(2, 8)));
+  for (const auto& op : stack_script()) {
+    invoker->invoke(op);
+    world.run_to_completion(op.pid);
+  }
+  return triples(history.ops());
+}
+
+TEST(ReclaimerEquivalence, StackHistoriesIdenticalAcrossReclaimers) {
+  const auto reference = run_stack_script<TaggedReclaimer<SimP>>();
+  EXPECT_EQ(run_stack_script<LeakyReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_stack_script<HazardPointerReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_stack_script<EpochBasedReclaimer<SimP>>(), reference);
+}
+
+template <class R>
+std::vector<Triple> run_queue_script() {
+  using Queue = structures::MsQueue<SimP, R>;
+  sim::SimWorld world(2);
+  spec::History history;
+  auto invoker = std::make_unique<harness::QueueInvoker<Queue>>(
+      world, history, std::make_unique<Queue>(world, 2, 8));
+  static const std::vector<WorkloadOp> script = {
+      {0, Method::kEnq, 10}, {1, Method::kEnq, 20}, {0, Method::kDeq, 0},
+      {1, Method::kEnq, 30}, {0, Method::kEnq, 40}, {1, Method::kDeq, 0},
+      {0, Method::kDeq, 0},  {1, Method::kDeq, 0},  {0, Method::kDeq, 0},
+      {1, Method::kEnq, 50}, {0, Method::kEnq, 60}, {1, Method::kDeq, 0},
+      {0, Method::kDeq, 0},
+  };
+  for (const auto& op : script) {
+    invoker->invoke(op);
+    world.run_to_completion(op.pid);
+  }
+  return triples(history.ops());
+}
+
+TEST(ReclaimerEquivalence, QueueHistoriesIdenticalAcrossReclaimers) {
+  const auto reference = run_queue_script<TaggedReclaimer<SimP>>();
+  EXPECT_EQ(run_queue_script<LeakyReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_queue_script<HazardPointerReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_queue_script<EpochBasedReclaimer<SimP>>(), reference);
+}
+
+// ------------------------------- linearizability: (head × reclaimer) sweep
+
+std::vector<WorkloadOp> random_stack_workload(int n, int ops, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WorkloadOp> workload;
+  for (int pid = 0; pid < n; ++pid) {
+    for (int i = 0; i < ops; ++i) {
+      if (rng.chance(1, 2)) {
+        workload.push_back({pid, Method::kPush, rng.below(100)});
+      } else {
+        workload.push_back({pid, Method::kPop, 0});
+      }
+    }
+  }
+  return workload;
+}
+
+template <class Stack>
+void expect_stack_linearizable_sweep() {
+  for (int n : {2, 3}) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const auto ops = harness::run_random_schedule(
+          n,
+          [n](sim::SimWorld& world,
+              spec::History& history) -> std::unique_ptr<harness::Invoker> {
+            return std::make_unique<harness::StackInvoker<Stack>>(
+                world, history,
+                std::make_unique<Stack>(
+                    world, n,
+                    std::make_unique<typename Stack::HeadPolicy>(world, n),
+                    Stack::partition(n, 6)));
+          },
+          random_stack_workload(n, 6, seed), seed * 733 + 11);
+      const auto result = spec::check_linearizable<spec::StackSpec>(
+          ops, spec::StackSpec::initial());
+      EXPECT_TRUE(result.linearizable)
+          << "n=" << n << " seed=" << seed << "\n"
+          << spec::explain(ops, result);
+    }
+  }
+}
+
+// A head-policy-aware wrapper so the sweep helper can construct the head.
+template <class Head, class R>
+struct SweepStack : structures::TreiberStack<SimP, Head, R> {
+  using HeadPolicy = Head;
+  using structures::TreiberStack<SimP, Head, R>::TreiberStack;
+};
+
+using TaggedHead = structures::TaggedCasHead<SimP>;
+using RawHead = structures::RawCasHead<SimP>;
+
+TEST(ReclaimerSweep, TaggedHeadTaggedReclaimer) {
+  expect_stack_linearizable_sweep<SweepStack<TaggedHead, TaggedReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, TaggedHeadLeakyReclaimer) {
+  expect_stack_linearizable_sweep<SweepStack<TaggedHead, LeakyReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, TaggedHeadHazardReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<TaggedHead, HazardPointerReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, TaggedHeadEpochReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<TaggedHead, EpochBasedReclaimer<SimP>>>();
+}
+
+// With deferred reuse (or no reuse), even the raw CAS head is safe: the
+// reclamation policy *is* the ABA answer.
+TEST(ReclaimerSweep, RawHeadLeakyReclaimer) {
+  expect_stack_linearizable_sweep<SweepStack<RawHead, LeakyReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, RawHeadHazardReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<RawHead, HazardPointerReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, RawHeadEpochReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<RawHead, EpochBasedReclaimer<SimP>>>();
+}
+
+template <class R>
+void expect_queue_linearizable_sweep() {
+  using Queue = structures::MsQueue<SimP, R>;
+  for (int n : {2, 3}) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      util::Xoshiro256 rng(seed);
+      std::vector<WorkloadOp> workload;
+      for (int pid = 0; pid < n; ++pid) {
+        for (int i = 0; i < 6; ++i) {
+          if (rng.chance(1, 2)) {
+            workload.push_back({pid, Method::kEnq, rng.below(100)});
+          } else {
+            workload.push_back({pid, Method::kDeq, 0});
+          }
+        }
+      }
+      const auto ops = harness::run_random_schedule(
+          n, harness::make_factory<harness::QueueInvoker, Queue>(n, 6),
+          workload, seed * 739 + 13);
+      const auto result = spec::check_linearizable<spec::QueueSpec>(
+          ops, spec::QueueSpec::initial());
+      EXPECT_TRUE(result.linearizable)
+          << "n=" << n << " seed=" << seed << "\n"
+          << spec::explain(ops, result);
+    }
+  }
+}
+
+TEST(ReclaimerSweep, QueueTaggedReclaimer) {
+  expect_queue_linearizable_sweep<TaggedReclaimer<SimP>>();
+}
+TEST(ReclaimerSweep, QueueLeakyReclaimer) {
+  expect_queue_linearizable_sweep<LeakyReclaimer<SimP>>();
+}
+TEST(ReclaimerSweep, QueueHazardReclaimer) {
+  expect_queue_linearizable_sweep<HazardPointerReclaimer<SimP>>();
+}
+TEST(ReclaimerSweep, QueueEpochReclaimer) {
+  expect_queue_linearizable_sweep<EpochBasedReclaimer<SimP>>();
+}
+
+// ------------------------------ deterministic ABA schedule, deferred reuse
+//
+// The schedule that corrupts RawCasHead + TaggedReclaimer (immediate reuse;
+// see test_structures.cpp TreiberAba.RawCasHeadIsCorrupted): p1 pauses
+// mid-pop holding its protection, p0 pops both nodes and pushes a value
+// that under immediate reuse recycles the very node p1 observed. The
+// deferred-reuse reclaimers survive: hazard keeps the guarded node out of
+// circulation (p1's CAS fails benignly), epoch refuses the allocation
+// while p1's region pins the epoch, leaky never recycles at all.
+//
+// `pause_steps` = shared steps of a pop up to and including the read of
+// head->next: 2 for an unguarded pop (head load, next read), 4 for hazard
+// (+ guard publish, revalidation load) and 5 for epoch (+ global-epoch
+// read, announce write, announce-validation re-read).
+template <class Stack>
+std::vector<spec::Op> run_deferred_aba_schedule(int pause_steps) {
+  sim::SimWorld world(2);
+  spec::History history;
+  auto invoker = std::make_unique<harness::StackInvoker<Stack>>(
+      world, history,
+      std::make_unique<Stack>(
+          world, 2, std::make_unique<typename Stack::HeadPolicy>(world, 2),
+          Stack::partition(2, 2)));
+
+  auto solo = [&](const WorkloadOp& op) {
+    invoker->invoke(op);
+    world.run_to_completion(op.pid);
+  };
+
+  solo({0, Method::kPush, 10});  // node0
+  solo({0, Method::kPush, 20});  // node1; stack: 20 -> 10.
+
+  // p1 starts pop and pauses once it has protected-and-read node1.
+  invoker->invoke({1, Method::kPop, 0});
+  for (int i = 0; i < pause_steps; ++i) world.step(1);
+
+  solo({0, Method::kPop, 0});    // 20.
+  solo({0, Method::kPop, 0});    // 10.
+  solo({0, Method::kPush, 30});  // The ABA bait: may it reuse node1?
+
+  world.run_to_completion(1);
+  solo({0, Method::kPop, 0});
+  solo({0, Method::kPop, 0});
+
+  return history.ops();
+}
+
+TEST(DeferredReuseAba, HazardReclaimerSurvivesRawCasSchedule) {
+  using Stack = SweepStack<RawHead, HazardPointerReclaimer<SimP>>;
+  const auto ops = run_deferred_aba_schedule<Stack>(/*pause_steps=*/4);
+  const auto result =
+      spec::check_linearizable<spec::StackSpec>(ops, spec::StackSpec::initial());
+  EXPECT_TRUE(result.linearizable)
+      << "hazard pointers must defuse the raw-CAS ABA\n"
+      << spec::explain(ops, result);
+}
+
+TEST(DeferredReuseAba, EpochReclaimerSurvivesRawCasSchedule) {
+  using Stack = SweepStack<RawHead, EpochBasedReclaimer<SimP>>;
+  const auto ops = run_deferred_aba_schedule<Stack>(/*pause_steps=*/5);
+  const auto result =
+      spec::check_linearizable<spec::StackSpec>(ops, spec::StackSpec::initial());
+  EXPECT_TRUE(result.linearizable)
+      << "an active epoch region must block the recycling\n"
+      << spec::explain(ops, result);
+}
+
+TEST(DeferredReuseAba, LeakyReclaimerSurvivesRawCasSchedule) {
+  using Stack = SweepStack<RawHead, LeakyReclaimer<SimP>>;
+  const auto ops = run_deferred_aba_schedule<Stack>(/*pause_steps=*/2);
+  const auto result =
+      spec::check_linearizable<spec::StackSpec>(ops, spec::StackSpec::initial());
+  EXPECT_TRUE(result.linearizable)
+      << "a never-reused index cannot ABA\n"
+      << spec::explain(ops, result);
+}
+
+// --------------------------------------- retire bound: hazard vs epoch
+//
+// One reader (p1) stalls mid-pop holding its protection while p0 cycles
+// push/pop. Hazard pointers bound p0's unreclaimed garbage by the scan
+// threshold — a stalled reader pins only what its slots name. The epoch
+// scheme's limbo grows linearly: p1's stale announcement freezes the
+// global epoch, so nothing p0 retires ever matures. This is the space
+// trade-off docs/RECLAMATION.md tabulates.
+
+constexpr int kRetireCycles = 50;
+
+TEST(RetireBound, HazardStalledReaderKeepsGarbageBounded) {
+  using Stack = SweepStack<RawHead, HazardPointerReclaimer<SimP>>;
+  sim::SimWorld world(2);
+  Stack stack(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+              Stack::partition(2, kRetireCycles + 2));
+  world.invoke(0, [&] { stack.push(0, 1); });
+  world.run_to_completion(0);
+
+  // p1 pauses mid-pop with its guard published and validated.
+  std::optional<std::uint64_t> stalled;
+  world.invoke(1, [&] { stalled = stack.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);
+
+  world.invoke(0, [&] {
+    for (int i = 0; i < kRetireCycles; ++i) {
+      ABA_CHECK(stack.push(0, static_cast<std::uint64_t>(i)));
+      ABA_CHECK(stack.pop(0).has_value());
+    }
+  });
+  world.run_to_completion(0);
+
+  EXPECT_LE(stack.reclaimer().unreclaimed(0), stack.reclaimer().scan_threshold())
+      << "hazard unreclaimed garbage must stay bounded under a stalled reader";
+
+  world.run_to_completion(1);  // Unstall so the world can shut down cleanly.
+  EXPECT_TRUE(stalled.has_value());
+}
+
+TEST(RetireBound, EpochStalledReaderGrowsLimboUnbounded) {
+  using Stack = SweepStack<RawHead, EpochBasedReclaimer<SimP>>;
+  sim::SimWorld world(2);
+  Stack stack(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+              Stack::partition(2, kRetireCycles + 2));
+  world.invoke(0, [&] { stack.push(0, 1); });
+  world.run_to_completion(0);
+
+  // p1 pauses mid-pop inside its epoch region: announce published and
+  // validated (begin_op's read + write + validation re-read = 3 steps).
+  std::optional<std::uint64_t> stalled;
+  world.invoke(1, [&] { stalled = stack.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);
+
+  world.invoke(0, [&] {
+    for (int i = 0; i < kRetireCycles; ++i) {
+      ABA_CHECK(stack.push(0, static_cast<std::uint64_t>(i)));
+      ABA_CHECK(stack.pop(0).has_value());
+    }
+  });
+  world.run_to_completion(0);
+
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0),
+            static_cast<std::size_t>(kRetireCycles))
+      << "a stalled epoch reader must block all reclamation";
+
+  world.run_to_completion(1);
+  EXPECT_TRUE(stalled.has_value());
+}
+
+// ----------------------------------------------- native stress, all four
+
+template <class R>
+struct NativeStackCase {
+  using Reclaimer = R;
+};
+
+template <class Case>
+class NativeReclaimStress : public ::testing::Test {};
+
+using NativeCases = ::testing::Types<
+    NativeStackCase<TaggedReclaimer<NativeP>>,
+    NativeStackCase<LeakyReclaimer<NativeP>>,
+    NativeStackCase<HazardPointerReclaimer<NativeP>>,
+    NativeStackCase<EpochBasedReclaimer<NativeP>>>;
+TYPED_TEST_SUITE(NativeReclaimStress, NativeCases);
+
+TYPED_TEST(NativeReclaimStress, StackBalancedAccounting) {
+  using R = typename TypeParam::Reclaimer;
+  using Stack =
+      structures::TreiberStack<NativeP, structures::TaggedCasHead<NativeP>, R>;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1500;
+  typename NativeP::Env env;
+  // Pool sized so even the leaky reclaimer survives every push.
+  Stack stack(env, kThreads,
+              std::make_unique<structures::TaggedCasHead<NativeP>>(env, kThreads),
+              Stack::partition(kThreads, kOpsPerThread + 1));
+
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<std::uint64_t> pushed_count{0}, popped_count{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(1, 2)) {
+          const std::uint64_t v = rng.below(1000) + 1;
+          if (stack.push(tid, v)) {
+            pushed_sum.fetch_add(v);
+            pushed_count.fetch_add(1);
+          }
+        } else {
+          const auto v = stack.pop(tid);
+          if (v.has_value()) {
+            popped_sum.fetch_add(*v);
+            popped_count.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain and account: every pushed value must be popped exactly once.
+  for (;;) {
+    const auto v = stack.pop(0);
+    if (!v.has_value()) break;
+    popped_sum.fetch_add(*v);
+    popped_count.fetch_add(1);
+  }
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
+  EXPECT_EQ(pushed_count.load(), popped_count.load());
+}
+
+TYPED_TEST(NativeReclaimStress, QueueBalancedAccounting) {
+  using R = typename TypeParam::Reclaimer;
+  using Queue = structures::MsQueue<NativeP, R>;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1000;
+  typename NativeP::Env env;
+  Queue queue(env, kThreads, /*nodes_per_process=*/kOpsPerThread + 1);
+
+  std::atomic<std::uint64_t> enq_sum{0}, deq_sum{0};
+  std::atomic<std::uint64_t> enq_count{0}, deq_count{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 11);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(1, 2)) {
+          const std::uint64_t v = rng.below(1000) + 1;
+          if (queue.enqueue(tid, v)) {
+            enq_sum.fetch_add(v);
+            enq_count.fetch_add(1);
+          }
+        } else {
+          const auto v = queue.dequeue(tid);
+          if (v.has_value()) {
+            deq_sum.fetch_add(*v);
+            deq_count.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (;;) {
+    const auto v = queue.dequeue(0);
+    if (!v.has_value()) break;
+    deq_sum.fetch_add(*v);
+    deq_count.fetch_add(1);
+  }
+  EXPECT_EQ(enq_sum.load(), deq_sum.load());
+  EXPECT_EQ(enq_count.load(), deq_count.load());
+}
+
+// ------------------------------- migrated pointer-based hazard pointers
+
+TEST(HazardDomain, ProtectPinsAndScanDefers) {
+  HazardDomain domain(2, 1);
+  std::atomic<int*> src{new int(42)};
+  int* pinned = domain.protect(0, 0, src);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(*pinned, 42);
+
+  // Thread 1 retires the node while thread 0 still pins it.
+  bool deleted = false;
+  int* raw = src.exchange(nullptr);
+  domain.retire(1, raw, [&deleted](void* p) {
+    deleted = true;
+    delete static_cast<int*>(p);
+  });
+  domain.scan(1);
+  EXPECT_FALSE(deleted) << "pinned node must survive a scan";
+
+  domain.clear(0, 0);
+  domain.scan(1);
+  EXPECT_TRUE(deleted) << "unpinned node must be reclaimed";
+}
+
+TEST(HazardDomain, ProtectRevalidatesOnRace) {
+  HazardDomain domain(1, 1);
+  std::atomic<int*> src{new int(1)};
+  int* p = domain.protect(0, 0, src);
+  EXPECT_EQ(p, src.load());
+  delete src.load();
+}
+
+TEST(HazardDomain, ScanThresholdTriggersAutomatically) {
+  HazardDomain domain(1, 1);
+  int reclaimed = 0;
+  const std::size_t threshold = domain.scan_threshold();
+  for (std::size_t i = 0; i < threshold; ++i) {
+    domain.retire(0, new int(static_cast<int>(i)), [&reclaimed](void* p) {
+      ++reclaimed;
+      delete static_cast<int*>(p);
+    });
+  }
+  EXPECT_GT(reclaimed, 0) << "hitting the threshold must trigger a scan";
+}
+
+TEST(HpStack, SequentialLifo) {
+  structures::HpTreiberStack<int> stack(1);
+  stack.push(0, 1);
+  stack.push(0, 2);
+  int out = 0;
+  EXPECT_TRUE(stack.pop(0, out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(stack.pop(0, out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(stack.pop(0, out));
+}
+
+TEST(HpStack, ConcurrentStressBalancedAndLeakFree) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  auto stack = std::make_unique<structures::HpTreiberStack<std::uint64_t>>(kThreads);
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<std::uint64_t> pushed_count{0}, popped_count{0};
+
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(1, 2)) {
+          const std::uint64_t v = rng.below(1000) + 1;
+          stack->push(tid, v);
+          pushed_sum.fetch_add(v);
+          pushed_count.fetch_add(1);
+        } else {
+          std::uint64_t v = 0;
+          if (stack->pop(tid, v)) {
+            popped_sum.fetch_add(v);
+            popped_count.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain and account: every pushed value must be popped exactly once.
+  std::uint64_t v = 0;
+  while (stack->pop(0, v)) {
+    popped_sum.fetch_add(v);
+    popped_count.fetch_add(1);
+  }
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
+  EXPECT_EQ(pushed_count.load(), popped_count.load());
+
+  const std::uint64_t allocated = stack->allocated();
+  stack.reset();  // Destructor reclaims any still-retired nodes.
+  EXPECT_GT(allocated, 0u);
+}
+
+}  // namespace
+}  // namespace aba::reclaim

@@ -1,6 +1,8 @@
 // Tests for the application structures: the Treiber stack with its three
-// head-protection policies (raw CAS / bounded tag / LL/SC), the Michael-
-// Scott queue, and hazard pointers.
+// head-protection policies (raw CAS / bounded tag / LL/SC) and the Michael-
+// Scott queue, all under the default immediate-reuse (tagged) reclaimer.
+// The reclamation axis — hazard/epoch/leaky policies and their sweeps — is
+// covered by tests/test_reclaim.cpp.
 //
 // The centerpiece is the deterministic ABA reproduction: one fixed schedule
 // corrupts the raw-CAS stack, while the *same* schedule leaves the tagged
@@ -18,7 +20,6 @@
 #include "sim/sim_platform.h"
 #include "spec/lin_checker.h"
 #include "spec/specs.h"
-#include "structures/hazard_pointers.h"
 #include "structures/ms_queue.h"
 #include "structures/treiber_stack.h"
 #include "util/rng.h"
@@ -80,11 +81,7 @@ struct SimQueue {
 
 template <class Impl, class... Args>
 harness::FixtureFactory stack_factory(int n, Args... args) {
-  return [n, args...](sim::SimWorld& world,
-                      spec::History& history) -> std::unique_ptr<harness::Invoker> {
-    return std::make_unique<harness::StackInvoker<Impl>>(
-        world, history, std::make_unique<Impl>(world, n, args...));
-  };
+  return harness::make_factory<harness::StackInvoker, Impl>(n, args...);
 }
 
 // ------------------------------------------------------- sequential
@@ -395,106 +392,6 @@ TEST_P(MsQueueRandom, Linearizable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MsQueueRandom, ::testing::ValuesIn(stack_cases()));
-
-// ------------------------------------------------------ hazard pointers
-
-TEST(HazardPointers, ProtectPinsAndScanDefers) {
-  HazardDomain domain(2, 1);
-  std::atomic<int*> src{new int(42)};
-  int* pinned = domain.protect(0, 0, src);
-  ASSERT_NE(pinned, nullptr);
-  EXPECT_EQ(*pinned, 42);
-
-  // Thread 1 retires the node while thread 0 still pins it.
-  bool deleted = false;
-  int* raw = src.exchange(nullptr);
-  domain.retire(1, raw, [&deleted](void* p) {
-    deleted = true;
-    delete static_cast<int*>(p);
-  });
-  domain.scan(1);
-  EXPECT_FALSE(deleted) << "pinned node must survive a scan";
-
-  domain.clear(0, 0);
-  domain.scan(1);
-  EXPECT_TRUE(deleted) << "unpinned node must be reclaimed";
-}
-
-TEST(HazardPointers, ProtectRevalidatesOnRace) {
-  HazardDomain domain(1, 1);
-  std::atomic<int*> src{new int(1)};
-  int* p = domain.protect(0, 0, src);
-  EXPECT_EQ(p, src.load());
-  delete src.load();
-}
-
-TEST(HazardPointers, ScanThresholdTriggersAutomatically) {
-  HazardDomain domain(1, 1);
-  int reclaimed = 0;
-  const std::size_t threshold = domain.scan_threshold();
-  for (std::size_t i = 0; i < threshold; ++i) {
-    domain.retire(0, new int(static_cast<int>(i)), [&reclaimed](void* p) {
-      ++reclaimed;
-      delete static_cast<int*>(p);
-    });
-  }
-  EXPECT_GT(reclaimed, 0) << "hitting the threshold must trigger a scan";
-}
-
-TEST(HpStack, SequentialLifo) {
-  HpTreiberStack<int> stack(1);
-  stack.push(0, 1);
-  stack.push(0, 2);
-  int out = 0;
-  EXPECT_TRUE(stack.pop(0, out));
-  EXPECT_EQ(out, 2);
-  EXPECT_TRUE(stack.pop(0, out));
-  EXPECT_EQ(out, 1);
-  EXPECT_FALSE(stack.pop(0, out));
-}
-
-TEST(HpStack, ConcurrentStressBalancedAndLeakFree) {
-  constexpr int kThreads = 4;
-  constexpr int kOpsPerThread = 2000;
-  auto stack = std::make_unique<HpTreiberStack<std::uint64_t>>(kThreads);
-  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
-  std::atomic<std::uint64_t> pushed_count{0}, popped_count{0};
-
-  std::vector<std::thread> threads;
-  for (int tid = 0; tid < kThreads; ++tid) {
-    threads.emplace_back([&, tid] {
-      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 1);
-      for (int i = 0; i < kOpsPerThread; ++i) {
-        if (rng.chance(1, 2)) {
-          const std::uint64_t v = rng.below(1000) + 1;
-          stack->push(tid, v);
-          pushed_sum.fetch_add(v);
-          pushed_count.fetch_add(1);
-        } else {
-          std::uint64_t v = 0;
-          if (stack->pop(tid, v)) {
-            popped_sum.fetch_add(v);
-            popped_count.fetch_add(1);
-          }
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-
-  // Drain and account: every pushed value must be popped exactly once.
-  std::uint64_t v = 0;
-  while (stack->pop(0, v)) {
-    popped_sum.fetch_add(v);
-    popped_count.fetch_add(1);
-  }
-  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
-  EXPECT_EQ(pushed_count.load(), popped_count.load());
-
-  const std::uint64_t allocated = stack->allocated();
-  stack.reset();  // Destructor reclaims any still-retired nodes.
-  EXPECT_GT(allocated, 0u);
-}
 
 }  // namespace
 }  // namespace aba::structures

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (offline, CI docs job).
+
+Verifies that every relative link target in the checked markdown files
+exists on disk (external http(s)/mailto links are skipped — the docs job
+must not depend on the network). Exit code 0 iff all links resolve.
+
+Usage: python3 tools/check_links.py [file.md ...]
+With no arguments, checks the repo's standard doc set.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_DOCS = [
+    "README.md",
+    "PAPER.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/DESIGN.md",
+    "docs/RECLAMATION.md",
+]
+
+# [text](target) — excluding images is unnecessary; their targets must
+# exist too. Inline code spans are stripped first so `foo(bar)` examples
+# never parse as links.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+                yield lineno, match.group(1)
+
+
+def check_file(path):
+    errors = []
+    base = os.path.dirname(path)
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:  # Pure in-page anchor.
+            continue
+        full = os.path.normpath(os.path.join(base, resolved))
+        if not os.path.exists(full):
+            errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv):
+    docs = argv[1:] or [
+        os.path.join(REPO_ROOT, doc)
+        for doc in DEFAULT_DOCS
+        if os.path.exists(os.path.join(REPO_ROOT, doc))
+    ]
+    all_errors = []
+    checked = 0
+    for doc in docs:
+        if not os.path.exists(doc):
+            all_errors.append(f"{doc}: file not found")
+            continue
+        all_errors.extend(check_file(doc))
+        checked += 1
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {checked} files checked, {len(all_errors)} broken links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
