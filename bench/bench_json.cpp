@@ -72,6 +72,7 @@ std::string JsonReport::to_json() const {
            "\", \"orderings\": \"" + escape_json(r.orderings) +
            "\", \"reclaimer\": \"" + escape_json(r.reclaimer) +
            "\", \"threads\": " + number(static_cast<std::uint64_t>(r.threads)) +
+           ", \"shards\": " + number(static_cast<std::uint64_t>(r.shards)) +
            ", \"ops\": " + number(r.ops) +
            ", \"seconds\": " + number(r.seconds) +
            ", \"ops_per_sec\": " + number(r.ops_per_sec) + "}";

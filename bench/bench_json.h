@@ -22,6 +22,7 @@ struct JsonRecord {
   std::string orderings;  // "seq_cst" | "acquire_release"
   std::string reclaimer;  // "tagged" | "leaky" | "hazard" | "epoch" | "none"
   int threads = 0;
+  int shards = 1;         // shard count (1 for the unsharded scenarios)
   std::uint64_t ops = 0;      // completed operations across all threads
   double seconds = 0.0;       // measured wall time
   double ops_per_sec = 0.0;   // ops / seconds

@@ -13,6 +13,10 @@
 //   structures × reclamation policy (reclaimer = tagged|leaky|hazard|epoch,
 //   the src/reclaim/ axis — relative cost of each ABA answer):
 //     treiber_stack         — push;pop pairs through a bounded-tag CAS head;
+//     treiber_stack_llsc    — the same pairs through a per-shard-free
+//                             Figure 3 LL/SC head, so the (head × reclaimer)
+//                             grid the tests check is also the grid the
+//                             benches measure;
 //     ms_queue              — enqueue;dequeue pairs on Michael-Scott
 //                             head/tail;
 //     treiber_stack_90_10   — read-heavy mix: 90% pops / 10% pushes, so the
@@ -22,7 +26,17 @@
 //     treiber_stack_oversub — push;pop pairs with 4× hardware_concurrency
 //                             threads: preemption mid-operation, the regime
 //                             where backoff yields and stalled readers
-//                             (epoch's weakness) actually happen.
+//                             (epoch's weakness) actually happen;
+//     sharded_treiber_stack, sharded_ms_queue
+//                           — the structures/sharded.h wrappers: the same
+//                             push;pop / enqueue;dequeue pairs spread over
+//                             --shards per-shard heads with home-shard
+//                             routing and bounded stealing. The shard count
+//                             is the swept variable that turns single-word
+//                             contention — the paper's central cost driver —
+//                             into an experimental dimension; every record
+//                             carries it ("shards": 1 for the unsharded
+//                             scenarios).
 //
 // Leaky cells are drain-limited: the pool is finite and never refills, so a
 // worker that can no longer make useful progress exits and the cell records
@@ -41,13 +55,17 @@
 // those fast cells use the Fast policy, whose orderings follow the
 // ABA_RELAXED_ORDERINGS build option (seq_cst by default). Every JSON
 // record carries the orderings and reclaimer that produced it. The
-// counted-vs-fast delta is what subsequent PRs regress against.
+// counted-vs-fast delta is what subsequent PRs regress against
+// (tools/bench_compare.py compares per cell against the committed
+// baseline).
 //
 // Flags (google-benchmark-compatible where it matters for CI):
 //   --benchmark_min_time=SECONDS  per-cell measurement time (default 0.2)
 //   --out=PATH                    output JSON path (default BENCH_native.json)
 //   --threads=1,2,4               thread counts to sweep
 //   --reclaimers=tagged,epoch     reclamation policies to sweep (default all)
+//   --shards=1,2,4,8              shard counts for the sharded scenarios
+//                                 (compiled instantiations: 1, 2, 4, 8)
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -68,6 +86,7 @@
 #include "reclaim/leaky.h"
 #include "reclaim/tagged.h"
 #include "structures/ms_queue.h"
+#include "structures/sharded.h"
 #include "structures/treiber_stack.h"
 
 namespace {
@@ -189,6 +208,51 @@ int pool_per_thread(int n) {
   return budget < index_space_cap ? budget : index_space_cap;
 }
 
+// The push;pop-pair worker every contended stack cell runs (the sharded
+// wrapper exposes the same surface, so one worker serves both).
+template <class Stack>
+auto stack_pair_worker(Stack& stack, int pid) {
+  return [&stack, pid, v = std::uint64_t{0}]() mutable {
+    std::uint64_t completed = 0;
+    bool useful = false;
+    for (int i = 0; i < kBatch; ++i) {
+      // push;pop pairs keep the pool balanced; if this thread's free
+      // list drained (its nodes were popped by others, or leaked), pop
+      // to keep making progress.
+      if (stack.push(pid, v++)) {
+        ++completed;
+        useful = true;
+      } else if (stack.pop(pid).has_value()) {
+        ++completed;
+        useful = true;
+      }
+      ++completed;  // The paired pop below always completes as an op.
+      if (stack.pop(pid).has_value()) useful = true;
+    }
+    return useful ? completed : 0;
+  };
+}
+
+template <class Queue>
+auto queue_pair_worker(Queue& queue, int pid) {
+  return [&queue, pid, v = std::uint64_t{0}]() mutable {
+    std::uint64_t completed = 0;
+    bool useful = false;
+    for (int i = 0; i < kBatch; ++i) {
+      if (queue.enqueue(pid, v++)) {
+        ++completed;
+        useful = true;
+      } else if (queue.dequeue(pid).has_value()) {
+        ++completed;
+        useful = true;
+      }
+      ++completed;
+      if (queue.dequeue(pid).has_value()) useful = true;
+    }
+    return useful ? completed : 0;
+  };
+}
+
 template <class P, class R>
 Cell run_treiber_stack(int n, double secs) {
   using Head = structures::TaggedCasHead<P>;
@@ -196,27 +260,30 @@ Cell run_treiber_stack(int n, double secs) {
   typename P::Env env;
   Stack stack(env, n, std::make_unique<Head>(env, n),
               Stack::partition(n, pool_per_thread<R>(n)));
-  return measure(n, secs, [&](int pid) {
-    return [&stack, pid, v = std::uint64_t{0}]() mutable {
-      std::uint64_t completed = 0;
-      bool useful = false;
-      for (int i = 0; i < kBatch; ++i) {
-        // push;pop pairs keep the pool balanced; if this thread's free
-        // list drained (its nodes were popped by others, or leaked), pop
-        // to keep making progress.
-        if (stack.push(pid, v++)) {
-          ++completed;
-          useful = true;
-        } else if (stack.pop(pid).has_value()) {
-          ++completed;
-          useful = true;
-        }
-        ++completed;  // The paired pop below always completes as an op.
-        if (stack.pop(pid).has_value()) useful = true;
-      }
-      return useful ? completed : 0;
-    };
-  });
+  return measure(n, secs,
+                 [&](int pid) { return stack_pair_worker(stack, pid); });
+}
+
+// The LlscHead column: the same contended pairs, head-protected by the
+// Figure 3 single-CAS LL/SC object (ABA-immune at the word; LL costs up to
+// 1+2n steps under contention — that price is what this column measures).
+template <class P, class R>
+Cell run_treiber_stack_llsc(int n, double secs) {
+  using Llsc = core::LlscSingleCas<P>;
+  using Head = structures::LlscHead<Llsc>;
+  using Stack = structures::TreiberStack<P, Head, R>;
+  typename P::Env env;
+  // 16 value bits hold every head word (pool_per_thread caps the total pool
+  // at 60000 < 2^16) and keep the n + value_bits <= 64 capacity check at
+  // n <= 48 — the same thread ceiling run_llsc's Figure 3 object already has.
+  Llsc llsc(env, n,
+            typename Llsc::Options{.value_bits = 16,
+                                   .initial_value = structures::kNullIndex,
+                                   .initially_linked = false});
+  Stack stack(env, n, std::make_unique<Head>(llsc),
+              Stack::partition(n, pool_per_thread<R>(n)));
+  return measure(n, secs,
+                 [&](int pid) { return stack_pair_worker(stack, pid); });
 }
 
 template <class P, class R>
@@ -251,24 +318,38 @@ Cell run_ms_queue(int n, double secs) {
   using Queue = structures::MsQueue<P, R>;
   typename P::Env env;
   Queue queue(env, n, pool_per_thread<R>(n));
-  return measure(n, secs, [&](int pid) {
-    return [&queue, pid, v = std::uint64_t{0}]() mutable {
-      std::uint64_t completed = 0;
-      bool useful = false;
-      for (int i = 0; i < kBatch; ++i) {
-        if (queue.enqueue(pid, v++)) {
-          ++completed;
-          useful = true;
-        } else if (queue.dequeue(pid).has_value()) {
-          ++completed;
-          useful = true;
-        }
-        ++completed;
-        if (queue.dequeue(pid).has_value()) useful = true;
-      }
-      return useful ? completed : 0;
-    };
-  });
+  return measure(n, secs,
+                 [&](int pid) { return queue_pair_worker(queue, pid); });
+}
+
+// ------------------------------------------------- the sharded dimension
+
+// Per-shard pool slice: the same total node budget as the unsharded cell,
+// split across shards (each shard's reclaimer owns a disjoint index space).
+template <class R>
+int pool_per_thread_per_shard(int n, int shards) {
+  const int per_shard = pool_per_thread<R>(n) / shards;
+  return per_shard >= 1 ? per_shard : 1;
+}
+
+template <class P, class R, int kShards>
+Cell run_sharded_stack(int n, double secs) {
+  using Head = structures::TaggedCasHead<P>;
+  using Stack = structures::ShardedTreiberStack<P, Head, R, kShards>;
+  typename P::Env env;
+  Stack stack(env, n, Stack::make_heads(env, n),
+              pool_per_thread_per_shard<R>(n, kShards));
+  return measure(n, secs,
+                 [&](int pid) { return stack_pair_worker(stack, pid); });
+}
+
+template <class P, class R, int kShards>
+Cell run_sharded_queue(int n, double secs) {
+  using Queue = structures::ShardedMsQueue<P, R, kShards>;
+  typename P::Env env;
+  Queue queue(env, n, pool_per_thread_per_shard<R>(n, kShards));
+  return measure(n, secs,
+                 [&](int pid) { return queue_pair_worker(queue, pid); });
 }
 
 // ------------------------------------------------------------ the matrix
@@ -281,6 +362,7 @@ int oversub_threads() {
 struct MatrixConfig {
   std::vector<int> thread_counts;
   std::vector<std::string> reclaimers;
+  std::vector<int> shard_counts;
   double secs = 0.2;
 };
 
@@ -292,15 +374,54 @@ bool wants(const MatrixConfig& config, const char* reclaimer) {
 }
 
 void emit(bench::JsonReport& report, const char* scenario, const char* label,
-          const char* orderings, const char* reclaimer, int n,
+          const char* orderings, const char* reclaimer, int n, int shards,
           const Cell& cell) {
   const double rate =
       cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
   report.add(bench::JsonRecord{scenario, label, orderings, reclaimer, n,
-                               cell.ops, cell.seconds, rate});
-  std::printf("  %-22s %-8s %-7s threads=%-3d %-15s %12.0f ops/s\n", scenario,
-              label, reclaimer, n, orderings, rate);
+                               shards, cell.ops, cell.seconds, rate});
+  std::printf("  %-22s %-8s %-7s threads=%-3d shards=%-2d %-15s %12.0f ops/s\n",
+              scenario, label, reclaimer, n, shards, orderings, rate);
   std::fflush(stdout);
+}
+
+// The sharded cells of one (platform, reclaimer) column: the shard count is
+// a compile-time parameter (the probe loops unroll), so the runtime sweep
+// dispatches over the instantiated counts.
+template <class P, class R>
+void run_sharded_cells(const char* label, const char* orderings,
+                       const MatrixConfig& config, bench::JsonReport& report) {
+  for (const int shards : config.shard_counts) {
+    for (const int n : config.thread_counts) {
+      Cell stack_cell, queue_cell;
+      switch (shards) {
+        case 1:
+          stack_cell = run_sharded_stack<P, R, 1>(n, config.secs);
+          queue_cell = run_sharded_queue<P, R, 1>(n, config.secs);
+          break;
+        case 2:
+          stack_cell = run_sharded_stack<P, R, 2>(n, config.secs);
+          queue_cell = run_sharded_queue<P, R, 2>(n, config.secs);
+          break;
+        case 4:
+          stack_cell = run_sharded_stack<P, R, 4>(n, config.secs);
+          queue_cell = run_sharded_queue<P, R, 4>(n, config.secs);
+          break;
+        case 8:
+          stack_cell = run_sharded_stack<P, R, 8>(n, config.secs);
+          queue_cell = run_sharded_queue<P, R, 8>(n, config.secs);
+          break;
+        default:
+          std::fprintf(stderr, "shard count %d not instantiated (want 1|2|4|8)\n",
+                       shards);
+          continue;
+      }
+      emit(report, "sharded_treiber_stack", label, orderings, R::kName, n,
+           shards, stack_cell);
+      emit(report, "sharded_ms_queue", label, orderings, R::kName, n, shards,
+           queue_cell);
+    }
+  }
 }
 
 // One reclaimer column of one platform side.
@@ -309,16 +430,19 @@ void run_reclaim_column(const char* label, const char* orderings,
                         const MatrixConfig& config, bench::JsonReport& report) {
   if (!wants(config, R::kName)) return;
   for (const int n : config.thread_counts) {
-    emit(report, "treiber_stack", label, orderings, R::kName, n,
+    emit(report, "treiber_stack", label, orderings, R::kName, n, 1,
          run_treiber_stack<P, R>(n, config.secs));
-    emit(report, "ms_queue", label, orderings, R::kName, n,
+    emit(report, "treiber_stack_llsc", label, orderings, R::kName, n, 1,
+         run_treiber_stack_llsc<P, R>(n, config.secs));
+    emit(report, "ms_queue", label, orderings, R::kName, n, 1,
          run_ms_queue<P, R>(n, config.secs));
-    emit(report, "treiber_stack_90_10", label, orderings, R::kName, n,
+    emit(report, "treiber_stack_90_10", label, orderings, R::kName, n, 1,
          run_treiber_stack_90_10<P, R>(n, config.secs));
   }
   const int oversub = oversub_threads();
-  emit(report, "treiber_stack_oversub", label, orderings, R::kName, oversub,
+  emit(report, "treiber_stack_oversub", label, orderings, R::kName, oversub, 1,
        run_treiber_stack<P, R>(oversub, config.secs));
+  run_sharded_cells<P, R>(label, orderings, config, report);
 }
 
 // One side of the matrix. Policies are per scenario: LlscPolicy for the
@@ -336,9 +460,9 @@ void run_side(const char* label, const MatrixConfig& config,
   using StructP = native::NativePlatform<StructPolicy>;
   for (const int n : config.thread_counts) {
     emit(report, "llsc_single_cas", label, orderings_label<LlscPolicy>(),
-         "none", n, run_llsc<LlscP>(n, config.secs));
+         "none", n, 1, run_llsc<LlscP>(n, config.secs));
     emit(report, "aba_register", label, orderings_label<SeqCstPolicy>(), "none",
-         n, run_aba_register<SeqCstP>(n, config.secs));
+         n, 1, run_aba_register<SeqCstP>(n, config.secs));
   }
   run_reclaim_column<StructP, reclaim::TaggedReclaimer<StructP>>(
       label, orderings_label<StructPolicy>(), config, report);
@@ -352,17 +476,18 @@ void run_side(const char* label, const MatrixConfig& config,
 
 double find_rate(const bench::JsonReport& report, const std::string& scenario,
                  const std::string& platform, const std::string& reclaimer,
-                 int threads) {
+                 int threads, int shards) {
   for (const auto& r : report.records()) {
     if (r.scenario == scenario && r.platform == platform &&
-        r.reclaimer == reclaimer && r.threads == threads) {
+        r.reclaimer == reclaimer && r.threads == threads &&
+        r.shards == shards) {
       return r.ops_per_sec;
     }
   }
   return 0;
 }
 
-std::vector<int> parse_threads(const std::string& csv) {
+std::vector<int> parse_ints(const std::string& csv) {
   std::vector<int> out;
   std::size_t pos = 0;
   while (pos < csv.size()) {
@@ -404,6 +529,7 @@ int main(int argc, char** argv) {
   MatrixConfig config;
   config.thread_counts = {1, 2, 4};
   config.reclaimers = {"tagged", "leaky", "hazard", "epoch"};
+  config.shard_counts = {1, 4};
   std::string out_path = "BENCH_native.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -414,7 +540,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(std::strlen("--out="));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      config.thread_counts = parse_threads(arg.substr(std::strlen("--threads=")));
+      config.thread_counts = parse_ints(arg.substr(std::strlen("--threads=")));
       if (config.thread_counts.empty()) config.thread_counts = {1, 2, 4};
     } else if (arg.rfind("--reclaimers=", 0) == 0) {
       config.reclaimers = parse_reclaimers(arg.substr(std::strlen("--reclaimers=")));
@@ -422,10 +548,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "no valid reclaimers selected\n");
         return 2;
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shard_counts = parse_ints(arg.substr(std::strlen("--shards=")));
+      if (config.shard_counts.empty()) {
+        std::fprintf(stderr, "no valid shard counts selected\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
-                   "[--threads=1,2,4] [--reclaimers=tagged,leaky,hazard,epoch]\n",
+                   "[--threads=1,2,4] [--reclaimers=tagged,leaky,hazard,epoch] "
+                   "[--shards=1,2,4,8]\n",
                    argv[0]);
       return 2;
     }
@@ -447,7 +580,7 @@ int main(int argc, char** argv) {
   report.add_context("build", "debug");
 #endif
 
-  std::printf("E9  native throughput matrix (counted vs fast × reclaimers)\n");
+  std::printf("E9  native throughput matrix (counted vs fast × reclaimers × shards)\n");
   run_side<native::Counted, native::Counted, native::Counted>("counted", config,
                                                               report);
   run_side<native::FastRelaxed, native::Fast, native::FastRelaxed>(
@@ -456,22 +589,50 @@ int main(int argc, char** argv) {
   std::printf("\n  fast/counted speedup:\n");
   for (const char* scenario : {"llsc_single_cas", "aba_register"}) {
     for (const int n : config.thread_counts) {
-      const double counted = find_rate(report, scenario, "counted", "none", n);
-      const double fast = find_rate(report, scenario, "fast", "none", n);
+      const double counted = find_rate(report, scenario, "counted", "none", n, 1);
+      const double fast = find_rate(report, scenario, "fast", "none", n, 1);
       if (counted > 0) {
         std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario, "none", n,
                     fast / counted);
       }
     }
   }
-  for (const char* scenario : {"treiber_stack", "ms_queue", "treiber_stack_90_10"}) {
+  for (const char* scenario :
+       {"treiber_stack", "treiber_stack_llsc", "ms_queue",
+        "treiber_stack_90_10"}) {
     for (const auto& reclaimer : config.reclaimers) {
       for (const int n : config.thread_counts) {
-        const double counted = find_rate(report, scenario, "counted", reclaimer, n);
-        const double fast = find_rate(report, scenario, "fast", reclaimer, n);
+        const double counted =
+            find_rate(report, scenario, "counted", reclaimer, n, 1);
+        const double fast = find_rate(report, scenario, "fast", reclaimer, n, 1);
         if (counted > 0) {
           std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario,
                       reclaimer.c_str(), n, fast / counted);
+        }
+      }
+    }
+  }
+
+  // The sharding win itself: each swept shard count vs the 1-shard cell of
+  // the same (structure, reclaimer, threads) on the fast side.
+  if (config.shard_counts.size() > 1) {
+    std::printf("\n  sharding speedup (fast side, vs shards=1):\n");
+    for (const char* scenario : {"sharded_treiber_stack", "sharded_ms_queue"}) {
+      for (const auto& reclaimer : config.reclaimers) {
+        for (const int n : config.thread_counts) {
+          const double base =
+              find_rate(report, scenario, "fast", reclaimer, n, 1);
+          if (base <= 0) continue;
+          for (const int shards : config.shard_counts) {
+            if (shards == 1) continue;
+            const double sharded =
+                find_rate(report, scenario, "fast", reclaimer, n, shards);
+            if (sharded > 0) {
+              std::printf("  %-22s %-7s threads=%d shards=%d  %.2fx\n",
+                          scenario, reclaimer.c_str(), n, shards,
+                          sharded / base);
+            }
+          }
         }
       }
     }

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "harness/harness.h"
 #include "sim/sim_world.h"
@@ -120,6 +121,7 @@ class StackInvoker : public Invoker {
         world_.invoke(op.pid, [this, op, idx] {
           const bool ok = impl_->push(op.pid, op.arg);
           history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+          on_complete(idx, op.pid);
         });
         break;
       case spec::Method::kPop:
@@ -129,12 +131,18 @@ class StackInvoker : public Invoker {
                             spec::pack_opt(value.has_value(),
                                            value.has_value() ? *value : 0),
                             world_.next_event_time());
+          on_complete(idx, op.pid);
         });
         break;
       default:
         ABA_CHECK_MSG(false, "StackInvoker: unsupported method");
     }
   }
+
+ protected:
+  // Called after each completion is recorded; the extension point the
+  // shard-tagging adapter below hooks (default: nothing).
+  virtual void on_complete(std::size_t /*idx*/, int /*pid*/) {}
 
  private:
   sim::SimWorld& world_;
@@ -160,6 +168,7 @@ class QueueInvoker : public Invoker {
         world_.invoke(op.pid, [this, op, idx] {
           const bool ok = impl_->enqueue(op.pid, op.arg);
           history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
+          on_complete(idx, op.pid);
         });
         break;
       case spec::Method::kDeq:
@@ -169,6 +178,7 @@ class QueueInvoker : public Invoker {
                             spec::pack_opt(value.has_value(),
                                            value.has_value() ? *value : 0),
                             world_.next_event_time());
+          on_complete(idx, op.pid);
         });
         break;
       default:
@@ -176,11 +186,51 @@ class QueueInvoker : public Invoker {
     }
   }
 
+ protected:
+  // See StackInvoker::on_complete.
+  virtual void on_complete(std::size_t /*idx*/, int /*pid*/) {}
+
  private:
   sim::SimWorld& world_;
   spec::History& history_;
   std::unique_ptr<Impl> impl_;
 };
+
+// ----------------------------------------------------- sharded structures
+//
+// The sharded wrappers (structures/sharded.h) expose the same push/pop /
+// enqueue/dequeue surface — the plain StackInvoker/QueueInvoker drive them
+// unchanged when only the composite history matters. The tagging variants
+// additionally record, per completed op, the shard the operation landed on
+// (Impl::last_shard(p), thread-private so querying it costs no shared
+// steps), which is what lets the test suite split one history into
+// per-shard sub-histories and check each shard against the *exact*
+// stack/queue spec — the "linearizable as a multiset per shard" contract.
+
+// Hooks a Base invoker's on_complete to tag each history index with the
+// shard its operation landed on. Base's Impl must expose last_shard(p).
+template <class Base>
+class ShardTagging : public Base {
+ public:
+  using Base::Base;
+
+  // shard_of()[i] is the shard of the history op recorded at index i.
+  const std::vector<int>& shard_of() const { return shard_of_; }
+
+ protected:
+  void on_complete(std::size_t idx, int pid) override {
+    if (shard_of_.size() <= idx) shard_of_.resize(idx + 1, -1);
+    shard_of_[idx] = this->impl().last_shard(pid);
+  }
+
+ private:
+  std::vector<int> shard_of_;
+};
+
+template <class Impl>
+using ShardedStackInvoker = ShardTagging<StackInvoker<Impl>>;
+template <class Impl>
+using ShardedQueueInvoker = ShardTagging<QueueInvoker<Impl>>;
 
 // Builds a FixtureFactory for any Impl constructible from
 // (SimWorld&, int n, Args...), wired through the given Invoker template

@@ -55,14 +55,10 @@ struct Pending {
 
 }  // namespace
 
-std::vector<spec::Op> run_random_schedule(int num_processes,
-                                          const FixtureFactory& factory,
-                                          const std::vector<WorkloadOp>& workload,
-                                          std::uint64_t seed) {
-  sim::SimWorld world(num_processes);
-  world.set_trace_enabled(false);
-  spec::History history;
-  auto invoker = factory(world, history);
+void drive_random_schedule(sim::SimWorld& world, Invoker& invoker,
+                           int num_processes,
+                           const std::vector<WorkloadOp>& workload,
+                           std::uint64_t seed) {
   Pending pending(num_processes, workload);
   util::Xoshiro256 rng(seed);
 
@@ -73,8 +69,19 @@ std::vector<spec::Op> run_random_schedule(int num_processes,
     }
     ABA_ASSERT_MSG(!runnable.empty(), "no runnable process but work remains");
     const int pid = runnable[rng.below(runnable.size())];
-    pending.advance(world, *invoker, pid);
+    pending.advance(world, invoker, pid);
   }
+}
+
+std::vector<spec::Op> run_random_schedule(int num_processes,
+                                          const FixtureFactory& factory,
+                                          const std::vector<WorkloadOp>& workload,
+                                          std::uint64_t seed) {
+  sim::SimWorld world(num_processes);
+  world.set_trace_enabled(false);
+  spec::History history;
+  auto invoker = factory(world, history);
+  drive_random_schedule(world, *invoker, num_processes, workload, seed);
   return history.ops();
 }
 

@@ -58,6 +58,16 @@ std::vector<spec::Op> run_random_schedule(int num_processes,
                                           const std::vector<WorkloadOp>& workload,
                                           std::uint64_t seed);
 
+// The factory-free variant: drives the same uniformly random schedule over a
+// caller-owned world and invoker. Use this when the invoker accumulates
+// state the test needs to read after the run — e.g. the per-op shard tags
+// the sharded adapters record — which the FixtureFactory interface would
+// discard with the invoker at return.
+void drive_random_schedule(sim::SimWorld& world, Invoker& invoker,
+                           int num_processes,
+                           const std::vector<WorkloadOp>& workload,
+                           std::uint64_t seed);
+
 // Round-robin over processes with a fixed quantum of steps (quantum = big
 // number approximates running ops solo, quantum = 1 maximizes interleaving).
 std::vector<spec::Op> run_round_robin(int num_processes,

@@ -1,0 +1,245 @@
+// Sharded structures — scaling past single-word contention.
+//
+// Everything else in this repository funnels all n processes through one
+// protected head word (tagged CAS, LL/SC, or a raw CAS under deferred
+// reclamation); the paper's per-word time/space bounds are exactly the cost
+// of protecting that word, and on hardware its cache line is a serialization
+// point that flattens E9 throughput as soon as contention saturates it.
+// These wrappers split one logical structure into kShards complete
+// sub-structures — each shard a full TreiberStack / MsQueue with its own
+// head word and its own Reclaimer instance — and route operations:
+//
+//   * push/enqueue go to the process's home shard (util/shard.h: dense-pid
+//     mod, balanced and one integer op). Under pool pressure (the home
+//     shard's reclaimer cannot produce a safe node) the operation falls
+//     through the probe sequence and lands on the first shard that can —
+//     capacity is elastic across shards even though index pools are not.
+//   * pop/dequeue try the home shard first; on empty they steal: one
+//     bounded cyclic scan of the other shards (util/shard.h probe order),
+//     returning the first success. Only after every shard has reported
+//     empty does the operation report empty.
+//
+// Semantics: each shard is linearizable as a stack/queue on its own (its
+// operations are ordinary TreiberStack/MsQueue operations and sharding
+// adds no shared state whatsoever — routing is arithmetic on thread-private
+// values). The composite is a relaxed pool: a linearizable multiset whose
+// pops return *some* pushed element (per-shard LIFO/FIFO order, no global
+// order), and whose "empty" answer is a per-scan observation — each shard
+// was individually observed empty at some instant inside the operation's
+// window, but the composite may never have been empty at a single instant.
+// tests/test_sharded.cpp checks exactly this contract: per-shard
+// sub-histories linearize against the exact specs, the composite conserves
+// the value multiset, and a deterministic schedule pins the steal race.
+//
+// The Reclaimer axis carries over unchanged and needs no cross-shard
+// coordination: reclaimers manage *indices into their own shard's pool*,
+// a popped node is retired to the reclaimer of the shard it was popped
+// from, and no index ever crosses a shard boundary — so each shard's
+// safety argument (tag width, hazard scan, epoch grace) is exactly the
+// unsharded one with the same n processes.
+//
+// kShards is a compile-time parameter: the probe loops unroll, and under
+// the native Fast policy each shard's head word is already alone on its
+// cache line (native_platform.h WordStorage), so shards never false-share.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "reclaim/reclaimer.h"
+#include "reclaim/tagged.h"
+#include "structures/ms_queue.h"
+#include "structures/treiber_stack.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+#include "util/shard.h"
+
+namespace aba::structures {
+
+namespace detail {
+
+// The shard an operation last landed on, per process. Thread-private (one
+// plain store per operation, no shared steps — the sim step counts and the
+// Fast≡Counted traces are unaffected), padded so neighbours never
+// false-share. The sharded test adapters read this to attribute each
+// history op to its shard.
+struct alignas(util::kCacheLineSize) LastShard {
+  int shard = -1;
+};
+
+// The routing core both sharded wrappers share: owns the shard array and
+// the per-process last-shard tags, and implements the one probe/steal
+// contract the tests pin — home shard first, then the cyclic scan, failed
+// or empty operations charged to the home shard. The derived wrapper
+// constructs the shards (heads vs queue options differ) and names the
+// verbs (push/pop vs enqueue/dequeue).
+template <class Shard, int kShards>
+class ShardRouter {
+ public:
+  static constexpr int kShardCount = kShards;
+
+  // The shard p's last completed operation landed on (its home shard for a
+  // failed put or an empty take). Thread-private; meaningful only to the
+  // calling process between its own operations.
+  int last_shard(int p) const {
+    return last_[static_cast<std::size_t>(p)].shard;
+  }
+
+  static constexpr int home_shard_of(int p) {
+    return util::home_shard(p, kShards);
+  }
+
+  Shard& shard(int s) { return *shards_[s]; }
+  const Shard& shard(int s) const { return *shards_[s]; }
+
+  std::size_t pool_size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->pool_size();
+    return total;
+  }
+
+  // Aggregate deferred-garbage introspection (sum over shards).
+  std::size_t unreclaimed(int p) const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->reclaimer().unreclaimed(p);
+    return total;
+  }
+
+ protected:
+  explicit ShardRouter(int n) : last_(static_cast<std::size_t>(n)) {
+    ABA_CHECK(n >= 1);
+  }
+
+  // Home shard first; under pool pressure, fall through the probe sequence
+  // to the first shard whose reclaimer can produce a node.
+  template <class Put>  // Put: (Shard&, p) -> bool
+  bool routed_put(int p, Put put) {
+    const int home = util::home_shard(p, kShards);
+    for (int attempt = 0; attempt < kShards; ++attempt) {
+      const int s = util::probe_shard(home, attempt, kShards);
+      if (put(*shards_[s], p)) {
+        last_[static_cast<std::size_t>(p)].shard = s;
+        return true;
+      }
+    }
+    last_[static_cast<std::size_t>(p)].shard = home;
+    return false;
+  }
+
+  // Home shard first; on empty, one bounded steal scan over the others.
+  // An empty result is charged to the home shard (the per-shard claim the
+  // relaxed semantics make; see header comment).
+  template <class Take>  // Take: (Shard&, p) -> std::optional<uint64_t>
+  std::optional<std::uint64_t> routed_take(int p, Take take) {
+    const int home = util::home_shard(p, kShards);
+    for (int attempt = 0; attempt < kShards; ++attempt) {
+      const int s = util::probe_shard(home, attempt, kShards);
+      const std::optional<std::uint64_t> value = take(*shards_[s], p);
+      if (value.has_value()) {
+        last_[static_cast<std::size_t>(p)].shard = s;
+        return value;
+      }
+    }
+    last_[static_cast<std::size_t>(p)].shard = home;
+    return std::nullopt;
+  }
+
+  std::array<std::unique_ptr<Shard>, kShards> shards_;
+
+ private:
+  std::vector<LastShard> last_;
+};
+
+}  // namespace detail
+
+// ------------------------------------------------------------------- stack
+
+template <Platform P, class Head, class R = reclaim::TaggedReclaimer<P>,
+          int kShards = 4>
+class ShardedTreiberStack
+    : public detail::ShardRouter<TreiberStack<P, Head, R>, kShards> {
+  static_assert(kShards >= 1, "need at least one shard");
+  static_assert(reclaim::ReclaimerFor<R, P>,
+                "R must satisfy the Reclaimer concept for platform P");
+  using Router = detail::ShardRouter<TreiberStack<P, Head, R>, kShards>;
+
+ public:
+  using Shard = TreiberStack<P, Head, R>;
+
+  // heads[s] becomes shard s's protected CAS site; every shard gets its own
+  // pool of `per_process_per_shard` nodes per process (disjoint per-shard
+  // index spaces — see the header comment on why reclaimers then compose
+  // with no cross-shard coordination).
+  ShardedTreiberStack(typename P::Env& env, int n,
+                      std::array<std::unique_ptr<Head>, kShards> heads,
+                      int per_process_per_shard)
+      : Router(n) {
+    ABA_CHECK(per_process_per_shard >= 1);
+    for (int s = 0; s < kShards; ++s) {
+      this->shards_[s] = std::make_unique<Shard>(
+          env, n, std::move(heads[static_cast<std::size_t>(s)]),
+          Shard::partition(n, per_process_per_shard));
+    }
+  }
+
+  // Convenience for heads constructible from (Env&, n) — RawCasHead,
+  // TaggedCasHead. LL/SC heads wrap an external object; build those arrays
+  // by hand.
+  static std::array<std::unique_ptr<Head>, kShards> make_heads(
+      typename P::Env& env, int n) {
+    std::array<std::unique_ptr<Head>, kShards> heads;
+    for (auto& head : heads) head = std::make_unique<Head>(env, n);
+    return heads;
+  }
+
+  bool push(int p, std::uint64_t value) {
+    return this->routed_put(
+        p, [value](Shard& shard, int pid) { return shard.push(pid, value); });
+  }
+
+  std::optional<std::uint64_t> pop(int p) {
+    return this->routed_take(
+        p, [](Shard& shard, int pid) { return shard.pop(pid); });
+  }
+};
+
+// ------------------------------------------------------------------- queue
+
+template <Platform P, class R = reclaim::TaggedReclaimer<P>, int kShards = 4>
+class ShardedMsQueue : public detail::ShardRouter<MsQueue<P, R>, kShards> {
+  static_assert(kShards >= 1, "need at least one shard");
+  static_assert(reclaim::ReclaimerFor<R, P>,
+                "R must satisfy the Reclaimer concept for platform P");
+  using Router = detail::ShardRouter<MsQueue<P, R>, kShards>;
+
+ public:
+  using Shard = MsQueue<P, R>;
+  using Options = typename Shard::Options;
+
+  ShardedMsQueue(typename P::Env& env, int n, int nodes_per_process_per_shard,
+                 Options options = {})
+      : Router(n) {
+    ABA_CHECK(nodes_per_process_per_shard >= 1);
+    for (int s = 0; s < kShards; ++s) {
+      this->shards_[s] =
+          std::make_unique<Shard>(env, n, nodes_per_process_per_shard, options);
+    }
+  }
+
+  bool enqueue(int p, std::uint64_t value) {
+    return this->routed_put(p, [value](Shard& shard, int pid) {
+      return shard.enqueue(pid, value);
+    });
+  }
+
+  std::optional<std::uint64_t> dequeue(int p) {
+    return this->routed_take(
+        p, [](Shard& shard, int pid) { return shard.dequeue(pid); });
+  }
+};
+
+}  // namespace aba::structures

@@ -1,0 +1,45 @@
+// Shard routing for the sharded structures (structures/sharded.h).
+//
+// The paper's time/space bounds for ABA prevention are *per word*: every
+// protected CAS site pays its own tag/LLSC/guard cost, and on real hardware
+// a single head word additionally serializes all processes through one
+// cache line. Sharding splits one logical structure into kShards
+// independent sub-structures, each with its own protected head word, and
+// routes each process to a "home" shard so that, under even load, only
+// n/kShards processes contend per word.
+//
+// Routing is deliberately trivial: harness and bench process ids are dense
+// (0..n-1 by construction — SimWorld and the native workers both hand out
+// consecutive pids), so the modulus is a perfect hash: home shards are
+// balanced to within one process, deterministic, and cost one integer op
+// on the operation fast path. A multiplicative mix would buy nothing for
+// dense pids and would unbalance small configurations (the common test and
+// CI shapes), so we keep the mod.
+//
+// The steal order is the cyclic probe home+1, home+2, ... — every process
+// scans every shard exactly once before concluding "empty", which bounds
+// the work of an unsuccessful pop/dequeue at kShards head reads, and
+// scanning *away* from home first means a stealer drains its neighbour
+// before colliding with processes homed two shards over.
+#pragma once
+
+#include "util/assert.h"
+
+namespace aba::util {
+
+// Home shard of a (dense) process id. Balanced: for any m consecutive pids
+// the per-shard occupancy differs by at most one.
+constexpr int home_shard(int pid, int shards) {
+  ABA_CHECK(shards >= 1 && pid >= 0);
+  return pid % shards;
+}
+
+// The attempt-th shard probed by a process homed at `home` (attempt 0 is
+// home itself; attempts 1..shards-1 are the steal scan in cyclic order).
+constexpr int probe_shard(int home, int attempt, int shards) {
+  ABA_CHECK(shards >= 1 && home >= 0 && home < shards && attempt >= 0);
+  const int s = home + attempt;
+  return s < shards ? s : s % shards;
+}
+
+}  // namespace aba::util

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_native.json against the committed baseline.
+
+Each record is keyed by (scenario, platform, orderings, reclaimer, shards,
+threads) — the cell identity E9 sweeps (orderings included so a build with
+different memory-ordering options shows up as added/removed cells rather
+than as spurious per-cell regressions) — and the fresh ops_per_sec is
+compared to the baseline's. A cell that lost more than --threshold (default 30%) of its
+throughput is a regression; the run fails (exit 1) if any regression is
+found, unless --warn-only is set (shared CI runners are noisy and their
+smoke cells are measured for milliseconds — there the comparison is a
+trajectory signal, not a gate).
+
+Cells are judged only when both sides measured long enough to mean
+anything (--min-seconds, default 0.05): drain-limited leaky cells and
+sub-hundredth smoke cells are reported informationally but never fail the
+run. Added/removed cells (a new scenario, a retired dimension) are listed,
+never failed on.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_native.json \
+      --fresh build/BENCH_native.json [--threshold 0.30] [--warn-only] \
+      [--report build/bench_compare.md]
+
+Exit codes: 0 ok (or --warn-only), 1 regression found, 2 usage/input error.
+"""
+
+import argparse
+import contextlib
+import json
+import signal
+import sys
+
+# Behave like a normal CLI filter when piped into head & co.
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_records(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    records = doc.get("results", [])
+    if not records:
+        print(f"bench_compare: {path} has no results", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for r in records:
+        key = (
+            r["scenario"],
+            r["platform"],
+            r.get("orderings", ""),
+            r.get("reclaimer", "none"),
+            int(r.get("shards", 1)),
+            int(r["threads"]),
+        )
+        if key in out:
+            print(f"bench_compare: duplicate cell {key} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[key] = r
+    return out, doc.get("context", {})
+
+
+def fmt_key(key):
+    scenario, platform, orderings, reclaimer, shards, threads = key
+    return (f"{scenario}/{platform}/{orderings}/{reclaimer}"
+            f"/shards={shards}/threads={threads}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed BENCH_native.json")
+    ap.add_argument("--fresh", required=True, help="freshly measured BENCH_native.json")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="fractional throughput loss that counts as a regression")
+    ap.add_argument("--min-seconds", type=float, default=0.05,
+                    help="ignore cells measured for less than this on either side")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    ap.add_argument("--report", default=None,
+                    help="write a markdown report to this path")
+    args = ap.parse_args()
+
+    base, base_ctx = load_records(args.baseline)
+    fresh, fresh_ctx = load_records(args.fresh)
+
+    regressions = []  # (key, base_rate, fresh_rate, delta)
+    improvements = []
+    informational = []  # too short to judge
+    compared = 0
+    for key in sorted(base.keys() & fresh.keys()):
+        b, f = base[key], fresh[key]
+        if b["ops_per_sec"] <= 0:
+            continue
+        compared += 1
+        delta = f["ops_per_sec"] / b["ops_per_sec"] - 1.0
+        row = (key, b["ops_per_sec"], f["ops_per_sec"], delta)
+        if min(b.get("seconds", 0), f.get("seconds", 0)) < args.min_seconds:
+            informational.append(row)
+        elif delta < -args.threshold:
+            regressions.append(row)
+        elif delta > args.threshold:
+            improvements.append(row)
+    added = sorted(fresh.keys() - base.keys())
+    removed = sorted(base.keys() - fresh.keys())
+
+    lines = []
+    lines.append(f"# Bench comparison: {args.fresh} vs baseline {args.baseline}")
+    lines.append("")
+    lines.append(f"- cells compared: {compared} "
+                 f"(threshold {args.threshold:.0%}, min seconds {args.min_seconds})")
+    lines.append(f"- baseline host concurrency: "
+                 f"{base_ctx.get('hardware_concurrency', '?')}, "
+                 f"fresh: {fresh_ctx.get('hardware_concurrency', '?')}")
+    lines.append(f"- regressions: {len(regressions)}, "
+                 f"improvements: {len(improvements)}, "
+                 f"too-short-to-judge: {len(informational)}, "
+                 f"added: {len(added)}, removed: {len(removed)}")
+    lines.append("")
+
+    def table(title, rows):
+        if not rows:
+            return
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| cell | baseline ops/s | fresh ops/s | delta |")
+        lines.append("|---|---:|---:|---:|")
+        for key, b, f, d in rows:
+            lines.append(f"| {fmt_key(key)} | {b:,.0f} | {f:,.0f} | {d:+.1%} |")
+        lines.append("")
+
+    table("Regressions", regressions)
+    table("Improvements (>threshold)", improvements)
+    # Cells too short to gate on still carry the trajectory signal — render
+    # the ones whose delta crossed the threshold so a smoke-mode report
+    # (milliseconds per cell) is never empty of per-cell data.
+    table("Beyond threshold but too short to judge (informational)",
+          [r for r in informational if abs(r[3]) > args.threshold])
+    if added:
+        lines.append("## Added cells")
+        lines.append("")
+        lines.extend(f"- {fmt_key(k)}" for k in added)
+        lines.append("")
+    if removed:
+        lines.append("## Removed cells")
+        lines.append("")
+        lines.extend(f"- {fmt_key(k)}" for k in removed)
+        lines.append("")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        try:
+            with open(args.report, "w") as f:
+                f.write(report + "\n")
+        except OSError as e:
+            print(f"bench_compare: cannot write {args.report}: {e}", file=sys.stderr)
+            sys.exit(2)
+
+    if regressions:
+        verdict = (f"bench_compare: {len(regressions)} cell(s) regressed more "
+                   f"than {args.threshold:.0%}")
+        if args.warn_only:
+            print(f"{verdict} (warn-only mode, not failing)")
+            return 0
+        print(verdict, file=sys.stderr)
+        return 1
+    print("bench_compare: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
