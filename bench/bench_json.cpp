@@ -71,6 +71,7 @@ std::string JsonReport::to_json() const {
            "\", \"platform\": \"" + escape_json(r.platform) +
            "\", \"orderings\": \"" + escape_json(r.orderings) +
            "\", \"reclaimer\": \"" + escape_json(r.reclaimer) +
+           "\", \"fence\": \"" + escape_json(r.fence) +
            "\", \"threads\": " + number(static_cast<std::uint64_t>(r.threads)) +
            ", \"shards\": " + number(static_cast<std::uint64_t>(r.shards)) +
            ", \"ops\": " + number(r.ops) +

@@ -20,9 +20,14 @@ struct JsonRecord {
   std::string scenario;   // e.g. "treiber_stack"
   std::string platform;   // "counted" | "fast"
   std::string orderings;  // "seq_cst" | "acquire_release"
-  std::string reclaimer;  // "tagged" | "leaky" | "hazard" | "epoch" | "none"
+  std::string reclaimer;  // "tagged" | "leaky" | "hazard" | "hazard_cached"
+                          //   | "epoch" | "none"
+  std::string fence = "seq_cst";  // StoreLoad scheme: "seq_cst" (orderings
+                                  // carry the edge) | "asymmetric"
+                                  // (FastAsymmetric + util/asymmetric_fence.h)
   int threads = 0;
-  int shards = 1;         // shard count (1 for the unsharded scenarios)
+  int shards = 1;         // shard count (1 for the unsharded scenarios; the
+                          // settled operating point for adaptive_* cells)
   std::uint64_t ops = 0;      // completed operations across all threads
   double seconds = 0.0;       // measured wall time
   double ops_per_sec = 0.0;   // ops / seconds

@@ -10,8 +10,9 @@
 //     aba_register    — Figure 4 DWrite/DRead mix on X plus the announce
 //                       array;
 //
-//   structures × reclamation policy (reclaimer = tagged|leaky|hazard|epoch,
-//   the src/reclaim/ axis — relative cost of each ABA answer):
+//   structures × reclamation policy (reclaimer = tagged|leaky|hazard|
+//   hazard_cached|epoch, the src/reclaim/ axis — relative cost of each ABA
+//   answer):
 //     treiber_stack         — push;pop pairs through a bounded-tag CAS head;
 //     treiber_stack_llsc    — the same pairs through a per-shard-free
 //                             Figure 3 LL/SC head, so the (head × reclaimer)
@@ -29,43 +30,45 @@
 //                             (epoch's weakness) actually happen;
 //     sharded_treiber_stack, sharded_ms_queue
 //                           — the structures/sharded.h wrappers: the same
-//                             push;pop / enqueue;dequeue pairs spread over
-//                             --shards per-shard heads with home-shard
-//                             routing and bounded stealing. The shard count
-//                             is the swept variable that turns single-word
-//                             contention — the paper's central cost driver —
-//                             into an experimental dimension; every record
-//                             carries it ("shards": 1 for the unsharded
-//                             scenarios).
+//                             pairs spread over --shards per-shard heads
+//                             with home-shard routing and bounded stealing;
+//     adaptive_sharded_stack, adaptive_sharded_queue
+//                           — the structures/adaptive_sharded.h facades
+//                             picking their active width at runtime from
+//                             measured CAS-failure rates; the record's
+//                             "shards" field is the width the facade had
+//                             settled on when the cell ended.
+//
+// The fence dimension: every record carries a "fence" field. "seq_cst"
+// cells realize the hazard/epoch StoreLoad protocols with seq_cst
+// orderings (the Fast policy); "asymmetric" cells run the hazard-family
+// reclaimers on NativePlatform<FastAsymmetric> — guard publish is a plain
+// release store + compiler barrier, and the scan carries the heavy
+// membarrier side (util/asymmetric_fence.h). The hazard-vs-tagged gap
+// under each fence scheme is printed at the end: that gap narrowing is
+// the guard-cache + asymmetric-fence story this matrix exists to measure.
 //
 // Leaky cells are drain-limited: the pool is finite and never refills, so a
 // worker that can no longer make useful progress exits and the cell records
 // the ops and seconds actually measured (the no-reclamation throughput
 // floor, while it lasts).
 //
-// Both sides run the *identical* algorithm templates; the fast side drops
-// instrumentation (step counting + bound checks), isolates cache lines and
-// backs off on contended CAS. Memory orderings are chosen per cell by its
-// documented soundness argument (see native_platform.h): the single-word
-// LL/SC and the structures under the guard-free tagged/leaky reclaimers
-// run on FastRelaxed (acquire/release, always sound for them); every
-// StoreLoad-shaped protocol — the Figure 4 announce-array register, and
-// the hazard/epoch reclaimers (guard publish → revalidation read, epoch
-// announce → global re-read) — needs seq_cst's cross-word ordering, so
-// those fast cells use the Fast policy, whose orderings follow the
-// ABA_RELAXED_ORDERINGS build option (seq_cst by default). Every JSON
-// record carries the orderings and reclaimer that produced it. The
-// counted-vs-fast delta is what subsequent PRs regress against
-// (tools/bench_compare.py compares per cell against the committed
-// baseline).
+// Thread pinning (--pin): round-robin pthread_setaffinity_np over the
+// online cores, recorded in the JSON context; auto-off per cell whenever
+// the cell wants more threads than there are cores (the 1-core CI box and
+// every oversubscribed cell), so the flag is always safe to pass.
 //
 // Flags (google-benchmark-compatible where it matters for CI):
 //   --benchmark_min_time=SECONDS  per-cell measurement time (default 0.2)
 //   --out=PATH                    output JSON path (default BENCH_native.json)
 //   --threads=1,2,4               thread counts to sweep
-//   --reclaimers=tagged,epoch     reclamation policies to sweep (default all)
-//   --shards=1,2,4,8              shard counts for the sharded scenarios
-//                                 (compiled instantiations: 1, 2, 4, 8)
+//   --reclaimers=tagged,epoch     reclamation policies to sweep (default all
+//                                 of tagged,leaky,hazard,hazard_cached,epoch)
+//   --shards=1,2,4,8,adaptive     shard counts for the sharded scenarios
+//                                 (compiled instantiations: 1, 2, 4, 8) and
+//                                 the adaptive-facade cells; a list without
+//                                 "adaptive" disables those cells
+//   --pin                         pin threads round-robin over online cores
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -77,6 +80,11 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "bench_json.h"
 #include "core/aba_register_bounded.h"
 #include "core/llsc_single_cas.h"
@@ -85,9 +93,11 @@
 #include "reclaim/hazard_pointer.h"
 #include "reclaim/leaky.h"
 #include "reclaim/tagged.h"
+#include "structures/adaptive_sharded.h"
 #include "structures/ms_queue.h"
 #include "structures/sharded.h"
 #include "structures/treiber_stack.h"
+#include "util/asymmetric_fence.h"
 
 namespace {
 
@@ -99,10 +109,56 @@ constexpr const char* orderings_label() {
                                                           : "acquire_release";
 }
 
+// The fence scheme a platform's hazard-family cells run under (what the
+// JSON "fence" field records).
+template <class P>
+constexpr const char* fence_label() {
+  return std::is_same_v<PlatformFenceT<P>, util::AsymmetricFence>
+             ? "asymmetric"
+             : "seq_cst";
+}
+
 struct Cell {
   std::uint64_t ops = 0;
   double seconds = 0.0;
 };
+
+// --pin state: the online-core list, round-robined over per cell. A cell
+// that wants more threads than cores runs unpinned (auto-off).
+struct PinConfig {
+  bool requested = false;
+  std::vector<int> cpus;
+};
+PinConfig g_pin;
+
+std::vector<int> online_cpus() {
+  std::vector<int> cpus;
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+    }
+  }
+#endif
+  return cpus;
+}
+
+void maybe_pin(std::thread& t, int pid, int n) {
+#ifdef __linux__
+  if (!g_pin.requested) return;
+  if (static_cast<int>(g_pin.cpus.size()) < n) return;  // Auto-off.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(g_pin.cpus[static_cast<std::size_t>(pid) % g_pin.cpus.size()], &set);
+  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)pid;
+  (void)n;
+#endif
+}
 
 // Runs n threads for ~min_seconds. make_worker(pid) returns a callable that
 // performs one small batch of operations and returns the batch's completed
@@ -141,6 +197,7 @@ Cell measure(int n, double min_seconds, MakeWorker make_worker) {
           std::chrono::duration<double>(end - start).count();
       done.fetch_add(1);
     });
+    maybe_pin(threads.back(), pid, n);
   }
   sync.arrive_and_wait();
   const auto deadline =
@@ -200,16 +257,19 @@ Cell run_aba_register(int n, double secs) {
 // pool suffices; the leaky policy consumes one node per push forever, so it
 // gets a large (but bounded) budget and its cells end at drain. Either way
 // the total pool must fit the structures' 16-bit index fields, even at the
-// oversubscribed thread counts.
+// oversubscribed thread counts. The hazard-family floor covers the raised
+// asymmetric-platform scan batch (kHeavyScanFloor retires in flight) plus
+// the guard-pinned headroom.
 template <class R>
 int pool_per_thread(int n) {
-  const int budget = std::strcmp(R::kName, "leaky") == 0 ? (1 << 13) : 256;
+  const bool leaky = std::strcmp(R::kName, "leaky") == 0;
+  const int budget = leaky ? (1 << 13) : 512;
   const int index_space_cap = 60000 / n;
   return budget < index_space_cap ? budget : index_space_cap;
 }
 
 // The push;pop-pair worker every contended stack cell runs (the sharded
-// wrapper exposes the same surface, so one worker serves both).
+// and adaptive wrappers expose the same surface, so one worker serves all).
 template <class Stack>
 auto stack_pair_worker(Stack& stack, int pid) {
   return [&stack, pid, v = std::uint64_t{0}]() mutable {
@@ -352,6 +412,37 @@ Cell run_sharded_queue(int n, double secs) {
                  [&](int pid) { return queue_pair_worker(queue, pid); });
 }
 
+// ------------------------------------------------ the adaptive dimension
+
+constexpr int kAdaptiveMaxShards = 8;
+
+template <class P, class R>
+Cell run_adaptive_stack(int n, double secs, int* settled) {
+  using Head = structures::TaggedCasHead<P>;
+  using Stack =
+      structures::AdaptiveShardedStack<P, Head, R, kAdaptiveMaxShards>;
+  typename P::Env env;
+  Stack stack(env, n, Stack::make_heads(env, n),
+              pool_per_thread_per_shard<R>(n, kAdaptiveMaxShards),
+              structures::AdaptiveOptions{});
+  const Cell cell = measure(
+      n, secs, [&](int pid) { return stack_pair_worker(stack, pid); });
+  *settled = stack.active_shards();
+  return cell;
+}
+
+template <class P, class R>
+Cell run_adaptive_queue(int n, double secs, int* settled) {
+  using Queue = structures::AdaptiveShardedQueue<P, R, kAdaptiveMaxShards>;
+  typename P::Env env;
+  Queue queue(env, n, pool_per_thread_per_shard<R>(n, kAdaptiveMaxShards),
+              structures::AdaptiveOptions{});
+  const Cell cell = measure(
+      n, secs, [&](int pid) { return queue_pair_worker(queue, pid); });
+  *settled = queue.active_shards();
+  return cell;
+}
+
 // ------------------------------------------------------------ the matrix
 
 int oversub_threads() {
@@ -363,6 +454,8 @@ struct MatrixConfig {
   std::vector<int> thread_counts;
   std::vector<std::string> reclaimers;
   std::vector<int> shard_counts;
+  bool adaptive = true;
+  bool pin = false;
   double secs = 0.2;
 };
 
@@ -374,14 +467,15 @@ bool wants(const MatrixConfig& config, const char* reclaimer) {
 }
 
 void emit(bench::JsonReport& report, const char* scenario, const char* label,
-          const char* orderings, const char* reclaimer, int n, int shards,
-          const Cell& cell) {
+          const char* orderings, const char* reclaimer, const char* fence,
+          int n, int shards, const Cell& cell) {
   const double rate =
       cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
-  report.add(bench::JsonRecord{scenario, label, orderings, reclaimer, n,
+  report.add(bench::JsonRecord{scenario, label, orderings, reclaimer, fence, n,
                                shards, cell.ops, cell.seconds, rate});
-  std::printf("  %-22s %-8s %-7s threads=%-3d shards=%-2d %-15s %12.0f ops/s\n",
-              scenario, label, reclaimer, n, shards, orderings, rate);
+  std::printf(
+      "  %-22s %-8s %-13s %-10s threads=%-3d shards=%-2d %-15s %12.0f ops/s\n",
+      scenario, label, reclaimer, fence, n, shards, orderings, rate);
   std::fflush(stdout);
 }
 
@@ -391,6 +485,7 @@ void emit(bench::JsonReport& report, const char* scenario, const char* label,
 template <class P, class R>
 void run_sharded_cells(const char* label, const char* orderings,
                        const MatrixConfig& config, bench::JsonReport& report) {
+  const char* fence = fence_label<P>();
   for (const int shards : config.shard_counts) {
     for (const int n : config.thread_counts) {
       Cell stack_cell, queue_cell;
@@ -416,10 +511,21 @@ void run_sharded_cells(const char* label, const char* orderings,
                        shards);
           continue;
       }
-      emit(report, "sharded_treiber_stack", label, orderings, R::kName, n,
-           shards, stack_cell);
-      emit(report, "sharded_ms_queue", label, orderings, R::kName, n, shards,
-           queue_cell);
+      emit(report, "sharded_treiber_stack", label, orderings, R::kName, fence,
+           n, shards, stack_cell);
+      emit(report, "sharded_ms_queue", label, orderings, R::kName, fence, n,
+           shards, queue_cell);
+    }
+  }
+  if (config.adaptive) {
+    for (const int n : config.thread_counts) {
+      int settled = 1;
+      const Cell stack_cell = run_adaptive_stack<P, R>(n, config.secs, &settled);
+      emit(report, "adaptive_sharded_stack", label, orderings, R::kName, fence,
+           n, settled, stack_cell);
+      const Cell queue_cell = run_adaptive_queue<P, R>(n, config.secs, &settled);
+      emit(report, "adaptive_sharded_queue", label, orderings, R::kName, fence,
+           n, settled, queue_cell);
     }
   }
 }
@@ -429,19 +535,20 @@ template <class P, class R>
 void run_reclaim_column(const char* label, const char* orderings,
                         const MatrixConfig& config, bench::JsonReport& report) {
   if (!wants(config, R::kName)) return;
+  const char* fence = fence_label<P>();
   for (const int n : config.thread_counts) {
-    emit(report, "treiber_stack", label, orderings, R::kName, n, 1,
+    emit(report, "treiber_stack", label, orderings, R::kName, fence, n, 1,
          run_treiber_stack<P, R>(n, config.secs));
-    emit(report, "treiber_stack_llsc", label, orderings, R::kName, n, 1,
+    emit(report, "treiber_stack_llsc", label, orderings, R::kName, fence, n, 1,
          run_treiber_stack_llsc<P, R>(n, config.secs));
-    emit(report, "ms_queue", label, orderings, R::kName, n, 1,
+    emit(report, "ms_queue", label, orderings, R::kName, fence, n, 1,
          run_ms_queue<P, R>(n, config.secs));
-    emit(report, "treiber_stack_90_10", label, orderings, R::kName, n, 1,
+    emit(report, "treiber_stack_90_10", label, orderings, R::kName, fence, n, 1,
          run_treiber_stack_90_10<P, R>(n, config.secs));
   }
   const int oversub = oversub_threads();
-  emit(report, "treiber_stack_oversub", label, orderings, R::kName, oversub, 1,
-       run_treiber_stack<P, R>(oversub, config.secs));
+  emit(report, "treiber_stack_oversub", label, orderings, R::kName, fence,
+       oversub, 1, run_treiber_stack<P, R>(oversub, config.secs));
   run_sharded_cells<P, R>(label, orderings, config, report);
 }
 
@@ -450,8 +557,9 @@ void run_reclaim_column(const char* label, const char* orderings,
 // contains a StoreLoad pattern — the Figure 4 announce-array register AND
 // the hazard/epoch reclaimers (guard publish → source revalidation, epoch
 // announce → global re-read), which acquire/release cannot order —
-// StructPolicy for the structures under the guard-free reclaimers (see the
-// orderings note in the header comment and in the reclaimer headers).
+// StructPolicy for the structures under the guard-free tagged/leaky
+// reclaimers (see the orderings note in the header comment and in the
+// reclaimer headers).
 template <class LlscPolicy, class SeqCstPolicy, class StructPolicy>
 void run_side(const char* label, const MatrixConfig& config,
               bench::JsonReport& report) {
@@ -460,9 +568,9 @@ void run_side(const char* label, const MatrixConfig& config,
   using StructP = native::NativePlatform<StructPolicy>;
   for (const int n : config.thread_counts) {
     emit(report, "llsc_single_cas", label, orderings_label<LlscPolicy>(),
-         "none", n, 1, run_llsc<LlscP>(n, config.secs));
+         "none", "seq_cst", n, 1, run_llsc<LlscP>(n, config.secs));
     emit(report, "aba_register", label, orderings_label<SeqCstPolicy>(), "none",
-         n, 1, run_aba_register<SeqCstP>(n, config.secs));
+         "seq_cst", n, 1, run_aba_register<SeqCstP>(n, config.secs));
   }
   run_reclaim_column<StructP, reclaim::TaggedReclaimer<StructP>>(
       label, orderings_label<StructPolicy>(), config, report);
@@ -470,16 +578,18 @@ void run_side(const char* label, const MatrixConfig& config,
       label, orderings_label<StructPolicy>(), config, report);
   run_reclaim_column<SeqCstP, reclaim::HazardPointerReclaimer<SeqCstP>>(
       label, orderings_label<SeqCstPolicy>(), config, report);
+  run_reclaim_column<SeqCstP, reclaim::CachedHazardPointerReclaimer<SeqCstP>>(
+      label, orderings_label<SeqCstPolicy>(), config, report);
   run_reclaim_column<SeqCstP, reclaim::EpochBasedReclaimer<SeqCstP>>(
       label, orderings_label<SeqCstPolicy>(), config, report);
 }
 
 double find_rate(const bench::JsonReport& report, const std::string& scenario,
                  const std::string& platform, const std::string& reclaimer,
-                 int threads, int shards) {
+                 const std::string& fence, int threads, int shards) {
   for (const auto& r : report.records()) {
     if (r.scenario == scenario && r.platform == platform &&
-        r.reclaimer == reclaimer && r.threads == threads &&
+        r.reclaimer == reclaimer && r.fence == fence && r.threads == threads &&
         r.shards == shards) {
       return r.ops_per_sec;
     }
@@ -487,23 +597,7 @@ double find_rate(const bench::JsonReport& report, const std::string& scenario,
   return 0;
 }
 
-std::vector<int> parse_ints(const std::string& csv) {
-  std::vector<int> out;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const std::size_t comma = csv.find(',', pos);
-    const std::string tok = csv.substr(pos, comma == std::string::npos
-                                                ? std::string::npos
-                                                : comma - pos);
-    const int n = std::atoi(tok.c_str());
-    if (n >= 1) out.push_back(n);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-std::vector<std::string> parse_reclaimers(const std::string& csv) {
+std::vector<std::string> parse_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::size_t pos = 0;
   while (pos < csv.size()) {
@@ -511,14 +605,34 @@ std::vector<std::string> parse_reclaimers(const std::string& csv) {
     const std::string tok = csv.substr(pos, comma == std::string::npos
                                                 ? std::string::npos
                                                 : comma - pos);
-    if (tok == "tagged" || tok == "leaky" || tok == "hazard" || tok == "epoch") {
-      out.push_back(tok);
-    } else if (!tok.empty()) {
-      std::fprintf(stderr, "unknown reclaimer '%s' (want tagged|leaky|hazard|epoch)\n",
-                   tok.c_str());
-    }
+    if (!tok.empty()) out.push_back(tok);
     if (comma == std::string::npos) break;
     pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> parse_ints(const std::string& csv) {
+  std::vector<int> out;
+  for (const auto& tok : parse_csv(csv)) {
+    const int n = std::atoi(tok.c_str());
+    if (n >= 1) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<std::string> parse_reclaimers(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const auto& tok : parse_csv(csv)) {
+    if (tok == "tagged" || tok == "leaky" || tok == "hazard" ||
+        tok == "hazard_cached" || tok == "epoch") {
+      out.push_back(tok);
+    } else {
+      std::fprintf(stderr,
+                   "unknown reclaimer '%s' "
+                   "(want tagged|leaky|hazard|hazard_cached|epoch)\n",
+                   tok.c_str());
+    }
   }
   return out;
 }
@@ -528,7 +642,7 @@ std::vector<std::string> parse_reclaimers(const std::string& csv) {
 int main(int argc, char** argv) {
   MatrixConfig config;
   config.thread_counts = {1, 2, 4};
-  config.reclaimers = {"tagged", "leaky", "hazard", "epoch"};
+  config.reclaimers = {"tagged", "leaky", "hazard", "hazard_cached", "epoch"};
   config.shard_counts = {1, 4};
   std::string out_path = "BENCH_native.json";
   for (int i = 1; i < argc; ++i) {
@@ -549,26 +663,46 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg.rfind("--shards=", 0) == 0) {
-      config.shard_counts = parse_ints(arg.substr(std::strlen("--shards=")));
-      if (config.shard_counts.empty()) {
+      // An explicit list opts in (or out) of each shard dimension: numeric
+      // tokens select compile-time counts, "adaptive" selects the facade.
+      const std::string list = arg.substr(std::strlen("--shards="));
+      config.shard_counts = parse_ints(list);
+      config.adaptive = false;
+      for (const auto& tok : parse_csv(list)) {
+        if (tok == "adaptive") config.adaptive = true;
+      }
+      if (config.shard_counts.empty() && !config.adaptive) {
         std::fprintf(stderr, "no valid shard counts selected\n");
         return 2;
       }
+    } else if (arg == "--pin") {
+      config.pin = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
-                   "[--threads=1,2,4] [--reclaimers=tagged,leaky,hazard,epoch] "
-                   "[--shards=1,2,4,8]\n",
+                   "[--threads=1,2,4] "
+                   "[--reclaimers=tagged,leaky,hazard,hazard_cached,epoch] "
+                   "[--shards=1,2,4,8,adaptive] [--pin]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  g_pin.requested = config.pin;
+  g_pin.cpus = online_cpus();
 
   bench::JsonReport report("native_throughput_matrix");
   report.add_context("hardware_concurrency",
                      std::to_string(std::thread::hardware_concurrency()));
   report.add_context("min_seconds_per_cell", std::to_string(config.secs));
   report.add_context("oversub_threads", std::to_string(oversub_threads()));
+  report.add_context("online_cores", std::to_string(g_pin.cpus.size()));
+  report.add_context("pin", config.pin
+                                ? "round_robin"  // Auto-off per cell when
+                                                 // threads > online cores.
+                                : "off");
+  report.add_context("asymmetric_fence_scheme",
+                     util::AsymmetricFence::scheme_name());
 #ifdef ABA_RELAXED_ORDERINGS
   report.add_context("relaxed_orderings_option", "on");
 #else
@@ -580,17 +714,39 @@ int main(int argc, char** argv) {
   report.add_context("build", "debug");
 #endif
 
-  std::printf("E9  native throughput matrix (counted vs fast × reclaimers × shards)\n");
+  std::printf(
+      "E9  native throughput matrix "
+      "(counted vs fast × reclaimers × shards × fences)\n");
   run_side<native::Counted, native::Counted, native::Counted>("counted", config,
                                                               report);
   run_side<native::FastRelaxed, native::Fast, native::FastRelaxed>(
       "fast", config, report);
 
+  // The fence dimension: the hazard-family columns again on the asymmetric
+  // platform (plain release publish + compiler barrier; the scan carries
+  // the membarrier heavy side). Same "fast" platform label — the fence
+  // field is what distinguishes the cells. Skipped entirely when the
+  // asymmetric fast side is compiled out (TSan, non-Linux,
+  // -DABA_ASYMMETRIC_FENCE=OFF): there the fallback runs seq_cst fences
+  // on both sides, so the cells would mislabel a symmetric scheme as
+  // "asymmetric" — and labelling them "seq_cst" instead would collide
+  // with the real seq_cst cells in bench_compare's key space.
+  if constexpr (util::AsymmetricFence::kCompiledAsymmetric) {
+    using AsymP = native::NativePlatform<native::FastAsymmetric>;
+    const char* ord = orderings_label<native::FastAsymmetric>();
+    run_reclaim_column<AsymP, reclaim::HazardPointerReclaimer<AsymP>>(
+        "fast", ord, config, report);
+    run_reclaim_column<AsymP, reclaim::CachedHazardPointerReclaimer<AsymP>>(
+        "fast", ord, config, report);
+  }
+
   std::printf("\n  fast/counted speedup:\n");
   for (const char* scenario : {"llsc_single_cas", "aba_register"}) {
     for (const int n : config.thread_counts) {
-      const double counted = find_rate(report, scenario, "counted", "none", n, 1);
-      const double fast = find_rate(report, scenario, "fast", "none", n, 1);
+      const double counted =
+          find_rate(report, scenario, "counted", "none", "seq_cst", n, 1);
+      const double fast =
+          find_rate(report, scenario, "fast", "none", "seq_cst", n, 1);
       if (counted > 0) {
         std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario, "none", n,
                     fast / counted);
@@ -602,12 +758,38 @@ int main(int argc, char** argv) {
         "treiber_stack_90_10"}) {
     for (const auto& reclaimer : config.reclaimers) {
       for (const int n : config.thread_counts) {
-        const double counted =
-            find_rate(report, scenario, "counted", reclaimer, n, 1);
-        const double fast = find_rate(report, scenario, "fast", reclaimer, n, 1);
+        const double counted = find_rate(report, scenario, "counted",
+                                         reclaimer, "seq_cst", n, 1);
+        const double fast =
+            find_rate(report, scenario, "fast", reclaimer, "seq_cst", n, 1);
         if (counted > 0) {
           std::printf("  %-22s %-7s threads=%d  %.2fx\n", scenario,
                       reclaimer.c_str(), n, fast / counted);
+        }
+      }
+    }
+  }
+
+  // The headline of this matrix: the hazard-family tax relative to tagged
+  // on the fast side, per fence scheme. Guard caching + asymmetric fences
+  // exist to drive these ratios toward 1.0.
+  if (wants(config, "tagged")) {
+    std::printf("\n  hazard-family cost vs tagged (fast side, contended):\n");
+    for (const char* scenario : {"treiber_stack", "treiber_stack_90_10"}) {
+      for (const int n : config.thread_counts) {
+        const double tagged =
+            find_rate(report, scenario, "fast", "tagged", "seq_cst", n, 1);
+        if (tagged <= 0) continue;
+        for (const char* reclaimer : {"hazard", "hazard_cached"}) {
+          if (!wants(config, reclaimer)) continue;
+          for (const char* fence : {"seq_cst", "asymmetric"}) {
+            const double rate =
+                find_rate(report, scenario, "fast", reclaimer, fence, n, 1);
+            if (rate > 0) {
+              std::printf("  %-22s %-14s %-11s threads=%d  %.2fx of tagged\n",
+                          scenario, reclaimer, fence, n, rate / tagged);
+            }
+          }
         }
       }
     }
@@ -620,13 +802,13 @@ int main(int argc, char** argv) {
     for (const char* scenario : {"sharded_treiber_stack", "sharded_ms_queue"}) {
       for (const auto& reclaimer : config.reclaimers) {
         for (const int n : config.thread_counts) {
-          const double base =
-              find_rate(report, scenario, "fast", reclaimer, n, 1);
+          const double base = find_rate(report, scenario, "fast", reclaimer,
+                                        "seq_cst", n, 1);
           if (base <= 0) continue;
           for (const int shards : config.shard_counts) {
             if (shards == 1) continue;
-            const double sharded =
-                find_rate(report, scenario, "fast", reclaimer, n, shards);
+            const double sharded = find_rate(report, scenario, "fast",
+                                             reclaimer, "seq_cst", n, shards);
             if (sharded > 0) {
               std::printf("  %-22s %-7s threads=%d shards=%d  %.2fx\n",
                           scenario, reclaimer.c_str(), n, shards,

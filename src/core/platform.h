@@ -29,6 +29,7 @@
 #include <type_traits>
 
 #include "sim/types.h"
+#include "util/asymmetric_fence.h"
 #include "util/backoff.h"
 
 namespace aba {
@@ -74,5 +75,26 @@ struct PlatformBackoff<P, std::void_t<typename P::Backoff>> {
 
 template <class P>
 using PlatformBackoffT = typename PlatformBackoff<P>::type;
+
+// Fence-scheme selection, same shape as PlatformBackoff. A platform opts
+// into an asymmetric StoreLoad scheme by exposing a member typedef `Fence`
+// (see util/asymmetric_fence.h and the FastAsymmetric native policy); the
+// default is util::NoFence — platforms whose memory orderings are seq_cst
+// already carry the StoreLoad edge in the accesses themselves, and the
+// simulator's interleaving semantics need no fences at all. Consumers
+// (the hazard reclaimer) call PlatformFenceT<P>::light() after a guard
+// publish and PlatformFenceT<P>::heavy() before a scan.
+template <class P, class = void>
+struct PlatformFence {
+  using type = util::NoFence;
+};
+
+template <class P>
+struct PlatformFence<P, std::void_t<typename P::Fence>> {
+  using type = typename P::Fence;
+};
+
+template <class P>
+using PlatformFenceT = typename PlatformFence<P>::type;
 
 }  // namespace aba

@@ -35,6 +35,7 @@
 
 #include "sim/types.h"
 #include "util/assert.h"
+#include "util/asymmetric_fence.h"
 #include "util/backoff.h"
 #include "util/cacheline.h"
 
@@ -107,6 +108,25 @@ struct FastRelaxed : Fast {
   static constexpr std::memory_order kCasFailureOrder = std::memory_order_acquire;
 };
 
+// FastAsymmetric — FastRelaxed plus an asymmetric StoreLoad scheme for the
+// hazard-pointer protocol (the one StoreLoad-shaped protocol that can carry
+// it, because its heavy side has a natural amortized home: the scan).
+//
+// Orderings are acquire/release, so a guard publish is a plain release
+// store; the StoreLoad edge the protocol needs (publish visible before the
+// revalidation read) is restored pairwise by PlatformFenceT<P>: the
+// reclaimer issues Fence::light() — a compiler barrier — after each
+// publish, and Fence::heavy() — membarrier(2)/mprotect, see
+// util/asymmetric_fence.h — before each scan. Soundness of everything
+// *else* on this policy is the FastRelaxed publication argument.
+//
+// Do NOT run the Figure 4 announce-array register or the epoch reclaimer
+// on this policy: their StoreLoad protocols have no scan-shaped heavy side
+// to carry the fence, so they need seq_cst orderings (the Fast policy).
+struct FastAsymmetric : FastRelaxed {
+  using Fence = util::AsymmetricFence;
+};
+
 namespace detail {
 
 // The atomic word, optionally alone on its own cache line. The bound/name
@@ -131,6 +151,20 @@ template <class Policy>
 using BoundMember =
     std::conditional_t<Policy::kCheckBounds, sim::BoundSpec, NoBound>;
 
+// Forwards the policy's fence scheme (if any) to the platform surface,
+// where the PlatformFenceT trait (core/platform.h) picks it up. Policies
+// without a Fence member get util::NoFence — their orderings carry the
+// StoreLoad edges themselves.
+template <class Policy, class = void>
+struct PolicyFence {
+  using type = util::NoFence;
+};
+
+template <class Policy>
+struct PolicyFence<Policy, std::void_t<typename Policy::Fence>> {
+  using type = typename Policy::Fence;
+};
+
 }  // namespace detail
 
 template <class Policy = Counted>
@@ -138,6 +172,7 @@ struct NativePlatform {
   struct Env {};
 
   using Backoff = typename Policy::Backoff;
+  using Fence = typename detail::PolicyFence<Policy>::type;
 
   class Register {
    public:

@@ -1,4 +1,5 @@
-// HazardPointerReclaimer — Michael's hazard pointers over the index pool.
+// HazardPointerReclaimer — Michael's hazard pointers over the index pool,
+// with a pluggable guard-publication mode.
 //
 // Migrated from the pointer-based HazardDomain (now reclaim/hazard_domain.h)
 // into a platform-generic index policy: each process owns kSlotsPerProcess
@@ -6,18 +7,56 @@
 // i there, and the structure re-validates its source word after the publish
 // (if the word is unchanged, node i was not yet retired when the guard
 // became visible, so every later scan sees it). retire(p, i) defers i on a
-// thread-private list; once the list reaches the scan threshold — the
-// standard 2·H rule, H = total slots — scan(p) reads all H slots once and
-// releases every unguarded index back to p's free list.
+// thread-private list; once the list reaches the scan threshold, scan(p)
+// reads all H slots once (H = total slots) and releases every unguarded
+// index back to p's free list.
+//
+// Guard modes (the Mode template parameter):
+//
+//   EagerGuards (default, kName "hazard") — the textbook per-op protocol:
+//       every guarded dereference publishes, every end_op clears what the
+//       op published. Step sequence identical to the pre-guard-cache
+//       reclaimer, which the deterministic sim schedules count on.
+//
+//   CachedGuards (kName "hazard_cached") — guard caching: a published slot
+//       STAYS published across consecutive operations on the same
+//       structure. The hot path compares the requested index against the
+//       thread-private record of what the slot already holds; on a hit the
+//       publish (a shared store, plus its fence on seq_cst platforms) is
+//       skipped entirely and only the structure's revalidation load runs.
+//       end_op clears nothing. The costs move:
+//         * a process's slots pin up to kSlotsPerProcess nodes between
+//           operations — including, transiently, its own latest retiree —
+//           so the unreclaimed bound gains +H but stays independent of
+//           stall duration;
+//         * a process that stops operating on this structure must call
+//           detach(p) (the epoch-style explicit clear) or its cached
+//           guards pin those nodes indefinitely. allocate(p) self-heals
+//           under pool pressure: it runs outside any protected region, so
+//           it may drop p's own cached guards and rescan.
+//       The hit/miss decision is a pure function of the operation sequence
+//       (thread-private state only), so sim runs stay deterministic and
+//       Fast ≡ Counted trace equivalence holds.
+//
+// Fences: on platforms that opt into an asymmetric StoreLoad scheme
+// (PlatformFenceT, see util/asymmetric_fence.h and the FastAsymmetric
+// native policy), every performed publish is followed by Fence::light()
+// (a compiler barrier) and every scan opens with Fence::heavy() (the
+// membarrier/mprotect side). Scans amortize the heavy fence: on such
+// platforms the scan threshold is raised to at least kHeavyScanFloor
+// retires so the per-op share of the syscall stays in the noise. On
+// seq_cst platforms both fences are no-ops and the threshold is the
+// standard 2·H rule.
 //
 // Guarantees (docs/RECLAMATION.md has the comparison table):
 //   space  — unreclaimed garbage is bounded: per process at most the scan
 //            threshold + H guarded nodes, independent of stalled readers'
-//            *duration* (a stalled reader pins at most its own slots). This
-//            is the bound the hazard-vs-epoch stress test measures.
-//   time   — retire is O(1) amortized; every 2·H retires pay one O(H) scan.
-//            guard costs one shared write plus the structure's revalidation
-//            read on every dereference — the per-op tax E8/E9 measure.
+//            *duration* (a stalled reader pins at most its own slots).
+//   time   — retire is O(1) amortized; every threshold retires pay one
+//            O(H) scan (plus one heavy fence on asymmetric platforms).
+//            guard costs at most one shared write plus the structure's
+//            revalidation read per dereference — zero shared writes on a
+//            cached hit.
 //
 // The paper's trichotomy: this is the application-specific reclamation
 // answer to ABA, contrasted with bounded tags (TaggedReclaimer + tagged
@@ -26,10 +65,13 @@
 // Memory orderings: publish-then-revalidate is a StoreLoad pattern (the
 // guard write must be visible before the revalidation read of a different
 // word), exactly like the Figure 4 announce-array register. On native
-// platforms run it under seq_cst orderings — Counted or Fast, not
-// FastRelaxed (E9's matrix makes that carve-out per reclaimer).
+// platforms run it under seq_cst orderings — Counted or Fast — or under
+// FastAsymmetric, where the fence pair above replaces seq_cst's per-access
+// cost. Never under plain FastRelaxed.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -45,14 +87,29 @@
 
 namespace aba::reclaim {
 
-template <Platform P>
+// Guard-publication modes (see the header comment).
+struct EagerGuards {
+  static constexpr bool kCached = false;
+};
+struct CachedGuards {
+  static constexpr bool kCached = true;
+};
+
+template <Platform P, class Mode = EagerGuards>
 class HazardPointerReclaimer {
  public:
-  static constexpr const char* kName = "hazard";
+  static constexpr bool kCachesGuards = Mode::kCached;
+  static constexpr const char* kName =
+      kCachesGuards ? "hazard_cached" : "hazard";
   static constexpr bool kNeedsGuard = true;
   // Two slots cover every structure here: the Treiber stack guards the head
   // node (slot 0); the MS queue guards head (0) and head->next (1).
   static constexpr int kSlotsPerProcess = 2;
+  // On platforms with a real heavy fence (asymmetric scheme), scans batch
+  // at least this many retires so the membarrier cost amortizes to noise.
+  static constexpr std::size_t kHeavyScanFloor = 256;
+  static constexpr bool kHeavyScan =
+      !std::is_same_v<PlatformFenceT<P>, util::NoFence>;
 
   HazardPointerReclaimer(typename P::Env& env, int n, FreeLists initial_free)
       : n_(n), procs_(static_cast<std::size_t>(n)) {
@@ -70,27 +127,48 @@ class HazardPointerReclaimer {
 
   void begin_op(int /*p*/) {}
 
-  // Publishes node `idx` in (p, slot). One shared write; the *structure*
+  // Publishes node `idx` in (p, slot). At most one shared write; zero when
+  // the cached mode finds the slot already naming idx. The *structure*
   // must re-read its source word afterwards and retry if it moved.
   void guard(int p, int slot, std::uint64_t idx) {
     ABA_ASSERT(slot >= 0 && slot < kSlotsPerProcess);
-    slot_ref(p, slot).write(idx + 1);
-    procs_[p].dirty_slots |= 1u << slot;
+    const std::uint64_t word = idx + 1;
+    auto& published = procs_[p].published;
+    if constexpr (kCachesGuards) {
+      if (published[static_cast<std::size_t>(slot)] == word) return;  // Hit.
+    }
+    slot_ref(p, slot).write(word);
+    PlatformFenceT<P>::light();
+    published[static_cast<std::size_t>(slot)] = word;
   }
 
-  // Clears only the slots this op actually published (tracked privately),
-  // so an op that never guarded pays no shared steps here.
+  // Eager mode: clears only the slots this op actually published (tracked
+  // privately), so an op that never guarded pays no shared steps here.
+  // Cached mode: nothing — the published guards ARE the cache.
   void end_op(int p) {
-    std::uint32_t dirty = procs_[p].dirty_slots;
-    for (int slot = 0; dirty != 0; ++slot, dirty >>= 1) {
-      if (dirty & 1u) slot_ref(p, slot).write(kNone);
-    }
-    procs_[p].dirty_slots = 0;
+    if constexpr (!kCachesGuards) clear_published(p);
   }
+
+  // The epoch-style explicit clear: drops every guard p has published.
+  // Call when p stops operating on this structure (a structure switch, a
+  // worker retiring) — in the cached mode this is the only way p's slots
+  // release their last pinned nodes.
+  void detach(int p) { clear_published(p); }
 
   std::optional<std::uint64_t> allocate(int p) {
     auto& free = procs_[p].free;
-    if (free.empty()) scan(p);  // Pool pressure: reclaim eagerly.
+    if (free.empty()) {
+      scan(p);  // Pool pressure: reclaim eagerly.
+      if constexpr (kCachesGuards) {
+        // Still dry? allocate runs outside any protected region, so p's
+        // cached guards protect nothing in flight — drop them (they may
+        // pin p's own recent retirees) and rescan.
+        if (free.empty() && has_published(p)) {
+          detach(p);
+          scan(p);
+        }
+      }
+    }
     if (free.empty()) return std::nullopt;
     const std::uint64_t idx = free.front();
     free.pop_front();
@@ -103,8 +181,11 @@ class HazardPointerReclaimer {
   }
 
   // Reads every hazard slot once and frees p's retired nodes that no slot
-  // guards. O(H + retired) local work, H shared reads.
+  // guards. O(H + retired) local work, H shared reads — and, on asymmetric
+  // platforms, the one heavy fence that makes every reader's pending guard
+  // publish visible before the slot reads.
   void scan(int p) {
+    PlatformFenceT<P>::heavy();
     std::vector<std::uint64_t> guarded;
     guarded.reserve(slots_.size());
     for (const auto& slot : slots_) {
@@ -131,9 +212,14 @@ class HazardPointerReclaimer {
     retired = std::move(keep);
   }
 
-  // 2·H: scans amortize to O(1) shared reads per retire while unreclaimed
-  // garbage stays linear in the slot count.
-  std::size_t scan_threshold() const { return 2 * slots_.size(); }
+  // 2·H — scans amortize to O(1) shared reads per retire while unreclaimed
+  // garbage stays linear in the slot count — raised to the batch floor on
+  // platforms where each scan also pays a heavy fence.
+  std::size_t scan_threshold() const {
+    const std::size_t base = 2 * slots_.size();
+    if constexpr (kHeavyScan) return std::max(base, kHeavyScanFloor);
+    return base;
+  }
 
   std::size_t pool_size() const { return pool_size_; }
   std::size_t unreclaimed(int p) const { return procs_[p].retired.size(); }
@@ -147,13 +233,32 @@ class HazardPointerReclaimer {
     return *slots_[static_cast<std::size_t>(p) * kSlotsPerProcess + slot];
   }
 
-  // Thread-private bookkeeping, one cache line per process: the dirty mask
-  // is written on every guard/end_op and the container headers on every
+  bool has_published(int p) const {
+    for (const std::uint64_t word : procs_[p].published) {
+      if (word != kNone) return true;
+    }
+    return false;
+  }
+
+  void clear_published(int p) {
+    auto& published = procs_[p].published;
+    for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
+      if (published[static_cast<std::size_t>(slot)] != kNone) {
+        slot_ref(p, slot).write(kNone);
+        published[static_cast<std::size_t>(slot)] = kNone;
+      }
+    }
+  }
+
+  // Thread-private bookkeeping, one cache line per process: published[] is
+  // consulted/written on every guard and the container headers on every
   // allocate/retire, so packing neighbours together would false-share.
   struct alignas(util::kCacheLineSize) PerProcess {
     std::deque<std::uint64_t> free;
     std::vector<std::uint64_t> retired;
-    std::uint32_t dirty_slots = 0;
+    // What each of p's slots currently holds (the guard cache; also the
+    // eager mode's dirty tracking). kNone = slot clear.
+    std::array<std::uint64_t, kSlotsPerProcess> published{};
   };
 
   int n_;
@@ -165,5 +270,11 @@ class HazardPointerReclaimer {
   std::vector<PerProcess> procs_;
   std::size_t pool_size_ = 0;
 };
+
+// The guard-caching instantiation under its own name (the reclaimer axis
+// treats it as a fifth policy: same safety argument as hazard, different
+// hot-path cost model).
+template <Platform P>
+using CachedHazardPointerReclaimer = HazardPointerReclaimer<P, CachedGuards>;
 
 }  // namespace aba::reclaim

@@ -8,7 +8,7 @@
 // repository the *structures* own the CAS-site policy (RawCasHead /
 // TaggedCasHead / LlscHead, or the MS queue's internal tags) and a
 // Reclaimer owns the orthogonal axis: when a retired node index may be
-// handed out again. Four policies implement the concept:
+// handed out again. Five policies implement the concept:
 //
 //   TaggedReclaimer        — immediate FIFO reuse; safety is delegated to a
 //                            bounded-tag (or LL/SC) CAS site. The regime the
@@ -20,7 +20,12 @@
 //                            compare against.
 //   HazardPointerReclaimer — per-process hazard slots; reuse of a retired
 //                            node is deferred until no slot guards it
-//                            (Michael). Bounded unreclaimed garbage.
+//                            (Michael). Bounded unreclaimed garbage. Its
+//                            CachedGuards mode (alias
+//                            CachedHazardPointerReclaimer, "hazard_cached")
+//                            keeps slots published across operations so a
+//                            repeat guard costs zero shared steps; see
+//                            hazard_pointer.h for the detach contract.
 //   EpochBasedReclaimer    — per-process epoch announcements against a
 //                            global epoch; reuse is deferred two epoch
 //                            advances. Amortized O(1) retire, but a single
@@ -46,7 +51,9 @@
 //                        its source word after the publish (the classic
 //                        publish-then-revalidate handshake) before trusting
 //                        node i's fields.
-//   end_op(p)          — leave the region, clearing any guards this op set.
+//   end_op(p)          — leave the region, clearing any guards this op set
+//                        (the cached-guard hazard mode deliberately leaves
+//                        them published; detach(p) is its release point).
 //   retire(p, i)       — after end_op: node i was unlinked by p's CAS and
 //                        may be recycled once the policy's safety condition
 //                        holds.

@@ -27,6 +27,7 @@
 #include "core/platform.h"
 #include "reclaim/reclaimer.h"
 #include "reclaim/tagged.h"
+#include "structures/contention.h"
 #include "util/assert.h"
 
 namespace aba::structures {
@@ -101,6 +102,7 @@ class MsQueue {
           reclaimer_.end_op(p);
           return true;
         }
+        if (probe_ != nullptr) probe_->record_failure();
       } else {
         // Tail lags: help swing it.
         tail_.cas(tail, pack(index_of(tail_next), tag_of(tail) + 1));
@@ -146,9 +148,16 @@ class MsQueue {
         reclaimer_.retire(p, index_of(head));
         return value;
       }
+      if (probe_ != nullptr) probe_->record_failure();
       backoff();
     }
   }
+
+  // See TreiberStack::detach / set_contention_probe — same contracts.
+  void detach(int p) {
+    if constexpr (requires { reclaimer_.detach(p); }) reclaimer_.detach(p);
+  }
+  void set_contention_probe(ContentionProbe* probe) { probe_ = probe; }
 
   std::size_t pool_size() const { return nodes_.size(); }
   R& reclaimer() { return reclaimer_; }
@@ -182,6 +191,7 @@ class MsQueue {
   typename P::WritableCas tail_;
   std::vector<std::unique_ptr<Node>> nodes_;
   R reclaimer_;
+  ContentionProbe* probe_ = nullptr;
 };
 
 }  // namespace aba::structures

@@ -64,12 +64,10 @@ namespace detail {
 
 // The shard an operation last landed on, per process. Thread-private (one
 // plain store per operation, no shared steps — the sim step counts and the
-// Fast≡Counted traces are unaffected), padded so neighbours never
-// false-share. The sharded test adapters read this to attribute each
+// Fast≡Counted traces are unaffected), padded (util::Padded) so neighbours
+// never false-share. The sharded test adapters read this to attribute each
 // history op to its shard.
-struct alignas(util::kCacheLineSize) LastShard {
-  int shard = -1;
-};
+using LastShard = util::Padded<int>;
 
 // The routing core both sharded wrappers share: owns the shard array and
 // the per-process last-shard tags, and implements the one probe/steal
@@ -86,7 +84,7 @@ class ShardRouter {
   // failed put or an empty take). Thread-private; meaningful only to the
   // calling process between its own operations.
   int last_shard(int p) const {
-    return last_[static_cast<std::size_t>(p)].shard;
+    return last_[static_cast<std::size_t>(p)].value;
   }
 
   static constexpr int home_shard_of(int p) {
@@ -109,9 +107,16 @@ class ShardRouter {
     return total;
   }
 
+  // Releases p's cached reclaimer guards on every shard (see
+  // TreiberStack::detach); no-op for guard-free policies.
+  void detach(int p) {
+    for (auto& s : shards_) s->detach(p);
+  }
+
  protected:
   explicit ShardRouter(int n) : last_(static_cast<std::size_t>(n)) {
     ABA_CHECK(n >= 1);
+    for (auto& l : last_) l.value = -1;  // "No operation yet."
   }
 
   // Home shard first; under pool pressure, fall through the probe sequence
@@ -122,11 +127,11 @@ class ShardRouter {
     for (int attempt = 0; attempt < kShards; ++attempt) {
       const int s = util::probe_shard(home, attempt, kShards);
       if (put(*shards_[s], p)) {
-        last_[static_cast<std::size_t>(p)].shard = s;
+        last_[static_cast<std::size_t>(p)].value = s;
         return true;
       }
     }
-    last_[static_cast<std::size_t>(p)].shard = home;
+    last_[static_cast<std::size_t>(p)].value = home;
     return false;
   }
 
@@ -140,11 +145,11 @@ class ShardRouter {
       const int s = util::probe_shard(home, attempt, kShards);
       const std::optional<std::uint64_t> value = take(*shards_[s], p);
       if (value.has_value()) {
-        last_[static_cast<std::size_t>(p)].shard = s;
+        last_[static_cast<std::size_t>(p)].value = s;
         return value;
       }
     }
-    last_[static_cast<std::size_t>(p)].shard = home;
+    last_[static_cast<std::size_t>(p)].value = home;
     return std::nullopt;
   }
 

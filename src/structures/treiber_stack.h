@@ -37,6 +37,7 @@
 #include "core/platform.h"
 #include "reclaim/reclaimer.h"
 #include "reclaim/tagged.h"
+#include "structures/contention.h"
 #include "util/assert.h"
 #include "util/packed_word.h"
 
@@ -157,6 +158,7 @@ class TreiberStack {
       const std::uint64_t observed = head_->load(p);
       node.next.write(head_->index_of(observed));
       if (head_->try_swing(p, observed, *index + 1)) return true;
+      if (probe_ != nullptr) probe_->record_failure();
       backoff();
     }
   }
@@ -188,9 +190,21 @@ class TreiberStack {
         reclaimer_.retire(p, head_index - 1);
         return value;
       }
+      if (probe_ != nullptr) probe_->record_failure();
       backoff();
     }
   }
+
+  // Releases any guards process p's reclaimer keeps published between
+  // operations (the cached-guard hazard mode); no-op for the others. Call
+  // when p stops operating on this structure.
+  void detach(int p) {
+    if constexpr (requires { reclaimer_.detach(p); }) reclaimer_.detach(p);
+  }
+
+  // Attaches the CAS-failure telemetry the adaptive sharding facade reads
+  // (structures/contention.h). Set before concurrent use; null disables.
+  void set_contention_probe(ContentionProbe* probe) { probe_ = probe; }
 
   std::size_t pool_size() const { return nodes_.size(); }
   R& reclaimer() { return reclaimer_; }
@@ -208,6 +222,7 @@ class TreiberStack {
   std::unique_ptr<Head> head_;
   std::vector<std::unique_ptr<Node>> nodes_;
   R reclaimer_;
+  ContentionProbe* probe_ = nullptr;
 };
 
 }  // namespace aba::structures

@@ -34,4 +34,13 @@ inline constexpr std::size_t kCacheLineSize = 64;
 #pragma GCC diagnostic pop
 #endif
 
+// A value alone on its cache line. For per-process bookkeeping that is
+// written on the hot path (CAS-failure counters, guard-cache state,
+// last-shard tags): arrays of Padded<T> index by pid without neighbours
+// invalidating each other.
+template <class T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+
 }  // namespace aba::util

@@ -311,6 +311,18 @@ TEST(NativeStepCounter, CountsSharedOperations) {
 // actually isolate its words on cache lines.
 static_assert(aba::Platform<native::NativePlatform<native::Counted>>);
 static_assert(aba::Platform<native::NativePlatform<native::Fast>>);
+static_assert(aba::Platform<native::NativePlatform<native::FastAsymmetric>>);
+// The fence trait resolves through the platform: asymmetric only where the
+// policy opted in, NoFence (orderings carry the edge) everywhere else.
+static_assert(
+    std::is_same_v<aba::PlatformFenceT<native::NativePlatform<native::FastAsymmetric>>,
+                   util::AsymmetricFence>);
+static_assert(
+    std::is_same_v<aba::PlatformFenceT<native::NativePlatform<native::Fast>>,
+                   util::NoFence>);
+static_assert(
+    std::is_same_v<aba::PlatformFenceT<native::NativePlatform<native::Counted>>,
+                   util::NoFence>);
 static_assert(alignof(native::NativePlatform<native::Fast>::Cas) >=
               util::kCacheLineSize);
 // And the isolated object is exactly one line — the unused bound metadata

@@ -16,6 +16,11 @@
 //     hazard pointers keep unreclaimed garbage bounded by the scan
 //     threshold while the epoch scheme's limbo grows without bound;
 //   * native (std::atomic) stress for every reclaimer;
+//   * the cached-guard hazard mode (hazard_cached): step-counted unit
+//     contracts (hit = zero shared steps, end_op keeps the publish, detach
+//     releases), deterministic worst-step schedules (parked reader across a
+//     retire storm and across a structure switch), Fast ≡ Counted ≡
+//     FastAsymmetric trace equivalence, and FastAsymmetric fence stress;
 //   * the migrated pointer-based HazardDomain / HpTreiberStack.
 #include <gtest/gtest.h>
 
@@ -54,10 +59,12 @@ using spec::Method;
 static_assert(ReclaimerFor<TaggedReclaimer<SimP>, SimP>);
 static_assert(ReclaimerFor<LeakyReclaimer<SimP>, SimP>);
 static_assert(ReclaimerFor<HazardPointerReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<CachedHazardPointerReclaimer<SimP>, SimP>);
 static_assert(ReclaimerFor<EpochBasedReclaimer<SimP>, SimP>);
 static_assert(ReclaimerFor<TaggedReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<LeakyReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<HazardPointerReclaimer<NativeP>, NativeP>);
+static_assert(ReclaimerFor<CachedHazardPointerReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<EpochBasedReclaimer<NativeP>, NativeP>);
 
 FreeLists one_process_pool(int nodes) {
@@ -130,6 +137,59 @@ TEST(HazardPointerReclaimer, ThresholdTriggersScan) {
   }
   EXPECT_LT(r.unreclaimed(0), threshold)
       << "hitting the threshold must trigger a reclaiming scan";
+}
+
+// -------------------------------------------------- unit: cached guards
+//
+// The CachedGuards mode's whole point is which shared steps do NOT happen:
+// a cache hit must skip the publish, end_op must clear nothing. The Counted
+// native platform's step counter observes exactly the shared writes, so
+// these assertions pin the step contract the bench win rests on.
+
+TEST(CachedHazardReclaimer, GuardCacheHitSkipsThePublish) {
+  typename NativeP::Env env;
+  CachedHazardPointerReclaimer<NativeP> r(env, 1, one_process_pool(2));
+  const std::uint64_t before = native::step_counter();
+  r.guard(0, 0, 0);
+  EXPECT_EQ(native::step_counter() - before, 1u) << "cold publish is a write";
+  const std::uint64_t mid = native::step_counter();
+  r.guard(0, 0, 0);  // Same index, same slot: the cache hit.
+  r.end_op(0);       // Cached mode: guards stay published.
+  EXPECT_EQ(native::step_counter() - mid, 0u)
+      << "a cached hit and a cached end_op must cost zero shared steps";
+  r.guard(0, 0, 1);  // Protected index changed: republish.
+  EXPECT_EQ(native::step_counter() - mid, 1u);
+  const std::uint64_t before_detach = native::step_counter();
+  r.detach(0);  // One clear for the one published slot.
+  EXPECT_EQ(native::step_counter() - before_detach, 1u);
+}
+
+TEST(CachedHazardReclaimer, EndOpKeepsTheGuardPinnedUntilDetach) {
+  typename NativeP::Env env;
+  FreeLists free(2);
+  free[0] = {0, 1};
+  CachedHazardPointerReclaimer<NativeP> r(env, 2, free);
+  r.guard(1, 0, 0);
+  r.end_op(1);  // Eager mode would clear here; cached keeps publishing.
+  r.retire(0, 0);
+  r.scan(0);
+  EXPECT_EQ(r.unreclaimed(0), 1u)
+      << "a guard cached across end_op must still pin";
+  r.detach(1);
+  r.scan(0);
+  EXPECT_EQ(r.unreclaimed(0), 0u) << "detach is the release point";
+}
+
+TEST(CachedHazardReclaimer, AllocateDropsOwnCacheUnderPoolPressure) {
+  typename NativeP::Env env;
+  CachedHazardPointerReclaimer<NativeP> r(env, 1, one_process_pool(1));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.guard(0, 0, 0);
+  r.end_op(0);
+  r.retire(0, 0);
+  // The process's own cached guard pins the pool's only node; allocate runs
+  // outside any protected region, so it must self-heal: detach, rescan.
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
 }
 
 // ---------------------------------------------------------- unit: epoch
@@ -215,6 +275,7 @@ TEST(ReclaimerEquivalence, StackHistoriesIdenticalAcrossReclaimers) {
   const auto reference = run_stack_script<TaggedReclaimer<SimP>>();
   EXPECT_EQ(run_stack_script<LeakyReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_stack_script<HazardPointerReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_stack_script<CachedHazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_stack_script<EpochBasedReclaimer<SimP>>(), reference);
 }
 
@@ -243,6 +304,7 @@ TEST(ReclaimerEquivalence, QueueHistoriesIdenticalAcrossReclaimers) {
   const auto reference = run_queue_script<TaggedReclaimer<SimP>>();
   EXPECT_EQ(run_queue_script<LeakyReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_queue_script<HazardPointerReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_queue_script<CachedHazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_queue_script<EpochBasedReclaimer<SimP>>(), reference);
 }
 
@@ -313,6 +375,11 @@ TEST(ReclaimerSweep, TaggedHeadEpochReclaimer) {
       SweepStack<TaggedHead, EpochBasedReclaimer<SimP>>>();
 }
 
+TEST(ReclaimerSweep, TaggedHeadCachedHazardReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<TaggedHead, CachedHazardPointerReclaimer<SimP>>>();
+}
+
 // With deferred reuse (or no reuse), even the raw CAS head is safe: the
 // reclamation policy *is* the ABA answer.
 TEST(ReclaimerSweep, RawHeadLeakyReclaimer) {
@@ -325,6 +392,10 @@ TEST(ReclaimerSweep, RawHeadHazardReclaimer) {
 TEST(ReclaimerSweep, RawHeadEpochReclaimer) {
   expect_stack_linearizable_sweep<
       SweepStack<RawHead, EpochBasedReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, RawHeadCachedHazardReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<RawHead, CachedHazardPointerReclaimer<SimP>>>();
 }
 
 template <class R>
@@ -363,6 +434,9 @@ TEST(ReclaimerSweep, QueueLeakyReclaimer) {
 }
 TEST(ReclaimerSweep, QueueHazardReclaimer) {
   expect_queue_linearizable_sweep<HazardPointerReclaimer<SimP>>();
+}
+TEST(ReclaimerSweep, QueueCachedHazardReclaimer) {
+  expect_queue_linearizable_sweep<CachedHazardPointerReclaimer<SimP>>();
 }
 TEST(ReclaimerSweep, QueueEpochReclaimer) {
   expect_queue_linearizable_sweep<EpochBasedReclaimer<SimP>>();
@@ -422,6 +496,19 @@ TEST(DeferredReuseAba, HazardReclaimerSurvivesRawCasSchedule) {
       spec::check_linearizable<spec::StackSpec>(ops, spec::StackSpec::initial());
   EXPECT_TRUE(result.linearizable)
       << "hazard pointers must defuse the raw-CAS ABA\n"
+      << spec::explain(ops, result);
+}
+
+TEST(DeferredReuseAba, CachedHazardReclaimerSurvivesRawCasSchedule) {
+  // A cold cache publishes exactly like the eager mode, so the pause lands
+  // on the same step (4: head load, guard publish, revalidation load, next
+  // read); what differs is everything after — and the history must not.
+  using Stack = SweepStack<RawHead, CachedHazardPointerReclaimer<SimP>>;
+  const auto ops = run_deferred_aba_schedule<Stack>(/*pause_steps=*/4);
+  const auto result =
+      spec::check_linearizable<spec::StackSpec>(ops, spec::StackSpec::initial());
+  EXPECT_TRUE(result.linearizable)
+      << "cached hazard guards must defuse the raw-CAS ABA\n"
       << spec::explain(ops, result);
 }
 
@@ -514,6 +601,114 @@ TEST(RetireBound, EpochStalledReaderGrowsLimboUnbounded) {
   EXPECT_TRUE(stalled.has_value());
 }
 
+// ------------------------------ guard-cache worst-step schedules
+//
+// The cached mode's new failure surface is a guard that OUTLIVES its
+// operation: end_op clears nothing, so a parked (or merely idle) reader's
+// slot keeps pinning whatever it last protected. These schedules park a
+// reader at exactly that step and drive the two attacks the design must
+// survive — a retire storm against the pin, and a structure switch that
+// leaves the pin behind.
+
+TEST(GuardCacheSchedule, ParkedReaderPlusRetireStormStaysBounded) {
+  // p1 parks mid-pop with its (cold-published) guard validated — the same
+  // worst step as the eager RetireBound test — then additionally FINISHES
+  // its op afterwards, which in the cached mode still releases nothing.
+  using Stack = SweepStack<RawHead, CachedHazardPointerReclaimer<SimP>>;
+  sim::SimWorld world(2);
+  Stack stack(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+              Stack::partition(2, kRetireCycles + 2));
+  world.invoke(0, [&] { stack.push(0, 1); });
+  world.run_to_completion(0);
+
+  std::optional<std::uint64_t> stalled;
+  world.invoke(1, [&] { stalled = stack.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);  // head, publish, revalidate.
+
+  world.invoke(0, [&] {
+    for (int i = 0; i < kRetireCycles; ++i) {
+      ABA_CHECK(stack.push(0, static_cast<std::uint64_t>(i)));
+      ABA_CHECK(stack.pop(0).has_value());
+    }
+  });
+  world.run_to_completion(0);
+
+  EXPECT_LE(stack.reclaimer().unreclaimed(0), stack.reclaimer().scan_threshold())
+      << "a parked cached guard must pin only what its slots name";
+
+  world.run_to_completion(1);
+  EXPECT_TRUE(stalled.has_value());
+
+  // p1's completed pop retired the node its own slot still caches: a scan
+  // must keep it pinned (the +H headroom the mode buys its hit rate with)…
+  world.invoke(1, [&] { stack.reclaimer().scan(1); });
+  world.run_to_completion(1);
+  EXPECT_EQ(stack.reclaimer().unreclaimed(1), 1u)
+      << "the cached guard pins p1's own retiree across end_op";
+
+  // …until the explicit epoch-style clear.
+  world.invoke(1, [&] {
+    stack.detach(1);
+    stack.reclaimer().scan(1);
+  });
+  world.run_to_completion(1);
+  EXPECT_EQ(stack.reclaimer().unreclaimed(1), 0u);
+}
+
+TEST(GuardCacheSchedule, StructureSwitchKeepsPinUntilDetach) {
+  // p1 loses a pop race on stack A (so its cached guard names a node that
+  // p0 retired), moves on to stack B, and works there indefinitely. A's
+  // node stays pinned — reclaimers are per structure, so no amount of
+  // activity on B releases it — until p1 detaches from A.
+  using Stack = SweepStack<RawHead, CachedHazardPointerReclaimer<SimP>>;
+  sim::SimWorld world(2);
+  Stack a(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+          Stack::partition(2, 4));
+  Stack b(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+          Stack::partition(2, 4));
+
+  auto solo = [&](int pid, auto&& body) {
+    world.invoke(pid, std::forward<decltype(body)>(body));
+    world.run_to_completion(pid);
+  };
+
+  solo(0, [&] { a.push(0, 11); });
+
+  // p1 parks mid-pop on A with its guard on the head node validated.
+  std::optional<std::uint64_t> lost;
+  world.invoke(1, [&] { lost = a.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);
+
+  // p0 wins the node and retires it — and then detaches (p0 is the
+  // hygienic process here), so from now on the ONLY thing pinning the node
+  // is p1's parked cached guard.
+  std::optional<std::uint64_t> won;
+  solo(0, [&] { won = a.pop(0); });
+  EXPECT_EQ(won, std::optional<std::uint64_t>(11));
+  solo(0, [&] { a.detach(0); });
+  solo(0, [&] { a.reclaimer().scan(0); });
+  EXPECT_EQ(a.reclaimer().unreclaimed(0), 1u);
+
+  // p1 resumes: its CAS fails, the retry sees A empty — and the cached
+  // guard still names the node it validated, completed op or not.
+  world.run_to_completion(1);
+  EXPECT_EQ(lost, std::nullopt);
+
+  // p1 switches structures and works on B; A's pin is untouched.
+  solo(1, [&] {
+    ABA_CHECK(b.push(1, 22));
+    ABA_CHECK(b.pop(1) == std::optional<std::uint64_t>(22));
+  });
+  solo(0, [&] { a.reclaimer().scan(0); });
+  EXPECT_EQ(a.reclaimer().unreclaimed(0), 1u)
+      << "switching structures without detach must keep the pin";
+
+  // The explicit clear on structure switch releases A's node.
+  solo(1, [&] { a.detach(1); });
+  solo(0, [&] { a.reclaimer().scan(0); });
+  EXPECT_EQ(a.reclaimer().unreclaimed(0), 0u);
+}
+
 // ----------------------------------------------- native stress, all four
 
 template <class R>
@@ -528,6 +723,7 @@ using NativeCases = ::testing::Types<
     NativeStackCase<TaggedReclaimer<NativeP>>,
     NativeStackCase<LeakyReclaimer<NativeP>>,
     NativeStackCase<HazardPointerReclaimer<NativeP>>,
+    NativeStackCase<CachedHazardPointerReclaimer<NativeP>>,
     NativeStackCase<EpochBasedReclaimer<NativeP>>>;
 TYPED_TEST_SUITE(NativeReclaimStress, NativeCases);
 
@@ -620,6 +816,102 @@ TYPED_TEST(NativeReclaimStress, QueueBalancedAccounting) {
   }
   EXPECT_EQ(enq_sum.load(), deq_sum.load());
   EXPECT_EQ(enq_count.load(), deq_count.load());
+}
+
+// ----------------------- Fast ≡ Counted ≡ FastAsymmetric determinism
+//
+// Token-serialized native workload (one thread moves at a time, so the
+// schedule is a pure function of (n, rounds)) over the cached-guard hazard
+// stack: the platform policy changes layout, instrumentation, orderings
+// and fences — never results. FastAsymmetric joins the comparison because
+// the fence pair must be behaviour-invisible too.
+template <class P>
+std::vector<std::uint64_t> tokenized_cached_hazard_trace(int n, int rounds) {
+  using Stack = structures::TreiberStack<P, structures::TaggedCasHead<P>,
+                                         CachedHazardPointerReclaimer<P>>;
+  typename P::Env env;
+  Stack stack(env, n,
+              std::make_unique<structures::TaggedCasHead<P>>(env, n),
+              Stack::partition(n, rounds + 2));
+  std::vector<std::uint64_t> trace(static_cast<std::size_t>(n) * rounds, 0);
+  std::atomic<int> turn{0};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      for (int r = 0; r < rounds; ++r) {
+        const int my_step = r * n + pid;
+        while (turn.load() != my_step) std::this_thread::yield();
+        std::uint64_t result = 0;
+        if ((pid + r) % 2 == 0) {
+          result = stack.push(pid, static_cast<std::uint64_t>(my_step)) ? 1 : 0;
+        } else {
+          const auto v = stack.pop(pid);
+          result = spec::pack_opt(v.has_value(), v.has_value() ? *v : 0);
+        }
+        trace[static_cast<std::size_t>(my_step)] = result;
+        turn.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return trace;
+}
+
+TEST(CachedHazardNativePolicy, FastAndAsymmetricMatchCounted) {
+  using CountedP = native::NativePlatform<native::Counted>;
+  using FastP = native::NativePlatform<native::Fast>;
+  using AsymP = native::NativePlatform<native::FastAsymmetric>;
+  const auto counted = tokenized_cached_hazard_trace<CountedP>(3, 48);
+  const auto fast = tokenized_cached_hazard_trace<FastP>(3, 48);
+  const auto asym = tokenized_cached_hazard_trace<AsymP>(3, 48);
+  EXPECT_EQ(counted, fast);
+  EXPECT_EQ(counted, asym);
+}
+
+// ------------------------------- asymmetric-fence native stress
+//
+// The real-concurrency workout of the FastAsymmetric platform: raw CAS
+// head (reclamation IS the ABA answer) + cached guards + the
+// membarrier-or-fallback fence pair, checked by value conservation. Under
+// TSan the fence header degrades both sides to seq_cst thread fences, so
+// the sanitizer checks the protocol it can model.
+TEST(NativeAsymmetricFenceStress, CachedHazardStackBalancedAccounting) {
+  using AsymP = native::NativePlatform<native::FastAsymmetric>;
+  using Stack = structures::TreiberStack<AsymP, structures::RawCasHead<AsymP>,
+                                         CachedHazardPointerReclaimer<AsymP>>;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1500;
+  typename AsymP::Env env;
+  // Headroom past the asymmetric scan batch (kHeavyScanFloor retires can be
+  // in flight per process) plus the cached-guard pins.
+  Stack stack(env, kThreads,
+              std::make_unique<structures::RawCasHead<AsymP>>(env, kThreads),
+              Stack::partition(kThreads, kOpsPerThread + 1));
+
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 31);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(1, 2)) {
+          const std::uint64_t v = rng.below(1000) + 1;
+          if (stack.push(tid, v)) pushed_sum.fetch_add(v);
+        } else {
+          const auto v = stack.pop(tid);
+          if (v.has_value()) popped_sum.fetch_add(*v);
+        }
+      }
+      stack.detach(tid);  // The structure-exit contract of cached guards.
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (;;) {
+    const auto v = stack.pop(0);
+    if (!v.has_value()) break;
+    popped_sum.fetch_add(*v);
+  }
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
 }
 
 // ------------------------------- migrated pointer-based hazard pointers

@@ -1,21 +1,29 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_native.json against the committed baseline.
+"""Compare two BENCH_native.json files cell by cell.
 
-Each record is keyed by (scenario, platform, orderings, reclaimer, shards,
-threads) — the cell identity E9 sweeps (orderings included so a build with
-different memory-ordering options shows up as added/removed cells rather
-than as spurious per-cell regressions) — and the fresh ops_per_sec is
-compared to the baseline's. A cell that lost more than --threshold (default 30%) of its
-throughput is a regression; the run fails (exit 1) if any regression is
-found, unless --warn-only is set (shared CI runners are noisy and their
-smoke cells are measured for milliseconds — there the comparison is a
-trajectory signal, not a gate).
+--baseline and --fresh are two arbitrary E9 JSON files: the committed
+baseline vs a fresh build in CI, but equally two trajectory snapshots from
+different machines or commits when diffing by hand.
+
+Each record is keyed by (scenario, platform, orderings, reclaimer, fence,
+shards, threads) — the cell identity E9 sweeps (orderings and fence
+included so a build with different memory-ordering or fence-scheme options
+shows up as added/removed cells rather than as spurious per-cell
+regressions) — and the fresh ops_per_sec is compared to the baseline's. A
+cell that lost more than --threshold (default 30%) of its throughput is a
+regression; the run fails (exit 1) if any regression is found, unless
+--warn-only is set (shared CI runners are noisy and their smoke cells are
+measured for milliseconds — there the comparison is a trajectory signal,
+not a gate; the nightly workflow runs the same comparison in failing mode
+over longer measurements).
 
 Cells are judged only when both sides measured long enough to mean
 anything (--min-seconds, default 0.05): drain-limited leaky cells and
 sub-hundredth smoke cells are reported informationally but never fail the
 run. Added/removed cells (a new scenario, a retired dimension) are listed,
-never failed on.
+never failed on. The markdown report also carries a geomean-of-ratios
+summary per (scenario, reclaimer), the per-group trajectory line that
+single-cell noise cannot fake.
 
 Usage:
   tools/bench_compare.py --baseline BENCH_native.json \
@@ -28,6 +36,7 @@ Exit codes: 0 ok (or --warn-only), 1 regression found, 2 usage/input error.
 import argparse
 import contextlib
 import json
+import math
 import signal
 import sys
 
@@ -54,6 +63,7 @@ def load_records(path):
             r["platform"],
             r.get("orderings", ""),
             r.get("reclaimer", "none"),
+            r.get("fence", "seq_cst"),
             int(r.get("shards", 1)),
             int(r["threads"]),
         )
@@ -66,8 +76,8 @@ def load_records(path):
 
 
 def fmt_key(key):
-    scenario, platform, orderings, reclaimer, shards, threads = key
-    return (f"{scenario}/{platform}/{orderings}/{reclaimer}"
+    scenario, platform, orderings, reclaimer, fence, shards, threads = key
+    return (f"{scenario}/{platform}/{orderings}/{reclaimer}/{fence}"
             f"/shards={shards}/threads={threads}")
 
 
@@ -91,14 +101,18 @@ def main():
     regressions = []  # (key, base_rate, fresh_rate, delta)
     improvements = []
     informational = []  # too short to judge
+    ratios_by_group = {}  # (scenario, reclaimer) -> [fresh/base, ...]
     compared = 0
     for key in sorted(base.keys() & fresh.keys()):
         b, f = base[key], fresh[key]
         if b["ops_per_sec"] <= 0:
             continue
         compared += 1
-        delta = f["ops_per_sec"] / b["ops_per_sec"] - 1.0
+        ratio = f["ops_per_sec"] / b["ops_per_sec"]
+        delta = ratio - 1.0
         row = (key, b["ops_per_sec"], f["ops_per_sec"], delta)
+        if ratio > 0:
+            ratios_by_group.setdefault((key[0], key[3]), []).append(ratio)
         if min(b.get("seconds", 0), f.get("seconds", 0)) < args.min_seconds:
             informational.append(row)
         elif delta < -args.threshold:
@@ -131,6 +145,21 @@ def main():
         lines.append("|---|---:|---:|---:|")
         for key, b, f, d in rows:
             lines.append(f"| {fmt_key(key)} | {b:,.0f} | {f:,.0f} | {d:+.1%} |")
+        lines.append("")
+
+    # Geomean of fresh/baseline ratios per (scenario, reclaimer): the
+    # per-group trajectory summary. A geomean treats a 2x gain and a 0.5x
+    # loss as cancelling, so it is the honest "did this family move"
+    # number, robust to the single-cell noise the per-cell gate ignores.
+    if ratios_by_group:
+        lines.append("## Geomean fresh/baseline by (scenario, reclaimer)")
+        lines.append("")
+        lines.append("| scenario | reclaimer | cells | geomean |")
+        lines.append("|---|---|---:|---:|")
+        for (scenario, reclaimer), ratios in sorted(ratios_by_group.items()):
+            geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+            lines.append(f"| {scenario} | {reclaimer} | {len(ratios)} "
+                         f"| {geomean:.3f}x |")
         lines.append("")
 
     table("Regressions", regressions)
