@@ -16,11 +16,43 @@
 #include <vector>
 
 #include "harness/harness.h"
+#include "reclaim/reclaimer.h"
 #include "sim/sim_world.h"
 #include "spec/history.h"
 #include "util/assert.h"
 
 namespace aba::harness {
+
+namespace detail {
+
+// Reclamation observability lookup, in order of preference: a composite
+// impl's own aggregate (the sharded router), then a flat impl's reclaimer,
+// then the no-op defaults. Lets the same invoker templates drive everything
+// from a plain register to an 8-shard stack while still exposing the phase
+// markers the schedule-search engine parks processes with.
+template <class Impl>
+reclaim::ReclaimStats impl_reclaim_stats(const Impl& impl) {
+  if constexpr (requires { impl.reclaim_stats(); }) {
+    return impl.reclaim_stats();
+  } else if constexpr (requires { impl.reclaimer().stats(); }) {
+    return impl.reclaimer().stats();
+  } else {
+    return {};
+  }
+}
+
+template <class Impl>
+reclaim::ReclaimPhase impl_reclaim_phase(const Impl& impl, int pid) {
+  if constexpr (requires { impl.reclaim_phase(pid); }) {
+    return impl.reclaim_phase(pid);
+  } else if constexpr (requires { impl.reclaimer().phase(pid); }) {
+    return impl.reclaimer().phase(pid);
+  } else {
+    return reclaim::ReclaimPhase::kIdle;
+  }
+}
+
+}  // namespace detail
 
 // Impl must expose: std::pair<uint64_t,bool> dread(int q); void dwrite(int p, uint64_t x).
 template <class Impl>
@@ -139,6 +171,13 @@ class StackInvoker : public Invoker {
     }
   }
 
+  reclaim::ReclaimStats reclaim_stats() const override {
+    return detail::impl_reclaim_stats(*impl_);
+  }
+  reclaim::ReclaimPhase reclaim_phase(int pid) const override {
+    return detail::impl_reclaim_phase(*impl_, pid);
+  }
+
  protected:
   // Called after each completion is recorded; the extension point the
   // shard-tagging adapter below hooks (default: nothing).
@@ -184,6 +223,13 @@ class QueueInvoker : public Invoker {
       default:
         ABA_CHECK_MSG(false, "QueueInvoker: unsupported method");
     }
+  }
+
+  reclaim::ReclaimStats reclaim_stats() const override {
+    return detail::impl_reclaim_stats(*impl_);
+  }
+  reclaim::ReclaimPhase reclaim_phase(int pid) const override {
+    return detail::impl_reclaim_phase(*impl_, pid);
   }
 
  protected:

@@ -1,6 +1,8 @@
 #include "harness/harness.h"
 
+#include <cstdlib>
 #include <deque>
+#include <sstream>
 
 #include "util/assert.h"
 #include "util/rng.h"
@@ -55,20 +57,51 @@ struct Pending {
 
 }  // namespace
 
+std::uint64_t schedule_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ABA_SCHEDULE_SEED")) {
+    char* end = nullptr;
+    const unsigned long long pinned = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return pinned;
+  }
+  return fallback;
+}
+
+std::string ScheduleLog::to_string() const {
+  std::ostringstream out;
+  out << "replay: ABA_SCHEDULE_SEED=" << seed << " grants=[";
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << grants[i];
+  }
+  out << "]";
+  return out.str();
+}
+
 void drive_random_schedule(sim::SimWorld& world, Invoker& invoker,
                            int num_processes,
                            const std::vector<WorkloadOp>& workload,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, ScheduleLog* log) {
   Pending pending(num_processes, workload);
-  util::Xoshiro256 rng(seed);
+  ScheduleLog local;
+  if (log == nullptr) log = &local;
+  log->seed = schedule_seed(seed);
+  log->grants.clear();
+  util::Xoshiro256 rng(log->seed);
 
   while (!pending.all_done(world)) {
     std::vector<int> runnable;
     for (int pid = 0; pid < num_processes; ++pid) {
       if (pending.runnable(world, pid)) runnable.push_back(pid);
     }
-    ABA_ASSERT_MSG(!runnable.empty(), "no runnable process but work remains");
+    if (runnable.empty()) {
+      // Replayable forever: the message carries the seed and the full
+      // grant script that reached the stuck configuration.
+      const std::string detail =
+          "no runnable process but work remains — " + log->to_string();
+      ABA_CHECK_MSG(false, detail.c_str());
+    }
     const int pid = runnable[rng.below(runnable.size())];
+    log->grants.push_back(pid);
     pending.advance(world, invoker, pid);
   }
 }
@@ -76,12 +109,12 @@ void drive_random_schedule(sim::SimWorld& world, Invoker& invoker,
 std::vector<spec::Op> run_random_schedule(int num_processes,
                                           const FixtureFactory& factory,
                                           const std::vector<WorkloadOp>& workload,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed, ScheduleLog* log) {
   sim::SimWorld world(num_processes);
   world.set_trace_enabled(false);
   spec::History history;
   auto invoker = factory(world, history);
-  drive_random_schedule(world, *invoker, num_processes, workload, seed);
+  drive_random_schedule(world, *invoker, num_processes, workload, seed, log);
   return history.ops();
 }
 

@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "reclaim/reclaimer.h"
 #include "sim/sim_world.h"
 #include "spec/history.h"
 
@@ -37,6 +39,16 @@ class Invoker {
   // Starts the op on its process (which must be idle). The closure records
   // invocation and response into the harness history.
   virtual void invoke(const WorkloadOp& op) = 0;
+
+  // Reclamation observability, forwarded from the implementation under
+  // test (the structure adapters in adapters.h override these whenever the
+  // impl exposes a reclaimer). The schedule-search engine samples stats to
+  // score a configuration and reads phases to park a process at the worst
+  // step; the defaults make every other invoker a benign no-op target.
+  virtual reclaim::ReclaimStats reclaim_stats() const { return {}; }
+  virtual reclaim::ReclaimPhase reclaim_phase(int /*pid*/) const {
+    return reclaim::ReclaimPhase::kIdle;
+  }
 };
 
 // Builds the implementation under test in `world` and returns its invoker.
@@ -53,10 +65,30 @@ using HistoryCheck = std::function<bool(const std::vector<spec::Op>&)>;
 // in order; at every juncture a uniformly random runnable process (seeded)
 // either starts its next op or executes one step. Returns the history.
 // ---------------------------------------------------------------------------
+
+// The effective seed for a random schedule: `fallback` unless the
+// ABA_SCHEDULE_SEED environment variable is set, which pins EVERY random
+// schedule in the process to that seed — the repro knob for a failure
+// report (run the one failing test under --gtest_filter with the seed the
+// failure message printed).
+std::uint64_t schedule_seed(std::uint64_t fallback);
+
+// Replay record of one random-schedule run: the effective seed and the
+// step-grant script (the pid moved at each juncture — invoke-if-idle, else
+// one step, exactly the advance rule the drivers use). Failure messages
+// embed to_string() so any reported failure is replayable verbatim.
+struct ScheduleLog {
+  std::uint64_t seed = 0;
+  std::vector<int> grants;
+
+  std::string to_string() const;
+};
+
 std::vector<spec::Op> run_random_schedule(int num_processes,
                                           const FixtureFactory& factory,
                                           const std::vector<WorkloadOp>& workload,
-                                          std::uint64_t seed);
+                                          std::uint64_t seed,
+                                          ScheduleLog* log = nullptr);
 
 // The factory-free variant: drives the same uniformly random schedule over a
 // caller-owned world and invoker. Use this when the invoker accumulates
@@ -66,7 +98,7 @@ std::vector<spec::Op> run_random_schedule(int num_processes,
 void drive_random_schedule(sim::SimWorld& world, Invoker& invoker,
                            int num_processes,
                            const std::vector<WorkloadOp>& workload,
-                           std::uint64_t seed);
+                           std::uint64_t seed, ScheduleLog* log = nullptr);
 
 // Round-robin over processes with a fixed quantum of steps (quantum = big
 // number approximates running ops solo, quantum = 1 maximizes interleaving).

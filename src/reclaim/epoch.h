@@ -36,6 +36,7 @@
 // announcement.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -87,13 +88,22 @@ class EpochBasedReclaimer {
     for (;;) {
       const std::uint64_t e = global_.read();
       announce_[p]->write(e);
+      // The announcement is visible from here on: a process parked at the
+      // validation read below already pins the epoch, which is exactly the
+      // worst step the schedule-search engine aims for.
+      procs_[p].announce_mirror = e;
+      procs_[p].phase = ReclaimPhase::kEpochAnnounced;
       if (global_.read() == e) return;
     }
   }
 
   void guard(int /*p*/, int /*slot*/, std::uint64_t /*idx*/) {}
 
-  void end_op(int p) { announce_[p]->write(kQuiescent); }
+  void end_op(int p) {
+    announce_[p]->write(kQuiescent);
+    procs_[p].announce_mirror = kQuiescent;
+    procs_[p].phase = ReclaimPhase::kIdle;
+  }
 
   std::optional<std::uint64_t> allocate(int p) {
     auto& free = procs_[p].free;
@@ -118,11 +128,16 @@ class EpochBasedReclaimer {
   // retire-time stamp g, every reader that can hold the node announced
   // a ≤ g, and the epoch cannot pass a+1 ≤ g+1 < g+2 while it is active.
   void retire(int p, std::uint64_t idx) {
-    procs_[p].limbo.push_back(Limbo{idx, global_.read()});
+    const ReclaimPhase resume = procs_[p].phase;
+    procs_[p].phase = ReclaimPhase::kMidRetire;
+    const std::uint64_t g = global_.read();
+    global_mirror_.store(g, std::memory_order_relaxed);
+    procs_[p].limbo.push_back(Limbo{idx, g});
     if (++procs_[p].retires_since_advance >= kAdvanceEvery) {
       procs_[p].retires_since_advance = 0;
       flush(p, try_advance());
     }
+    procs_[p].phase = resume;
   }
 
   // Attempts one epoch advance; returns the freshest global epoch known.
@@ -130,12 +145,17 @@ class EpochBasedReclaimer {
   // a single stale reader (announcement < e) vetoes it.
   std::uint64_t try_advance() {
     const std::uint64_t e = global_.read();
+    global_mirror_.store(e, std::memory_order_relaxed);
     for (int q = 0; q < n_; ++q) {
       const std::uint64_t a = announce_[q]->read();
       if (a != kQuiescent && a != e) return e;
     }
     // CAS, not write: concurrent advancers must bump at most once from e.
-    return global_.cas(e, e + 1) ? e + 1 : e;
+    if (global_.cas(e, e + 1)) {
+      global_mirror_.store(e + 1, std::memory_order_relaxed);
+      return e + 1;
+    }
+    return e;
   }
 
   // Moves p's matured limbo nodes (stamped ≤ epoch − 2) to the free list.
@@ -152,6 +172,30 @@ class EpochBasedReclaimer {
   std::size_t unreclaimed(int p) const { return procs_[p].limbo.size(); }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }
 
+  // Engine-side observability (reclaimer.h). The epoch lag — how far the
+  // freshest-known global epoch has left the oldest *active* announcement
+  // behind — is computed from relaxed mirror fields maintained at the write
+  // sites, because reading the real platform registers would cost shared
+  // steps (and, on the simulator, could only run on a simulated thread).
+  // A lag that stays pinned at 0 while retires accumulate is the signature
+  // of a frozen epoch: the stalled announcer IS the current epoch's hostage.
+  ReclaimStats stats() const {
+    ReclaimStats s;
+    s.pool_size = pool_size_;
+    const std::uint64_t global = global_mirror_.load(std::memory_order_relaxed);
+    for (const auto& proc : procs_) {
+      s.retired_unreclaimed += proc.limbo.size();
+      s.free_nodes += proc.free.size();
+      if (proc.announce_mirror != kQuiescent &&
+          global > proc.announce_mirror) {
+        const std::uint64_t lag = global - proc.announce_mirror;
+        if (lag > s.epoch_lag) s.epoch_lag = lag;
+      }
+    }
+    return s;
+  }
+  ReclaimPhase phase(int p) const { return procs_[p].phase; }
+
  private:
   static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
 
@@ -167,10 +211,18 @@ class EpochBasedReclaimer {
     std::deque<std::uint64_t> free;
     std::deque<Limbo> limbo;
     std::size_t retires_since_advance = 0;
+    // Observability mirrors (reclaimer.h): p's own view of its announcement
+    // and protocol position. Written only by p, read by the engine while
+    // the processes are parked — no shared steps, no races.
+    std::uint64_t announce_mirror = kQuiescent;
+    ReclaimPhase phase = ReclaimPhase::kIdle;
   };
 
   int n_;
   typename P::WritableCas global_;
+  // Freshest global epoch any process has observed; relaxed because it is
+  // instrumentation (stats only), never part of the protocol.
+  std::atomic<std::uint64_t> global_mirror_{0};
   // unique_ptr: platform objects are immovable; Fast pads each to a line.
   std::vector<std::unique_ptr<typename P::Register>> announce_;
   std::vector<PerProcess> procs_;

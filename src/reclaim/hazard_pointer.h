@@ -125,7 +125,7 @@ class HazardPointerReclaimer {
     }
   }
 
-  void begin_op(int /*p*/) {}
+  void begin_op(int p) { procs_[p].phase = ReclaimPhase::kInRegion; }
 
   // Publishes node `idx` in (p, slot). At most one shared write; zero when
   // the cached mode finds the slot already naming idx. The *structure*
@@ -134,6 +134,10 @@ class HazardPointerReclaimer {
     ABA_ASSERT(slot >= 0 && slot < kSlotsPerProcess);
     const std::uint64_t word = idx + 1;
     auto& published = procs_[p].published;
+    // The phase marker flips before returning either way: a cache hit
+    // protects exactly like a fresh publish, and the caller is now headed
+    // into its revalidation read — the worst step to park at.
+    procs_[p].phase = ReclaimPhase::kGuardPublished;
     if constexpr (kCachesGuards) {
       if (published[static_cast<std::size_t>(slot)] == word) return;  // Hit.
     }
@@ -147,6 +151,7 @@ class HazardPointerReclaimer {
   // Cached mode: nothing — the published guards ARE the cache.
   void end_op(int p) {
     if constexpr (!kCachesGuards) clear_published(p);
+    procs_[p].phase = ReclaimPhase::kIdle;
   }
 
   // The epoch-style explicit clear: drops every guard p has published.
@@ -176,8 +181,11 @@ class HazardPointerReclaimer {
   }
 
   void retire(int p, std::uint64_t idx) {
+    const ReclaimPhase resume = procs_[p].phase;
+    procs_[p].phase = ReclaimPhase::kMidRetire;
     procs_[p].retired.push_back(idx);
     if (procs_[p].retired.size() >= scan_threshold()) scan(p);
+    procs_[p].phase = resume;
   }
 
   // Reads every hazard slot once and frees p's retired nodes that no slot
@@ -225,6 +233,22 @@ class HazardPointerReclaimer {
   std::size_t unreclaimed(int p) const { return procs_[p].retired.size(); }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }
 
+  // Engine-side observability (reclaimer.h): everything below reads only
+  // thread-private bookkeeping, so sampling between steps is free.
+  ReclaimStats stats() const {
+    ReclaimStats s;
+    s.pool_size = pool_size_;
+    for (const auto& proc : procs_) {
+      s.retired_unreclaimed += proc.retired.size();
+      s.free_nodes += proc.free.size();
+      for (const std::uint64_t word : proc.published) {
+        if (word != kNone) ++s.guard_slots_occupied;
+      }
+    }
+    return s;
+  }
+  ReclaimPhase phase(int p) const { return procs_[p].phase; }
+
  private:
   static constexpr std::uint64_t kNone = 0;  // Indices are stored +1.
 
@@ -259,6 +283,8 @@ class HazardPointerReclaimer {
     // What each of p's slots currently holds (the guard cache; also the
     // eager mode's dirty tracking). kNone = slot clear.
     std::array<std::uint64_t, kSlotsPerProcess> published{};
+    // Protocol position for the schedule-search engine (reclaimer.h).
+    ReclaimPhase phase = ReclaimPhase::kIdle;
   };
 
   int n_;

@@ -63,6 +63,19 @@ class LeakyReclaimer {
   std::size_t unreclaimed(int p) const { return procs_[p].leaked; }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }
 
+  // Leaked nodes count as retired-but-unreclaimed: they are exactly the
+  // garbage this baseline never collects (no regions, no phases).
+  ReclaimStats stats() const {
+    ReclaimStats s;
+    s.pool_size = pool_size_;
+    for (const auto& proc : procs_) {
+      s.free_nodes += proc.free.size();
+      s.retired_unreclaimed += proc.leaked;
+    }
+    return s;
+  }
+  ReclaimPhase phase(int /*p*/) const { return ReclaimPhase::kIdle; }
+
  private:
   // One cache line per process: allocate/retire touch these fields on the
   // hot path and must not false-share with neighbouring processes.

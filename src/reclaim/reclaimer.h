@@ -79,6 +79,63 @@ namespace aba::reclaim {
 // their total. Every reclaimer is constructed from (Env&, n, FreeLists).
 using FreeLists = std::vector<std::deque<std::uint64_t>>;
 
+// Where a process currently stands in its reclaimer's protocol. The value
+// is thread-private bookkeeping (updated by p's own calls, read by the
+// engine while every simulated process is parked at an announcement), so
+// querying it costs no shared steps and cannot perturb a schedule. The
+// schedule-search engine (sim/schedule_search.h) uses it to park a process
+// at exactly the step the retire-bound arguments care about: a hazard guard
+// that has just become visible, or an epoch announcement that now pins the
+// global epoch.
+enum class ReclaimPhase : std::uint8_t {
+  kIdle,            // Not inside any protected region.
+  kInRegion,        // begin_op ran; nothing vulnerable published yet.
+  kGuardPublished,  // Hazard: a slot write is visible; the structure is
+                    // about to revalidate — parking here pins the node.
+  kEpochAnnounced,  // Epoch: the announcement is written; parking here
+                    // freezes the global epoch for the region's duration.
+  kMidRetire,       // Inside retire(), including any triggered scan.
+};
+
+// The phases a parked process turns into a reclamation attack.
+constexpr bool is_vulnerable(ReclaimPhase phase) {
+  return phase == ReclaimPhase::kGuardPublished ||
+         phase == ReclaimPhase::kEpochAnnounced;
+}
+
+inline const char* to_string(ReclaimPhase phase) {
+  switch (phase) {
+    case ReclaimPhase::kIdle: return "idle";
+    case ReclaimPhase::kInRegion: return "in-region";
+    case ReclaimPhase::kGuardPublished: return "guard-published";
+    case ReclaimPhase::kEpochAnnounced: return "epoch-announced";
+    case ReclaimPhase::kMidRetire: return "mid-retire";
+  }
+  return "?";
+}
+
+// Aggregate reclamation damage, sampled by the engine between steps. Like
+// ReclaimPhase this is computed from thread-private bookkeeping (plus, for
+// the epoch lag, relaxed mirror fields maintained at the write sites), so
+// sampling it costs no shared steps on either platform. The schedule-search
+// cost functions are thin projections of this struct.
+struct ReclaimStats {
+  std::size_t retired_unreclaimed = 0;  // Sum over processes: retired/limbo.
+  std::size_t free_nodes = 0;           // Sum over free lists.
+  std::size_t pool_size = 0;
+  std::size_t guard_slots_occupied = 0;  // Hazard modes: published slots.
+  std::uint64_t epoch_lag = 0;  // Epoch: global - oldest active announcement.
+
+  ReclaimStats& operator+=(const ReclaimStats& o) {
+    retired_unreclaimed += o.retired_unreclaimed;
+    free_nodes += o.free_nodes;
+    pool_size += o.pool_size;
+    guard_slots_occupied += o.guard_slots_occupied;
+    if (o.epoch_lag > epoch_lag) epoch_lag = o.epoch_lag;
+    return *this;
+  }
+};
+
 template <class R, class P>
 concept ReclaimerFor =
     Platform<P> &&
@@ -93,6 +150,8 @@ concept ReclaimerFor =
       { r.retire(p, idx) } -> std::same_as<void>;
       { cr.pool_size() } -> std::same_as<std::size_t>;
       { cr.unreclaimed(p) } -> std::same_as<std::size_t>;
+      { cr.stats() } -> std::same_as<ReclaimStats>;
+      { cr.phase(p) } -> std::same_as<ReclaimPhase>;
     };
 
 }  // namespace aba::reclaim

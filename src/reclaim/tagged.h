@@ -67,6 +67,16 @@ class TaggedReclaimer {
   std::size_t unreclaimed(int /*p*/) const { return 0; }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }
 
+  // Immediate reuse holds nothing back, so the only live statistic is pool
+  // occupancy; there is no protected region to phase-track.
+  ReclaimStats stats() const {
+    ReclaimStats s;
+    s.pool_size = pool_size_;
+    for (const auto& proc : procs_) s.free_nodes += proc.free.size();
+    return s;
+  }
+  ReclaimPhase phase(int /*p*/) const { return ReclaimPhase::kIdle; }
+
  private:
   // One cache line per process: the free-list header is touched on every
   // allocate/retire and must not false-share with its neighbours.

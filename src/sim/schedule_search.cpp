@@ -1,0 +1,511 @@
+#include "sim/schedule_search.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "harness/adapters.h"
+#include "reclaim/epoch.h"
+#include "reclaim/hazard_pointer.h"
+#include "sim/sim_platform.h"
+#include "spec/specs.h"
+#include "structures/ms_queue.h"
+#include "structures/sharded.h"
+#include "structures/treiber_stack.h"
+#include "util/assert.h"
+
+namespace aba::search {
+
+namespace {
+
+const char* method_name(spec::Method m) {
+  switch (m) {
+    case spec::Method::kPush: return "push";
+    case spec::Method::kPop: return "pop";
+    case spec::Method::kEnq: return "enq";
+    case spec::Method::kDeq: return "deq";
+    default: break;
+  }
+  ABA_CHECK_MSG(false, "schedule scripts carry stack/queue methods only");
+  return "?";
+}
+
+std::optional<spec::Method> method_from(const std::string& name) {
+  if (name == "push") return spec::Method::kPush;
+  if (name == "pop") return spec::Method::kPop;
+  if (name == "enq") return spec::Method::kEnq;
+  if (name == "deq") return spec::Method::kDeq;
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- script
+
+std::string ScheduleScript::serialize() const {
+  std::ostringstream out;
+  out << "schedule-script v1\n";
+  out << "processes " << num_processes << "\n";
+  for (const auto& [key, value] : meta) {
+    out << "meta " << key << " " << value << "\n";
+  }
+  for (const auto& op : workload) {
+    out << "op " << op.pid << " " << method_name(op.method) << " " << op.arg
+        << "\n";
+  }
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    if (i % 24 == 0) out << (i == 0 ? "grants" : "\ngrants");
+    out << ' ' << grants[i];
+  }
+  if (!grants.empty()) out << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ScheduleScript> ScheduleScript::parse(const std::string& text) {
+  ScheduleScript script;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string word;
+    if (!(tokens >> word)) continue;
+
+    if (!saw_header) {
+      std::string version;
+      if (word != "schedule-script" || !(tokens >> version) || version != "v1") {
+        return std::nullopt;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "processes") {
+      if (!(tokens >> script.num_processes) || script.num_processes < 1) {
+        return std::nullopt;
+      }
+    } else if (word == "meta") {
+      std::string key, value;
+      if (!(tokens >> key)) return std::nullopt;
+      std::getline(tokens, value);
+      const std::size_t start = value.find_first_not_of(" \t");
+      script.meta[key] =
+          start == std::string::npos ? std::string() : value.substr(start);
+    } else if (word == "op") {
+      harness::WorkloadOp op;
+      std::string method;
+      if (!(tokens >> op.pid >> method >> op.arg)) return std::nullopt;
+      const auto parsed = method_from(method);
+      if (!parsed || op.pid < 0 || op.pid >= script.num_processes) {
+        return std::nullopt;
+      }
+      op.method = *parsed;
+      script.workload.push_back(op);
+    } else if (word == "grants") {
+      int pid = 0;
+      while (tokens >> pid) {
+        if (pid < 0 || pid >= script.num_processes) return std::nullopt;
+        script.grants.push_back(pid);
+      }
+    } else if (word == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header || !saw_end) return std::nullopt;
+  return script;
+}
+
+// ------------------------------------------------------------------ costs
+
+double retired_unreclaimed_cost(const reclaim::ReclaimStats& s) {
+  return static_cast<double>(s.retired_unreclaimed);
+}
+
+double pool_pressure_cost(const reclaim::ReclaimStats& s) {
+  return static_cast<double>(s.pool_size) - static_cast<double>(s.free_nodes);
+}
+
+double guard_occupancy_cost(const reclaim::ReclaimStats& s) {
+  return static_cast<double>(s.guard_slots_occupied);
+}
+
+double epoch_lag_cost(const reclaim::ReclaimStats& s) {
+  return static_cast<double>(s.epoch_lag);
+}
+
+CostFn cost_by_name(const std::string& name) {
+  if (name == "retired_unreclaimed") return retired_unreclaimed_cost;
+  if (name == "pool_pressure") return pool_pressure_cost;
+  if (name == "guard_occupancy") return guard_occupancy_cost;
+  if (name == "epoch_lag") return epoch_lag_cost;
+  ABA_CHECK_MSG(false, "unknown schedule-search cost function name");
+  return retired_unreclaimed_cost;
+}
+
+// --------------------------------------------------------------- fixtures
+
+namespace {
+
+using SimP = sim::SimPlatform;
+
+// Sized so the storm workloads (tens of cycles) never exhaust a process's
+// free list even when a frozen epoch keeps every retiree in limbo.
+constexpr int kPoolPerProcess = 48;
+
+SearchFixture fixture_shell(int n) {
+  SearchFixture fx;
+  fx.world = std::make_unique<sim::SimWorld>(n);
+  // The search replays thousands of executions; tracing is re-enabled by
+  // ScheduleExplorer::replay, which is when the trace matters.
+  fx.world->set_trace_enabled(false);
+  fx.history = std::make_unique<spec::History>();
+  return fx;
+}
+
+template <class R>
+SearchFixture make_stack_fixture(int n) {
+  using Stack = structures::TreiberStack<SimP, structures::RawCasHead<SimP>, R>;
+  SearchFixture fx = fixture_shell(n);
+  fx.invoker = std::make_unique<harness::StackInvoker<Stack>>(
+      *fx.world, *fx.history,
+      std::make_unique<Stack>(
+          *fx.world, n,
+          std::make_unique<structures::RawCasHead<SimP>>(*fx.world, n),
+          Stack::partition(n, kPoolPerProcess)));
+  return fx;
+}
+
+template <class R>
+SearchFixture make_queue_fixture(int n) {
+  using Queue = structures::MsQueue<SimP, R>;
+  SearchFixture fx = fixture_shell(n);
+  fx.invoker = std::make_unique<harness::QueueInvoker<Queue>>(
+      *fx.world, *fx.history,
+      std::make_unique<Queue>(*fx.world, n, kPoolPerProcess));
+  return fx;
+}
+
+SearchFixture make_sharded_stack_fixture(int n) {
+  using Stack =
+      structures::ShardedTreiberStack<SimP, structures::RawCasHead<SimP>,
+                                      reclaim::CachedHazardPointerReclaimer<SimP>,
+                                      2>;
+  SearchFixture fx = fixture_shell(n);
+  auto invoker = std::make_unique<harness::ShardedStackInvoker<Stack>>(
+      *fx.world, *fx.history,
+      std::make_unique<Stack>(*fx.world, n, Stack::make_heads(*fx.world, n),
+                              kPoolPerProcess / 2));
+  auto* tagging = invoker.get();
+  fx.shard_tags = [tagging]() -> const std::vector<int>& {
+    return tagging->shard_of();
+  };
+  fx.num_shards = 2;
+  fx.invoker = std::move(invoker);
+  return fx;
+}
+
+}  // namespace
+
+SearchFixtureFactory reclaim_fixture(const std::string& name) {
+  using Hazard = reclaim::HazardPointerReclaimer<SimP>;
+  using Cached = reclaim::CachedHazardPointerReclaimer<SimP>;
+  using Epoch = reclaim::EpochBasedReclaimer<SimP>;
+  if (name == "stack_hazard") return make_stack_fixture<Hazard>;
+  if (name == "stack_hazard_cached") return make_stack_fixture<Cached>;
+  if (name == "stack_epoch") return make_stack_fixture<Epoch>;
+  if (name == "queue_hazard") return make_queue_fixture<Hazard>;
+  if (name == "queue_hazard_cached") return make_queue_fixture<Cached>;
+  if (name == "queue_epoch") return make_queue_fixture<Epoch>;
+  if (name == "sharded_stack_hazard_cached") return make_sharded_stack_fixture;
+  ABA_CHECK_MSG(false, "unknown schedule-search fixture name");
+  return nullptr;
+}
+
+std::vector<std::string> reclaim_fixture_names() {
+  return {"stack_hazard",  "stack_hazard_cached",         "stack_epoch",
+          "queue_hazard",  "queue_hazard_cached",         "queue_epoch",
+          "sharded_stack_hazard_cached"};
+}
+
+std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
+                                                int num_processes, int cycles) {
+  ABA_CHECK(num_processes >= 2 && cycles >= 1);
+  const bool is_queue = fixture.rfind("queue", 0) == 0;
+  const spec::Method put = is_queue ? spec::Method::kEnq : spec::Method::kPush;
+  const spec::Method take = is_queue ? spec::Method::kDeq : spec::Method::kPop;
+  std::vector<harness::WorkloadOp> workload;
+  // A priming put so a reader that runs first has a node to protect.
+  workload.push_back({0, put, 1});
+  for (int i = 0; i < cycles; ++i) {
+    workload.push_back({0, put, static_cast<std::uint64_t>(100 + i)});
+    workload.push_back({0, take, 0});
+  }
+  workload.push_back({0, take, 0});  // Drain the prime.
+  for (int pid = 1; pid < num_processes; ++pid) {
+    workload.push_back({pid, take, 0});  // The parkable readers.
+  }
+  return workload;
+}
+
+// ----------------------------------------------------------------- runner
+
+ScheduleRunner::ScheduleRunner(SearchFixture fixture,
+                               std::vector<harness::WorkloadOp> workload,
+                               CostFn cost)
+    : fixture_(std::move(fixture)),
+      workload_(std::move(workload)),
+      cost_(std::move(cost)) {
+  const int n = fixture_.world->num_processes();
+  queues_.resize(static_cast<std::size_t>(n));
+  next_op_.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& op : workload_) {
+    ABA_CHECK(op.pid >= 0 && op.pid < n);
+    queues_[static_cast<std::size_t>(op.pid)].push_back(op);
+  }
+  sample();  // Baseline (grant 0).
+}
+
+bool ScheduleRunner::runnable(int pid) const {
+  if (fixture_.world->poised(pid).has_value()) return true;
+  return fixture_.world->is_idle(pid) &&
+         next_op_[static_cast<std::size_t>(pid)] <
+             queues_[static_cast<std::size_t>(pid)].size();
+}
+
+bool ScheduleRunner::all_done() const {
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    if (!fixture_.world->is_idle(pid)) return false;
+    if (next_op_[static_cast<std::size_t>(pid)] <
+        queues_[static_cast<std::size_t>(pid)].size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> ScheduleRunner::runnable_pids() const {
+  std::vector<int> pids;
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    if (runnable(pid)) pids.push_back(pid);
+  }
+  return pids;
+}
+
+void ScheduleRunner::grant(int pid) {
+  ABA_CHECK_MSG(runnable(pid), "schedule grants a non-runnable process");
+  if (fixture_.world->poised(pid).has_value()) {
+    fixture_.world->step(pid);
+  } else {
+    const harness::WorkloadOp& op =
+        queues_[static_cast<std::size_t>(pid)]
+               [next_op_[static_cast<std::size_t>(pid)]++];
+    fixture_.invoker->invoke(op);
+  }
+  grants_.push_back(pid);
+  sample();
+}
+
+void ScheduleRunner::grant_while_runnable(int pid, std::uint64_t max_grants) {
+  for (std::uint64_t i = 0; i < max_grants && runnable(pid); ++i) grant(pid);
+}
+
+int ScheduleRunner::ops_remaining(int pid) const {
+  const std::size_t queued =
+      queues_[static_cast<std::size_t>(pid)].size() -
+      next_op_[static_cast<std::size_t>(pid)];
+  return static_cast<int>(queued) + (fixture_.world->is_idle(pid) ? 0 : 1);
+}
+
+ScheduleScript ScheduleRunner::script() const {
+  ScheduleScript script;
+  script.num_processes = num_processes();
+  script.workload = workload_;
+  script.grants = grants_;
+  return script;
+}
+
+void ScheduleRunner::sample() {
+  const reclaim::ReclaimStats stats = fixture_.invoker->reclaim_stats();
+  const double c = cost_(stats);
+  if (c > peak_) {
+    peak_ = c;
+    peak_grant_ = grants_.size();
+    peak_stats_ = stats;
+  }
+}
+
+// --------------------------------------------------------------- explorer
+
+// Live search state: a runner positioned at the end of its grant sequence
+// plus the preemption accounting the context bound prunes on.
+struct ScheduleExplorer::Live {
+  ScheduleRunner runner;
+  int last_pid = -1;
+  int switches = 0;
+
+  Live(SearchFixture fixture, std::vector<harness::WorkloadOp> workload,
+       CostFn cost)
+      : runner(std::move(fixture), std::move(workload), std::move(cost)) {}
+
+  // The one advance rule: granting a pid different from the last while the
+  // last is still runnable is a preemption.
+  void advance(int pid) {
+    if (last_pid >= 0 && pid != last_pid && runner.runnable(last_pid)) {
+      ++switches;
+    }
+    runner.grant(pid);
+    last_pid = pid;
+  }
+};
+
+ScheduleExplorer::ScheduleExplorer(SearchFixtureFactory factory,
+                                   int num_processes,
+                                   std::vector<harness::WorkloadOp> workload,
+                                   CostFn cost, SearchOptions options)
+    : factory_(std::move(factory)),
+      num_processes_(num_processes),
+      workload_(std::move(workload)),
+      cost_(std::move(cost)),
+      options_(options) {
+  ABA_CHECK(num_processes_ >= 1);
+}
+
+std::unique_ptr<ScheduleExplorer::Live> ScheduleExplorer::make_live() const {
+  return std::make_unique<Live>(factory_(num_processes_), workload_, cost_);
+}
+
+std::unique_ptr<ScheduleExplorer::Live> ScheduleExplorer::replay_prefix(
+    const std::vector<int>& grants) const {
+  auto live = make_live();
+  for (const int pid : grants) live->advance(pid);
+  return live;
+}
+
+// Runnable choices this juncture, context-bound-feasible only, ordered by
+// the search heuristic: non-vulnerable before vulnerable (park the pinned
+// reader), fewer remaining ops first (drive the designated victim into its
+// protected region, then let the storm run), continuity before preemption,
+// pid as the final tie-break.
+std::vector<int> ScheduleExplorer::ordered_choices(Live& live) const {
+  std::vector<int> choices;
+  const bool last_runnable =
+      live.last_pid >= 0 && live.runner.runnable(live.last_pid);
+  for (const int pid : live.runner.runnable_pids()) {
+    const bool preempts = last_runnable && pid != live.last_pid;
+    if (preempts && live.switches >= options_.context_bound) continue;
+    choices.push_back(pid);
+  }
+  harness::Invoker& invoker = live.runner.invoker();
+  const auto rank = [&](int pid) {
+    const bool vulnerable =
+        options_.park_vulnerable &&
+        reclaim::is_vulnerable(invoker.reclaim_phase(pid));
+    return std::make_tuple(vulnerable ? 1 : 0, live.runner.ops_remaining(pid),
+                           pid == live.last_pid ? 0 : 1, pid);
+  };
+  std::stable_sort(choices.begin(), choices.end(),
+                   [&](int a, int b) { return rank(a) < rank(b); });
+  return choices;
+}
+
+void ScheduleExplorer::record(const Live& live) {
+  FoundSchedule found;
+  found.script = live.runner.script();
+  found.peak_cost = live.runner.peak();
+  found.peak_grant = live.runner.peak_grant();
+  auto& best = result_.best;
+  const auto pos = std::find_if(
+      best.begin(), best.end(),
+      [&](const FoundSchedule& f) { return found.peak_cost > f.peak_cost; });
+  best.insert(pos, std::move(found));
+  if (best.size() > static_cast<std::size_t>(options_.top_k)) {
+    best.resize(static_cast<std::size_t>(options_.top_k));
+  }
+}
+
+void ScheduleExplorer::dfs(std::unique_ptr<Live> live) {
+  for (;;) {
+    if (result_.budget_exhausted) return;
+    if (live->runner.all_done()) {
+      record(*live);
+      if (++result_.executions >= options_.max_executions) {
+        result_.budget_exhausted = true;
+      }
+      return;
+    }
+    if (result_.grants >= options_.max_grants) {
+      result_.budget_exhausted = true;
+      return;
+    }
+    const std::vector<int> choices = ordered_choices(*live);
+    ABA_CHECK_MSG(!choices.empty(),
+                  "no feasible grant but work remains (context bound cannot "
+                  "exclude the running process)");
+    if (choices.size() == 1) {
+      live->advance(choices[0]);
+      ++result_.grants;
+      continue;
+    }
+    // Branch point: the heuristic-preferred child inherits the live run;
+    // siblings are rebuilt by prefix replay (Exec(C, sigma)).
+    const std::vector<int> prefix = live->runner.grants();
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (result_.budget_exhausted) return;
+      std::unique_ptr<Live> child =
+          (i == 0) ? std::move(live) : replay_prefix(prefix);
+      result_.grants += (i == 0) ? 0 : prefix.size();
+      child->advance(choices[i]);
+      ++result_.grants;
+      dfs(std::move(child));
+    }
+    return;
+  }
+}
+
+SearchResult ScheduleExplorer::run() {
+  result_ = SearchResult{};
+  dfs(make_live());
+  return std::move(result_);
+}
+
+ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
+                                      const ScheduleScript& script,
+                                      const CostFn& cost) {
+  SearchFixture fixture = factory(script.num_processes);
+  fixture.world->set_trace_enabled(true);
+  fixture.world->clear_trace();
+  ScheduleRunner runner(std::move(fixture), script.workload, cost);
+  for (const int pid : script.grants) runner.grant(pid);
+  // Drain any remainder deterministically so the history is complete.
+  while (!runner.all_done()) {
+    bool moved = false;
+    for (int pid = 0; pid < runner.num_processes(); ++pid) {
+      if (runner.runnable(pid)) {
+        runner.grant(pid);
+        moved = true;
+        break;
+      }
+    }
+    ABA_CHECK_MSG(moved, "replay drain: no runnable process but work remains");
+  }
+  ReplayResult result;
+  result.peak_cost = runner.peak();
+  result.peak_grant = runner.peak_grant();
+  result.peak_stats = runner.peak_stats();
+  result.trace = runner.fixture().world->trace_copy();
+  result.history = runner.fixture().history->ops();
+  if (runner.fixture().shard_tags) {
+    result.shard_tags = runner.fixture().shard_tags();
+  }
+  result.num_shards = runner.fixture().num_shards;
+  return result;
+}
+
+}  // namespace aba::search

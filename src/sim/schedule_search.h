@@ -1,0 +1,247 @@
+// ScheduleExplorer — a guided search engine over SimWorld executions that
+// *finds* reclamation worst cases instead of scripting them.
+//
+// PR 4 shipped hand-written worst-step schedules for the cached-guard
+// hazard mode (GuardCacheSchedule.*): park a reader right after its guard
+// publish, then drive a retire storm against the pin. This subsystem turns
+// that pattern into a search problem, in the spirit of the paper's
+// covering-adversary constructions (src/lowerbound/covering_adversary.*)
+// and of the CHESS/DPOR line of systematic concurrency testing:
+//
+//   * a SCHEDULE is a script of step grants — the pid moved at each
+//     juncture, where "move" means invoke-the-next-workload-op if idle,
+//     else execute exactly one announced shared-memory step. This is the
+//     harness drivers' advance rule, and replaying the same grant sequence
+//     on a fresh fixture reconstructs the execution bit-for-bit (the
+//     `Exec(C, sigma)` replay style the lower-bound proofs use);
+//   * the explorer runs a bounded DFS over grant sequences with CHESS-style
+//     iterative context bounding (a branch that preempts a still-runnable
+//     process consumes preemption budget; following the current process is
+//     free) and a priority heuristic that drives the process with the least
+//     remaining work first — the designated victim reaches its protected
+//     region quickly — and then PARKS any process whose reclaimer reports a
+//     vulnerable phase (guard just published, epoch just announced; see
+//     ReclaimPhase in reclaim/reclaimer.h), so retire storms run against
+//     the pin instead of past it;
+//   * configurations are scored by pluggable cost functions over the
+//     engine-side ReclaimStats snapshot (retired-but-unreclaimed count,
+//     pool pressure, guard-slot occupancy, epoch lag), sampled after every
+//     grant; a schedule's value is its peak cost;
+//   * found worst cases serialize to a compact text format; the committed
+//     corpus under tests/schedules/ is replayed as ordinary gtests with
+//     golden bounds, so every future reclaimer change is re-checked against
+//     the worst schedules ever found.
+//
+// Everything here is deterministic: the search uses no randomness, fixture
+// construction is replayable, and two replays of the same script produce
+// bit-identical step traces (the corpus test asserts exactly that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/harness.h"
+#include "reclaim/reclaimer.h"
+#include "sim/sim_world.h"
+#include "spec/history.h"
+
+namespace aba::search {
+
+// ------------------------------------------------------------- script
+
+// A replayable schedule: the workload (per-process program order) plus the
+// grant sequence. `meta` carries free-form key/value annotations — the
+// corpus uses `fixture`, `cost`, `expect_peak`, `expect_peak_grant` and
+// `expect_grants` (golden bounds checked at replay time).
+struct ScheduleScript {
+  int num_processes = 0;
+  std::vector<harness::WorkloadOp> workload;
+  std::vector<int> grants;
+  std::map<std::string, std::string> meta;
+
+  // Text form (tools/schedule_dump.py pretty-prints it):
+  //   schedule-script v1
+  //   processes <n>
+  //   meta <key> <value...>
+  //   op <pid> <push|pop|enq|deq> <arg>
+  //   grants <pid> <pid> ...
+  //   end
+  std::string serialize() const;
+  static std::optional<ScheduleScript> parse(const std::string& text);
+};
+
+// ------------------------------------------------------------ fixtures
+
+// One fresh instrumented execution target: the world, the history the
+// invoker records into, and the invoker driving the implementation (which
+// owns it). `shard_tags`, when set, exposes the tagging adapter's per-op
+// landing shards so replays of sharded fixtures can re-check the per-shard
+// linearizability contract.
+struct SearchFixture {
+  std::unique_ptr<sim::SimWorld> world;
+  std::unique_ptr<spec::History> history;
+  std::unique_ptr<harness::Invoker> invoker;
+  std::function<const std::vector<int>&()> shard_tags;  // Null if unsharded.
+  int num_shards = 1;
+};
+
+// Builds a fresh fixture for `n` processes. Must be pure: every call
+// constructs an identical initial configuration (this is what makes
+// replay-based backtracking and corpus replays deterministic).
+using SearchFixtureFactory = std::function<SearchFixture(int n)>;
+
+// The standard reclaimer-targeting fixtures over the simulator, keyed by
+// the corpus `fixture` meta value: {stack,queue}_{hazard,hazard_cached,
+// epoch} (TreiberStack with a raw CAS head / MsQueue, pool sized for the
+// storm workloads) and sharded_stack_hazard_cached (2 shards, tagging
+// invoker). ABA_CHECK-fails on an unknown name.
+SearchFixtureFactory reclaim_fixture(const std::string& name);
+std::vector<std::string> reclaim_fixture_names();
+
+// The canonical adversarial workload for those fixtures: process 0 drives
+// `cycles` put/take pairs (the retire storm); every other process performs
+// a single take (the parkable reader). Put/take verbs follow the fixture
+// (push/pop vs enqueue/dequeue).
+std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
+                                                int num_processes, int cycles);
+
+// --------------------------------------------------------------- costs
+
+using CostFn = std::function<double(const reclaim::ReclaimStats&)>;
+
+double retired_unreclaimed_cost(const reclaim::ReclaimStats& s);
+double pool_pressure_cost(const reclaim::ReclaimStats& s);
+double guard_occupancy_cost(const reclaim::ReclaimStats& s);
+double epoch_lag_cost(const reclaim::ReclaimStats& s);
+
+// Lookup by corpus meta name ("retired_unreclaimed", "pool_pressure",
+// "guard_occupancy", "epoch_lag"); ABA_CHECK-fails on an unknown name.
+CostFn cost_by_name(const std::string& name);
+
+// -------------------------------------------------------------- runner
+
+// Engine-side grant-by-grant control over one fixture: the primitive the
+// explorer, the replayer and the scripted-seed tests all share. Sampling
+// happens after every grant; peak() is the running maximum of the cost.
+class ScheduleRunner {
+ public:
+  ScheduleRunner(SearchFixture fixture,
+                 std::vector<harness::WorkloadOp> workload, CostFn cost);
+
+  bool runnable(int pid) const;
+  bool all_done() const;
+  std::vector<int> runnable_pids() const;
+
+  // Moves `pid` (which must be runnable): invoke its next op if idle, else
+  // grant one step. Records the grant and samples the cost.
+  void grant(int pid);
+
+  // Grants `pid` while it stays runnable, up to `max_grants` times.
+  void grant_while_runnable(int pid, std::uint64_t max_grants);
+
+  double peak() const { return peak_; }
+  std::uint64_t peak_grant() const { return peak_grant_; }
+  const reclaim::ReclaimStats& peak_stats() const { return peak_stats_; }
+  const std::vector<int>& grants() const { return grants_; }
+  int num_processes() const { return static_cast<int>(queues_.size()); }
+  int ops_remaining(int pid) const;
+
+  const SearchFixture& fixture() const { return fixture_; }
+  harness::Invoker& invoker() { return *fixture_.invoker; }
+
+  ScheduleScript script() const;
+
+ private:
+  void sample();
+
+  SearchFixture fixture_;
+  std::vector<harness::WorkloadOp> workload_;
+  std::vector<std::vector<harness::WorkloadOp>> queues_;  // Per-pid, FIFO.
+  std::vector<std::size_t> next_op_;                      // Queue cursors.
+  CostFn cost_;
+  std::vector<int> grants_;
+  double peak_ = 0;
+  std::uint64_t peak_grant_ = 0;
+  reclaim::ReclaimStats peak_stats_;
+};
+
+// ------------------------------------------------------------- explorer
+
+struct SearchOptions {
+  int top_k = 3;
+  // CHESS-style preemption budget: grants that switch away from a
+  // still-runnable process, beyond this many per schedule, are pruned.
+  int context_bound = 3;
+  // Completed schedules to explore before stopping.
+  std::uint64_t max_executions = 192;
+  // Global step budget across the whole search, replays included.
+  std::uint64_t max_grants = 1u << 20;
+  // Deprioritize processes whose reclaimer reports a vulnerable phase
+  // (ReclaimPhase guard-published / epoch-announced): they stay parked
+  // while others storm. The heuristic that rediscovers the scripted
+  // worst cases; disable to measure its value.
+  bool park_vulnerable = true;
+};
+
+struct FoundSchedule {
+  ScheduleScript script;
+  double peak_cost = 0;
+  std::uint64_t peak_grant = 0;
+};
+
+struct SearchResult {
+  std::vector<FoundSchedule> best;  // Sorted by peak_cost, descending.
+  std::uint64_t executions = 0;
+  std::uint64_t grants = 0;
+  bool budget_exhausted = false;
+
+  const FoundSchedule* top() const { return best.empty() ? nullptr : &best[0]; }
+};
+
+struct ReplayResult {
+  double peak_cost = 0;
+  std::uint64_t peak_grant = 0;
+  reclaim::ReclaimStats peak_stats;
+  std::vector<spec::Op> history;
+  std::vector<sim::StepRecord> trace;  // Bit-identical across replays.
+  std::vector<int> shard_tags;         // Empty for unsharded fixtures.
+  int num_shards = 1;
+};
+
+class ScheduleExplorer {
+ public:
+  ScheduleExplorer(SearchFixtureFactory factory, int num_processes,
+                   std::vector<harness::WorkloadOp> workload, CostFn cost,
+                   SearchOptions options = {});
+
+  SearchResult run();
+
+  // Deterministically replays `script` on a fresh fixture with tracing on.
+  // Grants beyond the script (an incomplete schedule) are drained
+  // lowest-runnable-pid-first so the history is always complete.
+  static ReplayResult replay(const SearchFixtureFactory& factory,
+                             const ScheduleScript& script, const CostFn& cost);
+
+ private:
+  struct Live;
+
+  std::unique_ptr<Live> make_live() const;
+  std::unique_ptr<Live> replay_prefix(const std::vector<int>& grants) const;
+  void dfs(std::unique_ptr<Live> live);
+  void record(const Live& live);
+  std::vector<int> ordered_choices(Live& live) const;
+
+  SearchFixtureFactory factory_;
+  int num_processes_;
+  std::vector<harness::WorkloadOp> workload_;
+  CostFn cost_;
+  SearchOptions options_;
+  SearchResult result_;
+};
+
+}  // namespace aba::search

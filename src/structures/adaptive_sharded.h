@@ -114,6 +114,13 @@ class AdaptiveRouter {
   std::size_t pool_size() const { return wide_.pool_size(); }
   std::size_t unreclaimed(int p) const { return wide_.unreclaimed(p); }
 
+  // Reclamation observability (see ShardRouter): the facade is a pure
+  // router over the wide backing, so its aggregate IS the backing's.
+  reclaim::ReclaimStats reclaim_stats() const { return wide_.reclaim_stats(); }
+  reclaim::ReclaimPhase reclaim_phase(int p) const {
+    return wide_.reclaim_phase(p);
+  }
+
   Wide& wide() { return wide_; }
 
  protected:

@@ -107,6 +107,25 @@ class ShardRouter {
     return total;
   }
 
+  // Composite observability for the schedule-search engine: stats sum over
+  // shards, and a process's phase is the most vulnerable one any shard's
+  // reclaimer reports for it (a parked guard pins its node no matter which
+  // shard the rest of p's operation moved on to).
+  reclaim::ReclaimStats reclaim_stats() const {
+    reclaim::ReclaimStats total;
+    for (const auto& s : shards_) total += s->reclaimer().stats();
+    return total;
+  }
+  reclaim::ReclaimPhase reclaim_phase(int p) const {
+    reclaim::ReclaimPhase worst = reclaim::ReclaimPhase::kIdle;
+    for (const auto& s : shards_) {
+      const reclaim::ReclaimPhase phase = s->reclaimer().phase(p);
+      if (reclaim::is_vulnerable(phase)) return phase;
+      if (phase != reclaim::ReclaimPhase::kIdle) worst = phase;
+    }
+    return worst;
+  }
+
   // Releases p's cached reclaimer guards on every shard (see
   // TreiberStack::detach); no-op for guard-free policies.
   void detach(int p) {

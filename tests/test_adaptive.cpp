@@ -297,11 +297,13 @@ void adaptive_stack_sweep() {
       spec::History history;
       harness::AdaptiveStackInvoker<Stack> invoker(
           world, history, std::make_unique<Stack>(world, n, 4, kSweepOptions));
+      harness::ScheduleLog log;
       harness::drive_random_schedule(
           world, invoker, n,
           random_workload(n, 6, seed, Method::kPush, Method::kPop),
-          seed * 857 + 23);
-      SCOPED_TRACE(::testing::Message() << "n=" << n << " seed=" << seed);
+          seed * 857 + 23, &log);
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " seed=" << seed
+                                        << "\n" << log.to_string());
       expect_sharded_contract<spec::StackSpec>(history.ops(),
                                                invoker.shard_of(),
                                                Stack::kMaxShards, Method::kPop);
@@ -330,11 +332,13 @@ void adaptive_queue_sweep() {
       harness::AdaptiveQueueInvoker<Queue> invoker(
           world, history,
           std::make_unique<Queue>(world, n, 4, kSweepOptions));
+      harness::ScheduleLog log;
       harness::drive_random_schedule(
           world, invoker, n,
           random_workload(n, 6, seed, Method::kEnq, Method::kDeq),
-          seed * 863 + 29);
-      SCOPED_TRACE(::testing::Message() << "n=" << n << " seed=" << seed);
+          seed * 863 + 29, &log);
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " seed=" << seed
+                                        << "\n" << log.to_string());
       expect_sharded_contract<spec::QueueSpec>(history.ops(),
                                                invoker.shard_of(),
                                                Queue::kMaxShards, Method::kDeq);

@@ -15,6 +15,11 @@
 //   * the hazard-vs-epoch retire-bound stress: with one reader stalled,
 //     hazard pointers keep unreclaimed garbage bounded by the scan
 //     threshold while the epoch scheme's limbo grows without bound;
+//   * the epoch worst-step schedules (EpochSchedule.*): a parked announcer
+//     freezes reclamation exactly until two advances past its resume, and
+//     allocate refuses to recycle inside the 2-epoch grace period — the
+//     scripted seed bounds the schedule-search engine must beat
+//     (tests/test_schedule_search.cpp);
 //   * native (std::atomic) stress for every reclaimer;
 //   * the cached-guard hazard mode (hazard_cached): step-counted unit
 //     contracts (hit = zero shared steps, end_op keeps the publish, detach
@@ -329,6 +334,7 @@ template <class Stack>
 void expect_stack_linearizable_sweep() {
   for (int n : {2, 3}) {
     for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      harness::ScheduleLog log;
       const auto ops = harness::run_random_schedule(
           n,
           [n](sim::SimWorld& world,
@@ -340,11 +346,12 @@ void expect_stack_linearizable_sweep() {
                     std::make_unique<typename Stack::HeadPolicy>(world, n),
                     Stack::partition(n, 6)));
           },
-          random_stack_workload(n, 6, seed), seed * 733 + 11);
+          random_stack_workload(n, 6, seed), seed * 733 + 11, &log);
       const auto result = spec::check_linearizable<spec::StackSpec>(
           ops, spec::StackSpec::initial());
       EXPECT_TRUE(result.linearizable)
           << "n=" << n << " seed=" << seed << "\n"
+          << log.to_string() << "\n"
           << spec::explain(ops, result);
     }
   }
@@ -414,13 +421,15 @@ void expect_queue_linearizable_sweep() {
           }
         }
       }
+      harness::ScheduleLog log;
       const auto ops = harness::run_random_schedule(
           n, harness::make_factory<harness::QueueInvoker, Queue>(n, 6),
-          workload, seed * 739 + 13);
+          workload, seed * 739 + 13, &log);
       const auto result = spec::check_linearizable<spec::QueueSpec>(
           ops, spec::QueueSpec::initial());
       EXPECT_TRUE(result.linearizable)
           << "n=" << n << " seed=" << seed << "\n"
+          << log.to_string() << "\n"
           << spec::explain(ops, result);
     }
   }
@@ -707,6 +716,114 @@ TEST(GuardCacheSchedule, StructureSwitchKeepsPinUntilDetach) {
   solo(1, [&] { a.detach(1); });
   solo(0, [&] { a.reclaimer().scan(0); });
   EXPECT_EQ(a.reclaimer().unreclaimed(0), 0u);
+}
+
+// ------------------------------ epoch worst-step schedules (seed corpus)
+//
+// The epoch analogue of the GuardCacheSchedule pattern: park the reader at
+// the worst step — right after its announcement became visible (begin_op's
+// read + write + validation re-read = 3 steps) — and drive a retire storm.
+// These scripted schedules are the seed bounds the searched adversary
+// (tests/test_schedule_search.cpp) must meet or beat, and they pin the two
+// claims the epoch design makes: the backlog is exactly the storm while
+// the announcer is parked (nothing leaks, nothing matures early), and the
+// 2-epoch grace bound releases everything once the announcer resumes.
+
+TEST(EpochSchedule, ParkedAnnouncerFreezesUntilTwoAdvances) {
+  using Stack = SweepStack<RawHead, EpochBasedReclaimer<SimP>>;
+  using R = EpochBasedReclaimer<SimP>;
+  sim::SimWorld world(2);
+  Stack stack(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+              Stack::partition(2, kRetireCycles + 2));
+  world.invoke(0, [&] { stack.push(0, 1); });
+  world.run_to_completion(0);
+
+  // p1 parks with its announcement published and validated.
+  std::optional<std::uint64_t> stalled;
+  world.invoke(1, [&] { stalled = stack.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);
+
+  world.invoke(0, [&] {
+    for (int i = 0; i < kRetireCycles; ++i) {
+      ABA_CHECK(stack.push(0, static_cast<std::uint64_t>(i)));
+      ABA_CHECK(stack.pop(0).has_value());
+    }
+  });
+  world.run_to_completion(0);
+
+  // The parked announcement freezes the epoch after at most one advance
+  // (p1 announced the then-current epoch, so one bump may slip through),
+  // and from then on the whole storm sits in limbo: backlog == storm.
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0),
+            static_cast<std::size_t>(kRetireCycles))
+      << "a parked announcer must freeze all reclamation";
+
+  world.run_to_completion(1);  // The announcer resumes and completes.
+  EXPECT_TRUE(stalled.has_value());
+
+  // First advance+flush round: only the retires stamped before the single
+  // slipped-through advance (kAdvanceEvery of them) are 2 epochs old.
+  world.invoke(0, [&] {
+    stack.reclaimer().flush(0, stack.reclaimer().try_advance());
+  });
+  world.run_to_completion(0);
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0),
+            static_cast<std::size_t>(kRetireCycles) - R::kAdvanceEvery)
+      << "the grace period must release exactly the 2-epoch-old stamps";
+
+  // Second round: everything matures. The bound is tight, not approximate.
+  world.invoke(0, [&] {
+    stack.reclaimer().flush(0, stack.reclaimer().try_advance());
+  });
+  world.run_to_completion(0);
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0), 0u)
+      << "two advances past the resume must drain the whole backlog";
+}
+
+TEST(EpochSchedule, RetireStormCannotRecycleInsideGrace) {
+  // The allocation-side view of the same schedule: with the announcer
+  // parked, a storm that drains its free list must hit pool pressure —
+  // allocate refusing to recycle limbo nodes IS the grace bound. Pool: 4
+  // nodes for p0, so the 5th push must fail while p1 is parked.
+  using Stack = SweepStack<RawHead, EpochBasedReclaimer<SimP>>;
+  sim::SimWorld world(2);
+  Stack stack(world, 2, std::make_unique<structures::RawCasHead<SimP>>(world, 2),
+              Stack::partition(2, 4));
+
+  // p1 parks mid-pop on the empty stack: its announcement alone pins the
+  // epoch (no guard, no node — the epoch scheme's whole weakness).
+  std::optional<std::uint64_t> stalled;
+  world.invoke(1, [&] { stalled = stack.pop(1); });
+  for (int i = 0; i < 3; ++i) world.step(1);
+
+  bool fifth_push_ok = true;
+  world.invoke(0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      ABA_CHECK(stack.push(0, static_cast<std::uint64_t>(i)));
+      ABA_CHECK(stack.pop(0).has_value());
+    }
+    fifth_push_ok = stack.push(0, 99);
+  });
+  world.run_to_completion(0);
+  EXPECT_FALSE(fifth_push_ok)
+      << "allocate must refuse to recycle a node inside the grace period";
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0), 4u);
+
+  world.run_to_completion(1);
+  EXPECT_EQ(stalled, std::nullopt);  // The stack was empty throughout.
+
+  // Announcer quiescent: two advance+flush rounds mature the limbo and the
+  // same push succeeds.
+  bool push_after_grace = false;
+  world.invoke(0, [&] {
+    stack.reclaimer().flush(0, stack.reclaimer().try_advance());
+    stack.reclaimer().flush(0, stack.reclaimer().try_advance());
+    push_after_grace = stack.push(0, 99);
+  });
+  world.run_to_completion(0);
+  EXPECT_TRUE(push_after_grace)
+      << "once the grace period passes, the pool must recover";
+  EXPECT_EQ(stack.reclaimer().unreclaimed(0), 0u);
 }
 
 // ----------------------------------------------- native stress, all four

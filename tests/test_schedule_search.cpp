@@ -1,0 +1,355 @@
+// Tests for the schedule-search engine (src/sim/schedule_search.h):
+//
+//   * script serialization round-trips and rejects malformed input;
+//   * the searched adversary matches-or-beats the scripted park-and-storm
+//     seed schedules (the GuardCacheSchedule / EpochSchedule pattern,
+//     rebuilt here grant-by-grant through the same ScheduleRunner) for the
+//     cached-guard hazard mode and for epochs — the ISSUE's acceptance
+//     bar: search must rediscover at least what the hand-written worst
+//     cases achieve;
+//   * every serialized worst case replays deterministically: two replays
+//     of the same script produce bit-identical step traces and the same
+//     peak at the same grant;
+//   * the top-K schedules the explorer finds are re-checked against the
+//     structure invariants (multiset conservation + linearizability —
+//     per-shard for the sharded fixture), not just random schedules:
+//     a worst-case reclamation schedule must still be a correct execution;
+//   * the committed corpus under tests/schedules/ (ABA_SCHEDULE_DIR)
+//     replays with its golden bounds — every future reclaimer change is
+//     checked against the worst schedules ever found.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reclaim/reclaimer.h"
+#include "sim/schedule_search.h"
+#include "sim/types.h"
+#include "spec/lin_checker.h"
+#include "spec/specs.h"
+#include "util/assert.h"
+
+namespace aba::search {
+namespace {
+
+using harness::WorkloadOp;
+using spec::Method;
+
+constexpr int kProcs = 2;
+constexpr int kCycles = 12;
+
+std::string trace_signature(const std::vector<sim::StepRecord>& trace) {
+  std::ostringstream out;
+  for (const auto& step : trace) out << sim::to_string(step) << "\n";
+  return out.str();
+}
+
+// Multiset conservation: every taken value was put successfully at least as
+// many times as it was taken.
+void expect_conserved(const std::vector<spec::Op>& ops, Method take) {
+  std::map<std::uint64_t, long> balance;
+  for (const auto& op : ops) {
+    if (op.method != take && op.ret == 1) ++balance[op.arg];
+  }
+  for (const auto& op : ops) {
+    if (op.method == take && op.ret != 0) {
+      const std::uint64_t value = op.ret - 1;  // pack_opt inverse
+      auto it = balance.find(value);
+      ASSERT_TRUE(it != balance.end() && it->second > 0)
+          << "taken value " << value << " never put (or taken twice)";
+      --it->second;
+    }
+  }
+}
+
+template <class Spec>
+void expect_linearizable(const std::vector<spec::Op>& ops) {
+  const auto result = spec::check_linearizable<Spec>(ops, Spec::initial());
+  EXPECT_TRUE(result.linearizable) << spec::explain(ops, result);
+}
+
+// The full invariant battery on one replayed schedule: conservation plus
+// linearizability — whole-history for flat fixtures, per-shard when the
+// fixture recorded landing shards.
+void expect_schedule_invariants(const ReplayResult& replay, bool is_queue) {
+  const Method take = is_queue ? Method::kDeq : Method::kPop;
+  expect_conserved(replay.history, take);
+  if (replay.shard_tags.empty()) {
+    if (is_queue) {
+      expect_linearizable<spec::QueueSpec>(replay.history);
+    } else {
+      expect_linearizable<spec::StackSpec>(replay.history);
+    }
+    return;
+  }
+  ASSERT_EQ(replay.history.size(), replay.shard_tags.size());
+  std::vector<std::vector<spec::Op>> by_shard(
+      static_cast<std::size_t>(replay.num_shards));
+  for (std::size_t i = 0; i < replay.history.size(); ++i) {
+    ASSERT_GE(replay.shard_tags[i], 0) << "op " << i << " missing shard tag";
+    ASSERT_LT(replay.shard_tags[i], replay.num_shards);
+    by_shard[static_cast<std::size_t>(replay.shard_tags[i])].push_back(
+        replay.history[i]);
+  }
+  for (const auto& sub : by_shard) expect_linearizable<spec::StackSpec>(sub);
+}
+
+// The scripted seed, rebuilt grant-by-grant: complete the storm driver's
+// priming put solo, drive the reader until its reclaimer reports a
+// vulnerable phase (guard just published / epoch just announced), PARK it
+// there, run the storm to exhaustion, then let the reader resume. Returns
+// the script and its peak — the bound the searcher must meet or beat.
+std::pair<ScheduleScript, double> scripted_park_and_storm(
+    const std::string& fixture_name, const std::vector<WorkloadOp>& workload) {
+  ScheduleRunner runner(reclaim_fixture(fixture_name)(kProcs), workload,
+                       retired_unreclaimed_cost);
+  runner.grant(0);  // Invoke the priming put...
+  while (!runner.fixture().world->is_idle(0)) runner.grant(0);  // ...solo.
+  while (runner.runnable(1) &&
+         !reclaim::is_vulnerable(runner.invoker().reclaim_phase(1))) {
+    runner.grant(1);
+  }
+  runner.grant_while_runnable(0, 1u << 20);  // The retire storm.
+  while (!runner.all_done()) {
+    bool moved = false;
+    for (int pid = 0; pid < runner.num_processes(); ++pid) {
+      if (runner.runnable(pid)) {
+        runner.grant(pid);
+        moved = true;
+        break;
+      }
+    }
+    ABA_CHECK_MSG(moved, "scripted seed: no runnable process but work remains");
+  }
+  return {runner.script(), runner.peak()};
+}
+
+// Search, then check the acceptance bar against the scripted seed: the
+// best found schedule must reach at least the scripted peak, and its
+// serialized script must replay deterministically (bit-identical traces,
+// same peak at the same grant, twice).
+void expect_search_beats_scripted(const std::string& fixture_name,
+                                  double min_scripted_peak) {
+  const auto factory = reclaim_fixture(fixture_name);
+  const auto workload = storm_workload(fixture_name, kProcs, kCycles);
+
+  const auto [seed_script, scripted_peak] =
+      scripted_park_and_storm(fixture_name, workload);
+  EXPECT_GE(scripted_peak, min_scripted_peak)
+      << fixture_name << ": the scripted seed must itself do damage";
+
+  SearchOptions options;
+  options.top_k = 3;
+  options.context_bound = 3;
+  options.max_executions = 128;
+  ScheduleExplorer explorer(factory, kProcs, workload,
+                            retired_unreclaimed_cost, options);
+  const SearchResult result = explorer.run();
+  ASSERT_NE(result.top(), nullptr) << fixture_name;
+  EXPECT_GE(result.top()->peak_cost, scripted_peak)
+      << fixture_name << ": search must rediscover the scripted worst case"
+      << " (explored " << result.executions << " schedules)";
+
+  // Serialize → parse → replay twice: deterministic to the bit.
+  const std::string text = result.top()->script.serialize();
+  const auto parsed = ScheduleScript::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  const ReplayResult first =
+      ScheduleExplorer::replay(factory, *parsed, retired_unreclaimed_cost);
+  const ReplayResult second =
+      ScheduleExplorer::replay(factory, *parsed, retired_unreclaimed_cost);
+  EXPECT_EQ(first.peak_cost, result.top()->peak_cost);
+  EXPECT_EQ(first.peak_cost, second.peak_cost);
+  EXPECT_EQ(first.peak_grant, second.peak_grant);
+  EXPECT_EQ(trace_signature(first.trace), trace_signature(second.trace))
+      << fixture_name << ": replays must be bit-identical";
+}
+
+// ------------------------------------------------------------- script
+
+TEST(ScheduleScript, SerializeParseRoundTrip) {
+  ScheduleScript script;
+  script.num_processes = 2;
+  script.workload = {{0, Method::kPush, 7}, {1, Method::kPop, 0},
+                     {0, Method::kEnq, 9},  {1, Method::kDeq, 0}};
+  script.grants = {0, 0, 1, 1, 0, 1};
+  script.meta["fixture"] = "stack_epoch";
+  script.meta["expect_peak"] = "13";
+
+  const auto parsed = ScheduleScript::parse(script.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_processes, script.num_processes);
+  EXPECT_EQ(parsed->grants, script.grants);
+  EXPECT_EQ(parsed->meta, script.meta);
+  ASSERT_EQ(parsed->workload.size(), script.workload.size());
+  for (std::size_t i = 0; i < script.workload.size(); ++i) {
+    EXPECT_EQ(parsed->workload[i].pid, script.workload[i].pid);
+    EXPECT_EQ(parsed->workload[i].method, script.workload[i].method);
+    EXPECT_EQ(parsed->workload[i].arg, script.workload[i].arg);
+  }
+}
+
+TEST(ScheduleScript, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ScheduleScript::parse("").has_value());
+  EXPECT_FALSE(ScheduleScript::parse("not-a-script v1\nend\n").has_value());
+  EXPECT_FALSE(  // Missing end marker (truncated file).
+      ScheduleScript::parse("schedule-script v1\nprocesses 2\n").has_value());
+  EXPECT_FALSE(  // Grant to a pid outside [0, n).
+      ScheduleScript::parse(
+          "schedule-script v1\nprocesses 2\ngrants 0 2\nend\n")
+          .has_value());
+  EXPECT_FALSE(  // Unknown method.
+      ScheduleScript::parse(
+          "schedule-script v1\nprocesses 1\nop 0 swap 3\nend\n")
+          .has_value());
+}
+
+TEST(ScheduleScript, AllStandardFixturesConstruct) {
+  for (const std::string& name : reclaim_fixture_names()) {
+    const SearchFixture fixture = reclaim_fixture(name)(kProcs);
+    EXPECT_NE(fixture.world, nullptr) << name;
+    EXPECT_NE(fixture.invoker, nullptr) << name;
+  }
+}
+
+// ----------------------------------------------- search vs scripted seed
+
+TEST(ScheduleSearch, BeatsScriptedSeedStackHazardCached) {
+  // The scripted bound is the hazard scan threshold (2·H = 8 for n=2): a
+  // storm's retired list peaks exactly there before the scan fires.
+  expect_search_beats_scripted("stack_hazard_cached", 8.0);
+}
+
+TEST(ScheduleSearch, BeatsScriptedSeedStackEpoch) {
+  // A parked announcement freezes the epoch, so every storm retire stays
+  // in limbo: the scripted peak is the full storm (cycles + prime).
+  expect_search_beats_scripted("stack_epoch", static_cast<double>(kCycles));
+}
+
+TEST(ScheduleSearch, BeatsScriptedSeedQueueHazardCached) {
+  expect_search_beats_scripted("queue_hazard_cached", 8.0);
+}
+
+TEST(ScheduleSearch, BeatsScriptedSeedQueueEpoch) {
+  expect_search_beats_scripted("queue_epoch", static_cast<double>(kCycles));
+}
+
+// ------------------------------------------------- top-K invariant checks
+
+TEST(ScheduleSearch, TopKSchedulesKeepStructureInvariants) {
+  SearchOptions options;
+  options.top_k = 3;
+  options.max_executions = 32;
+  for (const std::string& name :
+       {std::string("stack_hazard"), std::string("stack_hazard_cached"),
+        std::string("stack_epoch"), std::string("queue_hazard"),
+        std::string("queue_hazard_cached"), std::string("queue_epoch")}) {
+    const auto factory = reclaim_fixture(name);
+    const auto workload = storm_workload(name, kProcs, 6);
+    ScheduleExplorer explorer(factory, kProcs, workload,
+                              retired_unreclaimed_cost, options);
+    const SearchResult result = explorer.run();
+    ASSERT_FALSE(result.best.empty()) << name;
+    for (const FoundSchedule& found : result.best) {
+      SCOPED_TRACE(::testing::Message()
+                   << name << " peak=" << found.peak_cost);
+      const ReplayResult replay = ScheduleExplorer::replay(
+          factory, found.script, retired_unreclaimed_cost);
+      EXPECT_EQ(replay.peak_cost, found.peak_cost)
+          << "replay must reproduce the search's peak";
+      expect_schedule_invariants(replay, name.rfind("queue", 0) == 0);
+    }
+  }
+}
+
+TEST(ScheduleSearch, ShardedTopKKeepsPerShardLinearizability) {
+  const std::string name = "sharded_stack_hazard_cached";
+  const auto factory = reclaim_fixture(name);
+  const auto workload = storm_workload(name, kProcs, 6);
+  SearchOptions options;
+  options.top_k = 3;
+  options.max_executions = 32;
+  ScheduleExplorer explorer(factory, kProcs, workload,
+                            retired_unreclaimed_cost, options);
+  const SearchResult result = explorer.run();
+  ASSERT_FALSE(result.best.empty());
+  for (const FoundSchedule& found : result.best) {
+    const ReplayResult replay = ScheduleExplorer::replay(
+        factory, found.script, retired_unreclaimed_cost);
+    ASSERT_EQ(replay.num_shards, 2);
+    ASSERT_FALSE(replay.shard_tags.empty());
+    expect_schedule_invariants(replay, /*is_queue=*/false);
+  }
+}
+
+// ------------------------------------------------------------- corpus
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  const std::filesystem::path dir(ABA_SCHEDULE_DIR);
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".sched") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScheduleCorpus, ReplaysAreBitIdenticalAndMatchGoldenBounds) {
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty())
+      << "no committed corpus under " << ABA_SCHEDULE_DIR;
+  std::set<std::string> fixtures_seen;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto script = ScheduleScript::parse(buffer.str());
+    ASSERT_TRUE(script.has_value()) << "corpus file failed to parse";
+
+    ASSERT_TRUE(script->meta.count("fixture"));
+    ASSERT_TRUE(script->meta.count("cost"));
+    ASSERT_TRUE(script->meta.count("expect_peak"));
+    const std::string fixture_name = script->meta.at("fixture");
+    fixtures_seen.insert(fixture_name);
+    const auto factory = reclaim_fixture(fixture_name);
+    const CostFn cost = cost_by_name(script->meta.at("cost"));
+
+    const ReplayResult first = ScheduleExplorer::replay(factory, *script, cost);
+    const ReplayResult second =
+        ScheduleExplorer::replay(factory, *script, cost);
+
+    // Golden bound: the peak this schedule was committed with.
+    EXPECT_EQ(first.peak_cost, std::stod(script->meta.at("expect_peak")));
+    if (script->meta.count("expect_peak_grant")) {
+      EXPECT_EQ(first.peak_grant,
+                std::stoull(script->meta.at("expect_peak_grant")));
+    }
+    if (script->meta.count("expect_grants")) {
+      EXPECT_EQ(script->grants.size(),
+                std::stoull(script->meta.at("expect_grants")))
+          << "committed grant count went stale";
+    }
+    // Bit-identical determinism across replays.
+    EXPECT_EQ(first.peak_cost, second.peak_cost);
+    EXPECT_EQ(first.peak_grant, second.peak_grant);
+    EXPECT_EQ(trace_signature(first.trace), trace_signature(second.trace));
+    // A worst case must still be a correct execution.
+    expect_schedule_invariants(first, fixture_name.rfind("queue", 0) == 0);
+  }
+  // The acceptance pair the ISSUE names must be in the committed corpus.
+  EXPECT_TRUE(fixtures_seen.count("stack_hazard_cached")) << "corpus gap";
+  EXPECT_TRUE(fixtures_seen.count("stack_epoch")) << "corpus gap";
+}
+
+}  // namespace
+}  // namespace aba::search

@@ -388,12 +388,14 @@ void sharded_stack_sweep() {
       spec::History history;
       harness::ShardedStackInvoker<Stack> invoker(
           world, history, std::make_unique<Stack>(world, n, 4));
+      harness::ScheduleLog log;
       harness::drive_random_schedule(
           world, invoker, n,
           random_workload(n, 6, seed, Method::kPush, Method::kPop),
-          seed * 811 + 17);
+          seed * 811 + 17, &log);
       SCOPED_TRACE(::testing::Message() << "shards=" << kShards << " n=" << n
-                                        << " seed=" << seed);
+                                        << " seed=" << seed << "\n"
+                                        << log.to_string());
       expect_sharded_contract<spec::StackSpec>(history.ops(),
                                                invoker.shard_of(), kShards,
                                                Method::kPop);
@@ -454,12 +456,14 @@ void sharded_queue_sweep() {
       spec::History history;
       harness::ShardedQueueInvoker<Queue> invoker(
           world, history, std::make_unique<Queue>(world, n, 4));
+      harness::ScheduleLog log;
       harness::drive_random_schedule(
           world, invoker, n,
           random_workload(n, 6, seed, Method::kEnq, Method::kDeq),
-          seed * 823 + 19);
+          seed * 823 + 19, &log);
       SCOPED_TRACE(::testing::Message() << "shards=" << kShards << " n=" << n
-                                        << " seed=" << seed);
+                                        << " seed=" << seed << "\n"
+                                        << log.to_string());
       expect_sharded_contract<spec::QueueSpec>(history.ops(),
                                                invoker.shard_of(), kShards,
                                                Method::kDeq);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Pretty-print serialized schedule scripts (tests/schedules/*.sched).
+
+A schedule script is the replayable worst case the ScheduleExplorer
+(src/sim/schedule_search.h) serializes: the per-process workload plus the
+grant sequence (the pid moved at each juncture — invoke-if-idle, else one
+shared-memory step). This tool renders the raw token soup as something a
+human can debug against: the meta table, the per-process program, and the
+grant sequence run-length encoded so the park-and-storm shape is visible
+at a glance (a long single-pid run IS the storm; the short prefix granted
+to another pid IS the reader being driven to its worst step and parked).
+
+Usage:
+    tools/schedule_dump.py tests/schedules/*.sched
+"""
+
+import sys
+from collections import Counter
+
+
+def parse(path):
+    script = {"processes": 0, "meta": {}, "ops": [], "grants": []}
+    with open(path, encoding="utf-8") as f:
+        lines = [ln.split("#", 1)[0].strip() for ln in f]
+    lines = [ln for ln in lines if ln]
+    if not lines or lines[0].split() != ["schedule-script", "v1"]:
+        raise ValueError(f"{path}: not a schedule-script v1 file")
+    for line in lines[1:]:
+        tokens = line.split()
+        kind, rest = tokens[0], tokens[1:]
+        if kind == "processes":
+            script["processes"] = int(rest[0])
+        elif kind == "meta":
+            script["meta"][rest[0]] = " ".join(rest[1:])
+        elif kind == "op":
+            script["ops"].append((int(rest[0]), rest[1], int(rest[2])))
+        elif kind == "grants":
+            script["grants"].extend(int(t) for t in rest)
+        elif kind == "end":
+            break
+        else:
+            raise ValueError(f"{path}: unknown line kind {kind!r}")
+    return script
+
+
+def run_length(grants):
+    runs = []
+    for pid in grants:
+        if runs and runs[-1][0] == pid:
+            runs[-1][1] += 1
+        else:
+            runs.append([pid, 1])
+    return runs
+
+
+def dump(path):
+    script = parse(path)
+    print(f"== {path}")
+    print(f"   processes: {script['processes']}")
+    for key in sorted(script["meta"]):
+        print(f"   meta {key}: {script['meta'][key]}")
+
+    by_pid = {}
+    for pid, method, arg in script["ops"]:
+        by_pid.setdefault(pid, []).append(
+            f"{method}({arg})" if method in ("push", "enq") else f"{method}()")
+    for pid in sorted(by_pid):
+        ops = by_pid[pid]
+        line = " ".join(ops[:12]) + (f" ... [{len(ops)} ops]" if len(ops) > 12 else "")
+        print(f"   p{pid} program: {line}")
+
+    grants = script["grants"]
+    counts = Counter(grants)
+    totals = " ".join(f"p{pid}:{n}" for pid, n in sorted(counts.items()))
+    print(f"   grants: {len(grants)} total ({totals})")
+    rle = " ".join(f"p{pid}x{n}" for pid, n in run_length(grants))
+    print(f"   grant runs: {rle}")
+    print()
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        dump(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
