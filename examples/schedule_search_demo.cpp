@@ -5,12 +5,18 @@
 //   ./schedule_search_demo                 # search, print the summary table
 //   ./schedule_search_demo --out=DIR       # also write DIR/<fixture>.sched
 //   ./schedule_search_demo stack_epoch ... # restrict to named fixtures
+//   ./schedule_search_demo --crashes ...   # search WITH crash grants; emits
+//                                          # DIR/<fixture>.crash.sched whose
+//                                          # golden bounds cover recovery
+//                                          # (expropriations, final counts)
 //
 // Each emitted script carries its golden bounds (expect_peak,
-// expect_peak_grant, expect_grants) in meta; the corpus gtest
-// (ScheduleCorpus.*) replays the file twice and checks the bounds and
+// expect_peak_grant, expect_grants — plus, for crash schedules, crashes,
+// expect_expropriations and the drained final counts) in meta; the corpus
+// gtest (ScheduleCorpus.*) replays the file twice and checks the bounds and
 // bit-identical traces. Regenerate only when the searcher or the fixtures
 // change, and re-run the tests afterwards.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,15 +31,118 @@ using namespace aba;
 
 constexpr int kProcs = 2;
 constexpr int kCycles = 12;
+constexpr int kCrashCycles = 24;
+
+// Symmetric put/take storm: both pids carry enough retires that whichever
+// one the searcher kills, the survivor still drives the suspect/confirm
+// handshake to a confirmed expropriation.
+std::vector<harness::WorkloadOp> crash_workload(const std::string& fixture) {
+  const bool is_queue = fixture.find("queue") != std::string::npos;
+  const spec::Method put = is_queue ? spec::Method::kEnq : spec::Method::kPush;
+  const spec::Method take = is_queue ? spec::Method::kDeq : spec::Method::kPop;
+  std::vector<harness::WorkloadOp> workload;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    for (int c = 0; c < kCrashCycles; ++c) {
+      workload.push_back(
+          {pid, put, static_cast<std::uint64_t>(pid * 1000 + c)});
+      workload.push_back({pid, take, 0});
+    }
+  }
+  return workload;
+}
+
+// Searches with one crash grant allowed and emits the first candidate whose
+// replay actually recovers (a confirmed expropriation in the drained final
+// stats). Returns false if no such schedule surfaced within budget.
+bool emit_crash_schedule(const std::string& name, const std::string& out_dir) {
+  const auto factory = search::reclaim_fixture(name);
+  search::SearchOptions options;
+  options.top_k = 8;
+  options.context_bound = 3;
+  options.max_executions = 48;
+  options.max_crashes = 1;
+  search::ScheduleExplorer explorer(factory, kProcs, crash_workload(name),
+                                    search::retired_unreclaimed_cost, options);
+  const search::SearchResult result = explorer.run();
+
+  for (const auto& entry : result.best) {
+    const bool has_crash =
+        std::any_of(entry.script.grants.begin(), entry.script.grants.end(),
+                    search::is_crash_grant);
+    if (!has_crash) continue;
+    search::ScheduleScript script = entry.script;
+    const search::ReplayResult first = search::ScheduleExplorer::replay(
+        factory, script, search::retired_unreclaimed_cost);
+    if (first.final_stats.expropriations == 0) continue;
+    const search::ReplayResult second = search::ScheduleExplorer::replay(
+        factory, script, search::retired_unreclaimed_cost);
+    if (first.peak_cost != second.peak_cost ||
+        first.trace.size() != second.trace.size() ||
+        first.final_stats.expropriations !=
+            second.final_stats.expropriations) {
+      std::fprintf(stderr, "%s: crash replay not deterministic — skipping\n",
+                   name.c_str());
+      continue;
+    }
+
+    const auto crashes = std::count_if(script.grants.begin(),
+                                       script.grants.end(),
+                                       search::is_crash_grant);
+    script.meta["fixture"] = name;
+    script.meta["cost"] = "retired_unreclaimed";
+    script.meta["expect_peak"] =
+        std::to_string(static_cast<long long>(first.peak_cost));
+    script.meta["expect_peak_grant"] = std::to_string(first.peak_grant);
+    script.meta["expect_grants"] = std::to_string(script.grants.size());
+    script.meta["crashes"] = std::to_string(crashes);
+    script.meta["expect_expropriations"] =
+        std::to_string(first.final_stats.expropriations);
+    script.meta["expect_final_retired"] =
+        std::to_string(first.final_stats.retired_unreclaimed);
+    script.meta["expect_final_free"] =
+        std::to_string(first.final_stats.free_nodes);
+    script.meta["expect_quarantined"] =
+        std::to_string(first.final_stats.quarantined);
+
+    std::printf("%-30s %10.0f %12llu %10llu  expropriations=%zu\n",
+                name.c_str(), first.peak_cost,
+                static_cast<unsigned long long>(first.peak_grant),
+                static_cast<unsigned long long>(result.executions),
+                first.final_stats.expropriations);
+
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/" + name + ".crash.sched";
+      std::ofstream out(path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+      }
+      out << "# Searched crash schedule — a kill at a vulnerable reclamation "
+             "phase plus the\n"
+             "# survivor's recovery; golden bounds include the drained final "
+             "stats. Found by\n"
+             "# schedule_search_demo --crashes; replayed by ScheduleCorpus.* "
+             "(tests/test_schedule_search.cpp).\n"
+          << script.serialize();
+      std::printf("  wrote %s\n", path.c_str());
+    }
+    return true;
+  }
+  std::printf("%-30s %10s\n", name.c_str(), "(no recovering crash schedule)");
+  return false;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
+  bool crashes = false;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_dir = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--crashes") == 0) {
+      crashes = true;
     } else {
       wanted.emplace_back(argv[i]);
     }
@@ -42,6 +151,13 @@ int main(int argc, char** argv) {
 
   std::printf("%-30s %10s %12s %10s\n", "fixture", "peak", "peak@grant",
               "schedules");
+  if (crashes) {
+    int emitted = 0;
+    for (const std::string& name : wanted) {
+      if (emit_crash_schedule(name, out_dir)) ++emitted;
+    }
+    return emitted > 0 ? 0 : 1;
+  }
   for (const std::string& name : wanted) {
     const auto factory = search::reclaim_fixture(name);
     const auto workload = search::storm_workload(name, kProcs, kCycles);

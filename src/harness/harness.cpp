@@ -1,5 +1,6 @@
 #include "harness/harness.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <sstream>
@@ -29,6 +30,9 @@ struct Pending {
 
   bool all_done(const sim::SimWorld& world) const {
     for (std::size_t pid = 0; pid < queues.size(); ++pid) {
+      // A crashed process is done by definition: it never runs again and
+      // its remaining queued ops are abandoned with it.
+      if (world.is_crashed(static_cast<int>(pid))) continue;
       if (!queues[pid].empty()) return false;
       if (!world.is_idle(static_cast<int>(pid))) return false;
     }
@@ -62,6 +66,16 @@ std::uint64_t schedule_seed(std::uint64_t fallback) {
     char* end = nullptr;
     const unsigned long long pinned = std::strtoull(env, &end, 0);
     if (end != env && *end == '\0') return pinned;
+    // A malformed override must not silently unpin a replay: warn once (the
+    // harness is called per test, and one line per run is plenty).
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "harness: ABA_SCHEDULE_SEED=\"%s\" is not a number; "
+                   "ignoring it and using per-test fallback seeds\n",
+                   env);
+    }
   }
   return fallback;
 }

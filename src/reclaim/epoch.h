@@ -34,18 +34,35 @@
 // Contract: allocate(p) must be called *outside* p's begin_op/end_op
 // region — a process cannot advance the epoch past its own stale
 // announcement.
+//
+// Crash robustness (reclaim/death.h): a dead process's stale announcement
+// would otherwise freeze the epoch forever — the catastrophic version of
+// the stalled-reader weakness. With a DeathOracle installed, every advance
+// attempt sweeps all dead-looking processes — not just stale announcers: a
+// victim that died inside a post-region retire() has a quiescent
+// announcement but orphaned bookkeeping — through the two-phase
+// suspect/confirm handshake; the confirm winner
+// expropriates: writes the victim's announcement to quiescent (unfreezing
+// the epoch), splices its limbo (re-stamping its half-recorded retiree
+// conservatively) and free list into its own, and quarantines its in-flight
+// allocation. Entry points self-check the caller's own death word and
+// self-fence via LeaseRevoked once expropriated. With no oracle every path
+// is inert and the step sequence is the classic protocol.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/platform.h"
+#include "reclaim/death.h"
 #include "reclaim/reclaimer.h"
 #include "util/assert.h"
 #include "util/cacheline.h"
@@ -84,7 +101,13 @@ class EpochBasedReclaimer {
   // still hold. With it, once begin_op returns the global epoch can be at
   // most announce+1 for as long as this region is active (the advance rule
   // vetoes anything further), which is what the reuse bound relies on.
+  // Installs the liveness oracle that arms the expropriation paths (see
+  // the header comment). Not a transfer of ownership; call before any
+  // process operates.
+  void set_death_oracle(const DeathOracle* oracle) { death_oracle_ = oracle; }
+
   void begin_op(int p) {
+    death_self_check(procs_[p].death);
     for (;;) {
       const std::uint64_t e = global_.read();
       announce_[p]->write(e);
@@ -106,19 +129,26 @@ class EpochBasedReclaimer {
   }
 
   std::optional<std::uint64_t> allocate(int p) {
+    death_self_check(procs_[p].death);
     auto& free = procs_[p].free;
     if (free.empty()) {
       // Pool pressure: a fresh retiree needs two advances to mature, so try
       // up to two advance+flush rounds before reporting exhaustion.
       for (int round = 0; round < 2 && free.empty(); ++round) {
-        flush(p, try_advance());
+        flush(p, try_advance(p));
       }
     }
     if (free.empty()) return std::nullopt;
     const std::uint64_t idx = free.front();
     free.pop_front();
+    // In-flight marker: if p dies before its linking CAS commits, an
+    // expropriator quarantines this node instead of freeing it.
+    procs_[p].in_flight = idx + 1;
     return idx;
   }
+
+  // The structure's linking CAS for p's in-flight node just succeeded.
+  void commit(int p) { procs_[p].in_flight = 0; }
 
   // Stamps the node with the global epoch read *now* (one shared read per
   // retire), not with the retiring region's announced epoch: a concurrent
@@ -128,27 +158,47 @@ class EpochBasedReclaimer {
   // retire-time stamp g, every reader that can hold the node announced
   // a ≤ g, and the epoch cannot pass a+1 ≤ g+1 < g+2 while it is active.
   void retire(int p, std::uint64_t idx) {
+    death_self_check(procs_[p].death);
     const ReclaimPhase resume = procs_[p].phase;
     procs_[p].phase = ReclaimPhase::kMidRetire;
+    // In-retire marker: the global read below is a shared step p can die
+    // at, with idx unlinked but not yet on any list. An expropriator that
+    // finds the marker set re-records the node itself.
+    procs_[p].in_retire = idx + 1;
     const std::uint64_t g = global_.read();
     global_mirror_.store(g, std::memory_order_relaxed);
     procs_[p].limbo.push_back(Limbo{idx, g});
+    procs_[p].in_retire = 0;
     if (++procs_[p].retires_since_advance >= kAdvanceEvery) {
       procs_[p].retires_since_advance = 0;
-      flush(p, try_advance());
+      flush(p, try_advance(p));
     }
     procs_[p].phase = resume;
   }
 
   // Attempts one epoch advance; returns the freshest global epoch known.
   // Advance succeeds only when every announcement is quiescent or current —
-  // a single stale reader (announcement < e) vetoes it.
-  std::uint64_t try_advance() {
+  // a single stale reader (announcement < e) vetoes it... unless the oracle
+  // says that reader is dead, in which case the two-phase handshake runs
+  // and a confirmed death is expropriated (its announcement written
+  // quiescent) instead of vetoing. p is the advancing process (the splice
+  // destination); p < 0 — the engine-side/test overload — never
+  // expropriates.
+  std::uint64_t try_advance(int p = -1) {
     const std::uint64_t e = global_.read();
     global_mirror_.store(e, std::memory_order_relaxed);
+    // Dead-lease sweep first — every dead-looking process, not just the
+    // stale announcers: a process can die inside retire() *after* its
+    // end_op (the structures retire post-region), with a quiescent
+    // announcement but an orphaned in-retire node plus limbo and free
+    // lists. Sweeping unconditionally drains those too; a confirmed death's
+    // now-quiescent announcement then no longer vetoes the advance below.
+    expropriate_dead(p, e);
     for (int q = 0; q < n_; ++q) {
       const std::uint64_t a = announce_[q]->read();
-      if (a != kQuiescent && a != e) return e;
+      if (a == kQuiescent || a == e) continue;
+      // Stale announcement by a live (or merely suspected) holder: veto.
+      return e;
     }
     // CAS, not write: concurrent advancers must bump at most once from e.
     if (global_.cas(e, e + 1)) {
@@ -165,6 +215,64 @@ class EpochBasedReclaimer {
       procs_[p].free.push_back(limbo.front().index);
       limbo.pop_front();
     }
+  }
+
+  // Two-phase dead-lease sweep (reclaim/death.h), run at every advance
+  // attempt: suspect on one visit, confirm — re-consulting the oracle — on
+  // a later one. With no oracle (or no deaths) this performs no shared
+  // steps, keeping the committed schedule corpus bit-identical.
+  void expropriate_dead(int p, std::uint64_t e) {
+    if (death_oracle_ == nullptr || p < 0) return;
+    for (int q = 0; q < n_; ++q) {
+      if (q == p || !death_oracle_->is_dead(q)) continue;
+      if (advance_death(procs_[q].death) == DeathStep::kConfirmed) {
+        expropriate(p, q, e);
+      }
+    }
+  }
+
+  // p won the confirm CAS on q's death word during an advance that read
+  // global epoch e: drain q. One shared write (the quiescent announcement);
+  // the list splices are q's orphaned, now exclusively-owned bookkeeping.
+  void expropriate(int p, int q, std::uint64_t e) {
+    auto& victim = procs_[q];
+    auto& mine = procs_[p];
+    announce_[q]->write(kQuiescent);
+    victim.announce_mirror = kQuiescent;
+    if (victim.in_retire != 0) {
+      // q died inside retire, after unlinking but possibly before the limbo
+      // push. Re-record conservatively with the current epoch (a full fresh
+      // grace period) unless the push did land.
+      const std::uint64_t idx = victim.in_retire - 1;
+      bool listed = false;
+      for (const auto& l : victim.limbo) {
+        if (l.index == idx) {
+          listed = true;
+          break;
+        }
+      }
+      if (!listed) victim.limbo.push_back(Limbo{idx, e});
+      victim.in_retire = 0;
+    }
+    // Both limbo deques are stamp-sorted; merge keeps flush()'s
+    // pop-matured-from-the-front invariant.
+    std::deque<Limbo> merged;
+    std::merge(mine.limbo.begin(), mine.limbo.end(), victim.limbo.begin(),
+               victim.limbo.end(), std::back_inserter(merged),
+               [](const Limbo& a, const Limbo& b) { return a.epoch < b.epoch; });
+    mine.limbo = std::move(merged);
+    victim.limbo.clear();
+    while (!victim.free.empty()) {
+      mine.free.push_back(victim.free.front());
+      victim.free.pop_front();
+    }
+    if (victim.in_flight != 0) {
+      // Possibly linked by a CAS whose bookkeeping store never ran —
+      // quarantine, never free.
+      mine.quarantine.push_back(victim.in_flight - 1);
+      victim.in_flight = 0;
+    }
+    ++mine.expropriations;
   }
 
   std::uint64_t global_epoch() { return global_.read(); }
@@ -191,6 +299,13 @@ class EpochBasedReclaimer {
         const std::uint64_t lag = global - proc.announce_mirror;
         if (lag > s.epoch_lag) s.epoch_lag = lag;
       }
+      // proc.in_retire is deliberately NOT folded into retired_unreclaimed:
+      // the committed schedule corpus's golden peaks sample stats while a
+      // process is parked inside retire, where the marker is transiently
+      // set. Conservation tests account for it explicitly.
+      s.quarantined += proc.quarantine.size();
+      if (proc.in_flight != 0) ++s.in_flight;
+      s.expropriations += proc.expropriations;
     }
     return s;
   }
@@ -216,8 +331,19 @@ class EpochBasedReclaimer {
     // the processes are parked — no shared steps, no races.
     std::uint64_t announce_mirror = kQuiescent;
     ReclaimPhase phase = ReclaimPhase::kIdle;
+    // Crash-robustness bookkeeping (reclaim/death.h). in_flight is p's
+    // allocated-but-unlinked node, in_retire its unlinked-but-unrecorded
+    // retiree (both stored +1); quarantine holds nodes p quarantined from
+    // victims it expropriated; death is p's own word in the suspect/confirm
+    // handshake — the one field other processes write.
+    std::uint64_t in_flight = 0;
+    std::uint64_t in_retire = 0;
+    std::vector<std::uint64_t> quarantine;
+    std::size_t expropriations = 0;
+    std::atomic<std::uint8_t> death{kDeathLive};
   };
 
+  const DeathOracle* death_oracle_ = nullptr;
   int n_;
   typename P::WritableCas global_;
   // Freshest global epoch any process has observed; relaxed because it is

@@ -68,10 +68,21 @@
 // platforms run it under seq_cst orderings — Counted or Fast — or under
 // FastAsymmetric, where the fence pair above replaces seq_cst's per-access
 // cost. Never under plain FastRelaxed.
+//
+// Crash robustness (reclaim/death.h): with a DeathOracle installed, every
+// scan first sweeps for dead processes and — after the two-phase
+// suspect/confirm handshake — expropriates them: clears their published
+// guards, splices their retired and free lists into the scanning process's,
+// and quarantines their in-flight allocation. Entry points self-check the
+// caller's own death word (veto a false suspicion, self-fence via
+// LeaseRevoked once expropriated). With no oracle (the default) every one
+// of these paths is inert and the step sequence is exactly the classic
+// protocol — the committed schedule corpus replays bit-identically.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -81,6 +92,7 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "reclaim/death.h"
 #include "reclaim/reclaimer.h"
 #include "util/assert.h"
 #include "util/cacheline.h"
@@ -125,7 +137,15 @@ class HazardPointerReclaimer {
     }
   }
 
-  void begin_op(int p) { procs_[p].phase = ReclaimPhase::kInRegion; }
+  // Installs the liveness oracle that arms the expropriation paths. Not a
+  // transfer of ownership; pass nullptr to disarm. Call before any process
+  // operates (the pointer itself is not synchronized).
+  void set_death_oracle(const DeathOracle* oracle) { death_oracle_ = oracle; }
+
+  void begin_op(int p) {
+    death_self_check(procs_[p].death);
+    procs_[p].phase = ReclaimPhase::kInRegion;
+  }
 
   // Publishes node `idx` in (p, slot). At most one shared write; zero when
   // the cached mode finds the slot already naming idx. The *structure*
@@ -161,6 +181,7 @@ class HazardPointerReclaimer {
   void detach(int p) { clear_published(p); }
 
   std::optional<std::uint64_t> allocate(int p) {
+    death_self_check(procs_[p].death);
     auto& free = procs_[p].free;
     if (free.empty()) {
       scan(p);  // Pool pressure: reclaim eagerly.
@@ -177,10 +198,18 @@ class HazardPointerReclaimer {
     if (free.empty()) return std::nullopt;
     const std::uint64_t idx = free.front();
     free.pop_front();
+    // In-flight marker: if p dies before its linking CAS commits, an
+    // expropriator quarantines this node instead of freeing it.
+    procs_[p].in_flight = idx + 1;
     return idx;
   }
 
+  // The structure's linking CAS for p's in-flight node just succeeded: the
+  // node is reachable, no longer at risk of being stranded by p's death.
+  void commit(int p) { procs_[p].in_flight = kNone; }
+
   void retire(int p, std::uint64_t idx) {
+    death_self_check(procs_[p].death);
     const ReclaimPhase resume = procs_[p].phase;
     procs_[p].phase = ReclaimPhase::kMidRetire;
     procs_[p].retired.push_back(idx);
@@ -194,6 +223,11 @@ class HazardPointerReclaimer {
   // publish visible before the slot reads.
   void scan(int p) {
     PlatformFenceT<P>::heavy();
+    // Dead-lease sweep first, so a dead process's just-cleared guards are
+    // already gone from the slot reads below and its spliced-in retirees
+    // get filtered in this very scan — a confirmed death is fully drained
+    // within the same scan that confirms it.
+    expropriate_dead(p);
     std::vector<std::uint64_t> guarded;
     guarded.reserve(slots_.size());
     for (const auto& slot : slots_) {
@@ -244,6 +278,9 @@ class HazardPointerReclaimer {
       for (const std::uint64_t word : proc.published) {
         if (word != kNone) ++s.guard_slots_occupied;
       }
+      s.quarantined += proc.quarantine.size();
+      if (proc.in_flight != kNone) ++s.in_flight;
+      s.expropriations += proc.expropriations;
     }
     return s;
   }
@@ -274,6 +311,48 @@ class HazardPointerReclaimer {
     }
   }
 
+  // Two-phase dead-lease sweep (reclaim/death.h): suspect a dead-looking
+  // process on one scan, confirm — re-consulting the oracle — on a later
+  // one. The confirm CAS winner drains the victim. With no oracle (or no
+  // deaths) this loop performs no shared steps, which is what keeps the
+  // committed schedule corpus bit-identical.
+  void expropriate_dead(int p) {
+    if (death_oracle_ == nullptr) return;
+    for (int q = 0; q < n_; ++q) {
+      if (q == p || !death_oracle_->is_dead(q)) continue;
+      if (advance_death(procs_[q].death) == DeathStep::kConfirmed) {
+        expropriate(p, q);
+      }
+    }
+  }
+
+  // p won the confirm CAS on q's death word: drain q. Clearing q's slots is
+  // a shared write per published guard; everything else splices q's
+  // (orphaned, now exclusively-owned) thread-private bookkeeping into p's.
+  void expropriate(int p, int q) {
+    auto& victim = procs_[q];
+    auto& mine = procs_[p];
+    for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
+      if (victim.published[static_cast<std::size_t>(slot)] != kNone) {
+        slot_ref(q, slot).write(kNone);
+        victim.published[static_cast<std::size_t>(slot)] = kNone;
+      }
+    }
+    for (const std::uint64_t idx : victim.retired) mine.retired.push_back(idx);
+    victim.retired.clear();
+    while (!victim.free.empty()) {
+      mine.free.push_back(victim.free.front());
+      victim.free.pop_front();
+    }
+    if (victim.in_flight != kNone) {
+      // Possibly linked by a CAS whose bookkeeping store never ran (on real
+      // hardware the kill can land between the two) — quarantine, never free.
+      mine.quarantine.push_back(victim.in_flight - 1);
+      victim.in_flight = kNone;
+    }
+    ++mine.expropriations;
+  }
+
   // Thread-private bookkeeping, one cache line per process: published[] is
   // consulted/written on every guard and the container headers on every
   // allocate/retire, so packing neighbours together would false-share.
@@ -285,8 +364,17 @@ class HazardPointerReclaimer {
     std::array<std::uint64_t, kSlotsPerProcess> published{};
     // Protocol position for the schedule-search engine (reclaimer.h).
     ReclaimPhase phase = ReclaimPhase::kIdle;
+    // Crash-robustness bookkeeping (reclaim/death.h). in_flight is p's
+    // allocated-but-unlinked node (stored +1); quarantine holds nodes p
+    // quarantined from victims it expropriated; death is p's own state in
+    // the suspect/confirm handshake — the one field other processes write.
+    std::uint64_t in_flight = kNone;
+    std::vector<std::uint64_t> quarantine;
+    std::size_t expropriations = 0;
+    std::atomic<std::uint8_t> death{kDeathLive};
   };
 
+  const DeathOracle* death_oracle_ = nullptr;
   int n_;
   // unique_ptr because platform objects wrap std::atomic and are immovable;
   // the native Fast policy pads each register to its own cache line, which

@@ -125,6 +125,13 @@ struct ReclaimStats {
   std::size_t pool_size = 0;
   std::size_t guard_slots_occupied = 0;  // Hazard modes: published slots.
   std::uint64_t epoch_lag = 0;  // Epoch: global - oldest active announcement.
+  // Crash-robustness accounting (reclaim/death.h). Quarantined nodes are a
+  // dead process's in-flight allocations — possibly linked, so never reused;
+  // at most one per crash. in_flight counts live allocated-but-unlinked
+  // nodes; expropriations counts confirmed dead-lease drains by survivors.
+  std::size_t quarantined = 0;
+  std::size_t in_flight = 0;
+  std::size_t expropriations = 0;
 
   ReclaimStats& operator+=(const ReclaimStats& o) {
     retired_unreclaimed += o.retired_unreclaimed;
@@ -132,6 +139,9 @@ struct ReclaimStats {
     pool_size += o.pool_size;
     guard_slots_occupied += o.guard_slots_occupied;
     if (o.epoch_lag > epoch_lag) epoch_lag = o.epoch_lag;
+    quarantined += o.quarantined;
+    in_flight += o.in_flight;
+    expropriations += o.expropriations;
     return *this;
   }
 };

@@ -1,0 +1,603 @@
+// Leased reclaimers — crash-robust hazard-pointer and epoch reclamation
+// whose bookkeeping lives in the shared arena, covered by pid leases.
+//
+// The in-process reclaimers (reclaim/hazard_pointer.h, reclaim/epoch.h)
+// keep retired/free lists in thread-private heap memory: correct across
+// threads, but a SIGKILLed *process* takes its lists to the grave — every
+// node it owned leaks forever and its published guards/announcements pin
+// (hazard) or freeze (epoch) the survivors' reclamation permanently. The
+// leased variants move all of that state into the segment:
+//
+//   links[pool]          — intrusive next-words; a node is on exactly one
+//                          list (free, retired/limbo, or quarantine), so
+//                          one word per node carries every list.
+//   per-lease heads      — free_head[p], retired_head[p] (+ counters):
+//                          single-owner lists. Only lease-holder p touches
+//                          them while p is alive; after the pid-lease
+//                          confirm CAS (pid_lease.h) exactly one survivor
+//                          owns them instead and splices them into its own.
+//   in_flight[p]         — allocate() records the node it is *about to*
+//                          unlink from the free list before unlinking it,
+//                          and the structure's commit(p) hook clears it
+//                          after the linking CAS. An expropriator that finds
+//                          the marker set checks membership: still on the
+//                          free list means the crash hit between intent and
+//                          unlink (node is safe in the splice); otherwise
+//                          the node may or may not be reachable from the
+//                          structure — it is QUARANTINED, never freed, so a
+//                          kill landing between the linking CAS and the
+//                          bookkeeping store can never cause a double-free.
+//                          Cost: at most one pool slot per crash.
+//   in_retire[p]         — the mirror marker around retire(): set before
+//                          the node joins the retired list, cleared after.
+//                          The expropriator re-homes a marked node that
+//                          never made it onto the list.
+//
+// Recovery bound: a death is suspected at the first survivor scan that
+// probes it and confirmed (then fully drained — guards cleared, lists
+// spliced, markers resolved, lease reaped) at the second, so every node a
+// dead process owned is back in circulation within TWO survivor scans —
+// except the at-most-one quarantined in-flight node, which is the price of
+// never double-freeing. The epoch variant additionally clears the dead
+// process's frozen announcement, so the global epoch advances again and the
+// spliced limbo drains by the normal two-advance rule.
+//
+// Suspicion here is driven by kill(pid, 0) liveness only; the lease table
+// also supports heartbeat-staleness suspicion (see pid_lease.h), but a
+// reclaimer scan never confirms a process the kernel still knows — a
+// falsely-suspected live process vetoes at its next entry point instead of
+// corrupting the pool (the two-phase handshake).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reclaim/death.h"
+#include "reclaim/reclaimer.h"
+#include "shm/pid_lease.h"
+#include "shm/shm_platform.h"
+#include "util/assert.h"
+
+namespace aba::shm {
+
+namespace detail {
+
+// Arena-resident intrusive lists over one links[] array. Heads and links
+// store index+1; 0 is the empty list / null. All operations are issued by
+// the list's single owner (the lease holder, or the confirmed expropriator).
+class NodeLists {
+ public:
+  NodeLists(ShmArena& arena, const char* tag, std::size_t pool)
+      : links_(arena.place_array<std::atomic<std::uint64_t>>(tag, pool)) {}
+
+  void push(std::atomic<std::uint64_t>& head, std::uint64_t idx) {
+    links_[idx].store(head.load(std::memory_order_seq_cst),
+                      std::memory_order_seq_cst);
+    head.store(idx + 1, std::memory_order_seq_cst);
+  }
+
+  std::optional<std::uint64_t> pop(std::atomic<std::uint64_t>& head) {
+    const std::uint64_t h = head.load(std::memory_order_seq_cst);
+    if (h == 0) return std::nullopt;
+    head.store(links_[h - 1].load(std::memory_order_seq_cst),
+               std::memory_order_seq_cst);
+    return h - 1;
+  }
+
+  bool contains(const std::atomic<std::uint64_t>& head,
+                std::uint64_t idx) const {
+    for (std::uint64_t w = head.load(std::memory_order_seq_cst); w != 0;
+         w = links_[w - 1].load(std::memory_order_seq_cst)) {
+      if (w - 1 == idx) return true;
+    }
+    return false;
+  }
+
+  // Moves every node of `from` onto `to`; returns how many moved.
+  std::uint64_t splice(std::atomic<std::uint64_t>& from,
+                       std::atomic<std::uint64_t>& to) {
+    std::uint64_t moved = 0;
+    while (auto idx = pop(from)) {
+      push(to, *idx);
+      ++moved;
+    }
+    return moved;
+  }
+
+ private:
+  std::atomic<std::uint64_t>* links_;
+};
+
+// The bookkeeping shared by both leased reclaimers: per-lease free and
+// retired lists (with counters), the two crash markers, and the global
+// quarantine. Placed in one deterministic burst so creator and attachers
+// agree on offsets.
+struct SharedBook {
+  NodeLists lists;
+  std::atomic<std::uint64_t>* free_head;      // [n]
+  std::atomic<std::uint64_t>* free_count;     // [n]
+  std::atomic<std::uint64_t>* retired_head;   // [n]
+  std::atomic<std::uint64_t>* retired_count;  // [n]
+  std::atomic<std::uint64_t>* in_flight;      // [n], idx+1 or 0.
+  std::atomic<std::uint64_t>* in_retire;      // [n], idx+1 or 0.
+  std::atomic<std::uint64_t>* quarantine_head;
+  std::atomic<std::uint64_t>* quarantine_count;
+  std::atomic<std::uint64_t>* expropriations;
+  std::size_t pool = 0;
+
+  SharedBook(ShmPlatform::Env& env, int n, const reclaim::FreeLists& initial)
+      : lists(*env.arena, "book.links", pool_of(initial)),
+        pool(pool_of(initial)) {
+    ShmArena& a = *env.arena;
+    const auto count = static_cast<std::size_t>(n);
+    free_head = a.place_array<std::atomic<std::uint64_t>>("book.free_head", count);
+    free_count = a.place_array<std::atomic<std::uint64_t>>("book.free_count", count);
+    retired_head = a.place_array<std::atomic<std::uint64_t>>("book.retired_head", count);
+    retired_count = a.place_array<std::atomic<std::uint64_t>>("book.retired_count", count);
+    in_flight = a.place_array<std::atomic<std::uint64_t>>("book.in_flight", count);
+    in_retire = a.place_array<std::atomic<std::uint64_t>>("book.in_retire", count);
+    quarantine_head = a.place<std::atomic<std::uint64_t>>("book.quarantine_head");
+    quarantine_count = a.place<std::atomic<std::uint64_t>>("book.quarantine_count");
+    expropriations = a.place<std::atomic<std::uint64_t>>("book.expropriations");
+    if (env.owner) {
+      for (int p = 0; p < n; ++p) {
+        for (const std::uint64_t idx : initial[static_cast<std::size_t>(p)]) {
+          lists.push(free_head[p], idx);
+          free_count[p].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // The pool spans every index the structure may hand to retire(), not just
+  // the initially-free ones — MsQueue's dummy node starts on no free list
+  // but is retired (and must have a links_/stamps_ entry) once dequeued
+  // past. Size by the highest index, so links_[idx] can never alias the
+  // next arena placement.
+  static std::size_t pool_of(const reclaim::FreeLists& initial) {
+    std::size_t pool = 0;
+    for (const auto& list : initial) {
+      for (const std::uint64_t idx : list) {
+        pool = std::max(pool, static_cast<std::size_t>(idx) + 1);
+      }
+    }
+    return pool;
+  }
+
+  // allocate()'s crash-safe pop: intent marker BEFORE the unlink.
+  std::optional<std::uint64_t> allocate_from(int p) {
+    const std::uint64_t h = free_head[p].load(std::memory_order_seq_cst);
+    if (h == 0) return std::nullopt;
+    in_flight[p].store(h, std::memory_order_seq_cst);
+    auto popped = lists.pop(free_head[p]);
+    free_count[p].fetch_sub(1, std::memory_order_relaxed);
+    return popped;
+  }
+
+  void retire_onto(int p, std::uint64_t idx) {
+    lists.push(retired_head[p], idx);
+    retired_count[p].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void free_node(int p, std::uint64_t idx) {
+    lists.push(free_head[p], idx);
+    free_count[p].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Resolves a dead q's crash markers and splices its lists into p's.
+  // Caller (the confirm winner) must have exclusive ownership of q.
+  void drain_dead(int p, int q) {
+    // Half-finished retire: the marked node may never have reached q's
+    // retired list — re-home it there before the splice if so.
+    const std::uint64_t mr = in_retire[q].load(std::memory_order_seq_cst);
+    if (mr != 0) {
+      if (!lists.contains(retired_head[q], mr - 1)) {
+        lists.push(retired_head[q], mr - 1);
+        retired_count[q].fetch_add(1, std::memory_order_relaxed);
+      }
+      in_retire[q].store(0, std::memory_order_seq_cst);
+    }
+    // Half-finished allocate: still on the free list means the crash hit
+    // between intent and unlink (the splice below recovers it); otherwise
+    // the node may be linked into the structure — quarantine, never free.
+    const std::uint64_t mf = in_flight[q].load(std::memory_order_seq_cst);
+    if (mf != 0) {
+      if (!lists.contains(free_head[q], mf - 1)) {
+        lists.push(*quarantine_head, mf - 1);
+        quarantine_count->fetch_add(1, std::memory_order_relaxed);
+      }
+      in_flight[q].store(0, std::memory_order_seq_cst);
+    }
+    const std::uint64_t moved_retired =
+        lists.splice(retired_head[q], retired_head[p]);
+    retired_count[q].store(0, std::memory_order_relaxed);
+    retired_count[p].fetch_add(moved_retired, std::memory_order_relaxed);
+    const std::uint64_t moved_free = lists.splice(free_head[q], free_head[p]);
+    free_count[q].store(0, std::memory_order_relaxed);
+    free_count[p].fetch_add(moved_free, std::memory_order_relaxed);
+    expropriations->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  reclaim::ReclaimStats stats_base(int n) const {
+    reclaim::ReclaimStats s;
+    s.pool_size = pool;
+    for (int p = 0; p < n; ++p) {
+      s.retired_unreclaimed +=
+          static_cast<std::size_t>(retired_count[p].load(std::memory_order_relaxed));
+      s.free_nodes +=
+          static_cast<std::size_t>(free_count[p].load(std::memory_order_relaxed));
+      if (in_flight[p].load(std::memory_order_relaxed) != 0) ++s.in_flight;
+    }
+    s.quarantined = static_cast<std::size_t>(
+        quarantine_count->load(std::memory_order_relaxed));
+    s.expropriations = static_cast<std::size_t>(
+        expropriations->load(std::memory_order_relaxed));
+    return s;
+  }
+};
+
+}  // namespace detail
+
+// ------------------------------------------------------- hazard (leased)
+
+// Michael-style hazard pointers over the shared arena. kCached keeps slots
+// published across operations (the guard-caching mode of PR 4); the leased
+// variant's cache is process-local, so after a crash the expropriator reads
+// the authoritative shared slots, not the cache.
+template <bool kCached>
+class LeasedHazardReclaimerT {
+ public:
+  static constexpr const char* kName =
+      kCached ? "leased_hazard_cached" : "leased_hazard";
+  static constexpr bool kNeedsGuard = true;
+  static constexpr int kSlotsPerProcess = 2;
+
+  LeasedHazardReclaimerT(ShmPlatform::Env& env, int n,
+                         reclaim::FreeLists initial_free)
+      : leases_(env.leases), n_(n), book_(env, n, initial_free) {
+    ABA_CHECK_MSG(leases_ != nullptr,
+                  "leased reclaimers need Env::leases (a PidLeaseTable)");
+    ABA_CHECK(leases_->max_procs() >= n);
+    slots_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+        "hp.slots", static_cast<std::size_t>(n) * kSlotsPerProcess);
+    published_.assign(static_cast<std::size_t>(n) * kSlotsPerProcess, 0);
+    phases_.assign(static_cast<std::size_t>(n), reclaim::ReclaimPhase::kIdle);
+  }
+
+  void begin_op(int p) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    phases_[p] = reclaim::ReclaimPhase::kInRegion;
+  }
+
+  void guard(int p, int slot, std::uint64_t idx) {
+    ABA_ASSERT(slot >= 0 && slot < kSlotsPerProcess);
+    const std::uint64_t word = idx + 1;
+    std::uint64_t& cached = published_[cache_index(p, slot)];
+    phases_[p] = reclaim::ReclaimPhase::kGuardPublished;
+    if constexpr (kCached) {
+      if (cached == word) {
+        leases_->maybe_park(p, kParkGuardPublished);
+        return;
+      }
+    }
+    slot_ref(p, slot).store(word, std::memory_order_seq_cst);
+    cached = word;
+    leases_->maybe_park(p, kParkGuardPublished);
+  }
+
+  void end_op(int p) {
+    if constexpr (!kCached) clear_published(p);
+    phases_[p] = reclaim::ReclaimPhase::kIdle;
+  }
+
+  void detach(int p) { clear_published(p); }
+
+  std::optional<std::uint64_t> allocate(int p) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    if (book_.free_head[p].load(std::memory_order_seq_cst) == 0) {
+      scan(p);
+      if constexpr (kCached) {
+        if (book_.free_head[p].load(std::memory_order_seq_cst) == 0 &&
+            has_published(p)) {
+          detach(p);
+          scan(p);
+        }
+      }
+    }
+    return book_.allocate_from(p);
+  }
+
+  void commit(int p) { book_.in_flight[p].store(0, std::memory_order_seq_cst); }
+
+  void retire(int p, std::uint64_t idx) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    const reclaim::ReclaimPhase resume = phases_[p];
+    phases_[p] = reclaim::ReclaimPhase::kMidRetire;
+    book_.in_retire[p].store(idx + 1, std::memory_order_seq_cst);
+    leases_->maybe_park(p, kParkMidRetire);
+    book_.retire_onto(p, idx);
+    book_.in_retire[p].store(0, std::memory_order_seq_cst);
+    if (book_.retired_count[p].load(std::memory_order_relaxed) >=
+        scan_threshold()) {
+      scan(p);
+    }
+    phases_[p] = resume;
+  }
+
+  // One pass: sweep dead leases (two-phase; a confirmed death is fully
+  // drained here), then free every retiree no live slot guards.
+  void scan(int p) {
+    expropriate_dead(p);
+    std::vector<std::uint64_t> guarded;
+    guarded.reserve(static_cast<std::size_t>(n_) * kSlotsPerProcess);
+    for (int i = 0; i < n_ * kSlotsPerProcess; ++i) {
+      const std::uint64_t w = slots_[i].load(std::memory_order_seq_cst);
+      if (w != 0) guarded.push_back(w - 1);
+    }
+    std::vector<std::uint64_t> keep;
+    while (auto idx = book_.lists.pop(book_.retired_head[p])) {
+      bool pinned = false;
+      for (const std::uint64_t g : guarded) {
+        if (g == *idx) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) {
+        keep.push_back(*idx);
+      } else {
+        book_.lists.push(book_.free_head[p], *idx);
+        book_.free_count[p].fetch_add(1, std::memory_order_relaxed);
+        book_.retired_count[p].fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    for (const std::uint64_t idx : keep) {
+      book_.lists.push(book_.retired_head[p], idx);
+    }
+  }
+
+  std::size_t scan_threshold() const {
+    return 2 * static_cast<std::size_t>(n_) * kSlotsPerProcess;
+  }
+
+  std::size_t pool_size() const { return book_.pool; }
+  std::size_t unreclaimed(int p) const {
+    return static_cast<std::size_t>(
+        book_.retired_count[p].load(std::memory_order_relaxed));
+  }
+
+  reclaim::ReclaimStats stats() const {
+    reclaim::ReclaimStats s = book_.stats_base(n_);
+    for (int i = 0; i < n_ * kSlotsPerProcess; ++i) {
+      if (slots_[i].load(std::memory_order_seq_cst) != 0) {
+        ++s.guard_slots_occupied;
+      }
+    }
+    return s;
+  }
+
+  reclaim::ReclaimPhase phase(int p) const { return phases_[p]; }
+
+ private:
+  std::size_t cache_index(int p, int slot) const {
+    return static_cast<std::size_t>(p) * kSlotsPerProcess +
+           static_cast<std::size_t>(slot);
+  }
+  std::atomic<std::uint64_t>& slot_ref(int p, int slot) {
+    return slots_[cache_index(p, slot)];
+  }
+
+  bool has_published(int p) const {
+    for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
+      if (published_[cache_index(p, slot)] != 0) return true;
+    }
+    return false;
+  }
+
+  void clear_published(int p) {
+    for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
+      if (published_[cache_index(p, slot)] != 0) {
+        slot_ref(p, slot).store(0, std::memory_order_seq_cst);
+        published_[cache_index(p, slot)] = 0;
+      }
+    }
+  }
+
+  void expropriate_dead(int p) {
+    for (int q = 0; q < n_; ++q) {
+      if (q == p || !leases_->is_held(q)) continue;
+      if (leases_->advance_death(q) == reclaim::DeathStep::kConfirmed) {
+        // Clear the victim's published guards so this very scan's slot
+        // reads no longer see them.
+        for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
+          slot_ref(q, slot).store(0, std::memory_order_seq_cst);
+        }
+        book_.drain_dead(p, q);
+        leases_->reap(q);
+      }
+    }
+  }
+
+  PidLeaseTable* leases_;
+  int n_;
+  detail::SharedBook book_;
+  std::atomic<std::uint64_t>* slots_;  // [n * kSlotsPerProcess], idx+1 or 0.
+  // Process-local guard cache / dirty tracking; authoritative state is in
+  // slots_ (which is what expropriation reads).
+  std::vector<std::uint64_t> published_;
+  std::vector<reclaim::ReclaimPhase> phases_;
+};
+
+using LeasedHazardReclaimer = LeasedHazardReclaimerT<false>;
+using LeasedCachedHazardReclaimer = LeasedHazardReclaimerT<true>;
+
+// -------------------------------------------------------- epoch (leased)
+
+// Epoch-based reclamation over the shared arena: per-lease announcements
+// against a global epoch; a retired node frees two advances after its
+// stamp. A dead process's frozen announcement would block the advance
+// forever — the sweep inside try_advance expropriates it instead (clears
+// the announcement, splices the limbo; stamps live in a per-node array, so
+// they travel with the nodes).
+class LeasedEpochReclaimer {
+ public:
+  static constexpr const char* kName = "leased_epoch";
+  static constexpr bool kNeedsGuard = false;
+  static constexpr std::uint64_t kQuiescent = 0;
+  static constexpr std::size_t kAdvanceEvery = 4;
+
+  LeasedEpochReclaimer(ShmPlatform::Env& env, int n,
+                       reclaim::FreeLists initial_free)
+      : leases_(env.leases), n_(n), book_(env, n, initial_free) {
+    ABA_CHECK_MSG(leases_ != nullptr,
+                  "leased reclaimers need Env::leases (a PidLeaseTable)");
+    ABA_CHECK(leases_->max_procs() >= n);
+    global_ = env.arena->place<std::atomic<std::uint64_t>>("ep.global");
+    announce_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+        "ep.announce", static_cast<std::size_t>(n));
+    stamps_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+        "ep.stamps", book_.pool);
+    if (env.owner) global_->store(1, std::memory_order_seq_cst);
+    phases_.assign(static_cast<std::size_t>(n), reclaim::ReclaimPhase::kIdle);
+  }
+
+  void begin_op(int p) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    announce_[p].store(global_->load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+    phases_[p] = reclaim::ReclaimPhase::kEpochAnnounced;
+    leases_->maybe_park(p, kParkEpochAnnounced);
+  }
+
+  void guard(int /*p*/, int /*slot*/, std::uint64_t /*idx*/) {}
+
+  void end_op(int p) {
+    announce_[p].store(kQuiescent, std::memory_order_seq_cst);
+    phases_[p] = reclaim::ReclaimPhase::kIdle;
+  }
+
+  std::optional<std::uint64_t> allocate(int p) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    if (book_.free_head[p].load(std::memory_order_seq_cst) == 0) {
+      try_advance(p);
+      collect(p);
+    }
+    return book_.allocate_from(p);
+  }
+
+  void commit(int p) { book_.in_flight[p].store(0, std::memory_order_seq_cst); }
+
+  void retire(int p, std::uint64_t idx) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    const reclaim::ReclaimPhase resume = phases_[p];
+    phases_[p] = reclaim::ReclaimPhase::kMidRetire;
+    book_.in_retire[p].store(idx + 1, std::memory_order_seq_cst);
+    leases_->maybe_park(p, kParkMidRetire);
+    stamps_[idx].store(global_->load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+    book_.retire_onto(p, idx);
+    book_.in_retire[p].store(0, std::memory_order_seq_cst);
+    if (book_.retired_count[p].load(std::memory_order_relaxed) %
+            kAdvanceEvery ==
+        0) {
+      try_advance(p);
+      collect(p);
+    }
+    phases_[p] = resume;
+  }
+
+  // Advances the global epoch if every live announcement is current; every
+  // advance attempt first sweeps all dead-looking leases (two-phase), so a
+  // crash can stall the epoch for at most two survivor attempts. The sweep
+  // covers every held lease, not just stale announcers: the structures
+  // retire *after* end_op, so a process killed mid-retire has a quiescent
+  // announcement but an orphaned in-retire node plus limbo and free lists.
+  std::uint64_t try_advance(int p) {
+    expropriate_dead(p);
+    const std::uint64_t e = global_->load(std::memory_order_seq_cst);
+    for (int q = 0; q < n_; ++q) {
+      const std::uint64_t a = announce_[q].load(std::memory_order_seq_cst);
+      if (a == kQuiescent || a >= e) continue;
+      return e;  // A live (or not-yet-confirmed) holdout pins the epoch.
+    }
+    std::uint64_t expected = e;
+    global_->compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst,
+                                     std::memory_order_seq_cst);
+    return global_->load(std::memory_order_seq_cst);
+  }
+
+  // Frees p's limbo nodes whose stamp is two epochs behind.
+  void collect(int p) {
+    const std::uint64_t g = global_->load(std::memory_order_seq_cst);
+    std::vector<std::uint64_t> keep;
+    while (auto idx = book_.lists.pop(book_.retired_head[p])) {
+      if (stamps_[*idx].load(std::memory_order_seq_cst) + 2 <= g) {
+        book_.lists.push(book_.free_head[p], *idx);
+        book_.free_count[p].fetch_add(1, std::memory_order_relaxed);
+        book_.retired_count[p].fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        keep.push_back(*idx);
+      }
+    }
+    for (const std::uint64_t idx : keep) {
+      book_.lists.push(book_.retired_head[p], idx);
+    }
+  }
+
+  // The survivor side of the handshake over the pid-lease table: suspect a
+  // dead-looking lease on one visit, confirm — re-probing liveness — on a
+  // later one; the confirm winner clears the victim's announcement and
+  // drains its bookkeeping.
+  void expropriate_dead(int p) {
+    for (int q = 0; q < n_; ++q) {
+      if (q == p || !leases_->is_held(q)) continue;
+      if (leases_->advance_death(q) == reclaim::DeathStep::kConfirmed) {
+        announce_[q].store(kQuiescent, std::memory_order_seq_cst);
+        book_.drain_dead(p, q);
+        leases_->reap(q);
+      }
+    }
+  }
+
+  std::size_t pool_size() const { return book_.pool; }
+  std::size_t unreclaimed(int p) const {
+    return static_cast<std::size_t>(
+        book_.retired_count[p].load(std::memory_order_relaxed));
+  }
+
+  reclaim::ReclaimStats stats() const {
+    reclaim::ReclaimStats s = book_.stats_base(n_);
+    const std::uint64_t g = global_->load(std::memory_order_seq_cst);
+    for (int q = 0; q < n_; ++q) {
+      const std::uint64_t a = announce_[q].load(std::memory_order_seq_cst);
+      if (a != kQuiescent && g > a && g - a > s.epoch_lag) s.epoch_lag = g - a;
+    }
+    return s;
+  }
+
+  reclaim::ReclaimPhase phase(int p) const { return phases_[p]; }
+
+ private:
+  PidLeaseTable* leases_;
+  int n_;
+  detail::SharedBook book_;
+  std::atomic<std::uint64_t>* global_;
+  std::atomic<std::uint64_t>* announce_;  // [n], kQuiescent or the epoch.
+  std::atomic<std::uint64_t>* stamps_;    // [pool], retire-time epoch.
+  std::vector<reclaim::ReclaimPhase> phases_;
+};
+
+static_assert(reclaim::ReclaimerFor<LeasedHazardReclaimer, ShmPlatform>);
+static_assert(reclaim::ReclaimerFor<LeasedCachedHazardReclaimer, ShmPlatform>);
+static_assert(reclaim::ReclaimerFor<LeasedEpochReclaimer, ShmPlatform>);
+
+}  // namespace aba::shm

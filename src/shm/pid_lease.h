@@ -1,0 +1,245 @@
+// PidLeaseTable — heartbeat-stamped pid leases over shared memory, with the
+// two-phase suspect/confirm death handshake.
+//
+// Every process that operates on a cross-process structure first acquires a
+// lease slot; the slot index IS the process id `p` it passes to the
+// structure, so everything a process publishes — hazard guards, epoch
+// announcements, its free/retired list heads, its in-flight allocation
+// marker — is covered by exactly one lease. The lease record carries:
+//
+//   state+generation — one packed atomic word driving the death protocol:
+//       kFree -> kLive (acquire), kLive -> kSuspect (a survivor that
+//       observed the pid dead or the heartbeat stale), kSuspect -> kLive
+//       (the VETO: a falsely-suspected live process clears itself at its
+//       next reclaimer entry point), kSuspect -> kDead (confirm; CAS-
+//       serialized so exactly one survivor wins the right to expropriate),
+//       kDead -> kFree (the winner, after draining — generation bumps so a
+//       recycled slot is distinguishable from its previous life).
+//   pid + heartbeat — liveness evidence. kill(pid, 0) failing with ESRCH is
+//       definitive death; a *stale heartbeat alone only suspects* — it can
+//       never confirm, because a slow or stopped process is not a dead one.
+//       This split plus the veto is the false-suspicion safety story: the
+//       worst a wrong suspicion does is one extra CAS by the suspect.
+//   suspect_hb — the heartbeat value observed at suspicion time; confirm
+//       additionally requires the heartbeat unchanged since, which closes
+//       the pid-recycling hole (a new process wearing the dead pid cannot
+//       resurrect the lease, and a revived heartbeat cancels the suspicion).
+//   park point — a test-only rendezvous: the crash harness asks a worker to
+//       spin at a named vulnerable instant (guard just published, epoch just
+//       announced, mid-retire) so the driver can SIGKILL it exactly there.
+//
+// Why two phases at all, when kill(pid, 0) looks definitive? Because the
+// suspect edge is also driven by heartbeat staleness (a wedged NFS mount, a
+// SIGSTOP), and because between a survivor's liveness probe and its
+// expropriating CAS the world can change. Confirming only from kSuspect —
+// re-probing liveness and re-reading the heartbeat — means a live process
+// always gets a full scan interval to veto before anyone touches its state.
+#pragma once
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+#include "reclaim/death.h"
+#include "shm/shm_platform.h"
+#include "util/assert.h"
+#include "util/cacheline.h"
+
+namespace aba::shm {
+
+// Lease states (low 8 bits of the packed state word).
+inline constexpr std::uint64_t kLeaseFree = 0;
+inline constexpr std::uint64_t kLeaseLive = 1;
+inline constexpr std::uint64_t kLeaseSuspect = 2;
+inline constexpr std::uint64_t kLeaseDead = 3;
+
+// Park points for the crash harness (tests/shm_crash_child.cpp): a worker
+// that finds its lease's park_request naming one of these spins there —
+// still holding whatever it just published — until killed or released.
+inline constexpr std::uint64_t kParkNone = 0;
+inline constexpr std::uint64_t kParkGuardPublished = 1;
+inline constexpr std::uint64_t kParkEpochAnnounced = 2;
+inline constexpr std::uint64_t kParkMidRetire = 3;
+
+struct alignas(util::kCacheLineSize) LeaseRecord {
+  // state in bits [0,8), generation above. One word so every transition is
+  // one CAS and a generation check rides along for free.
+  std::atomic<std::uint64_t> state_gen{kLeaseFree};
+  std::atomic<std::int64_t> pid{0};
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<std::uint64_t> suspect_hb{0};
+  std::atomic<std::uint64_t> park_request{kParkNone};
+  std::atomic<std::uint64_t> park_ack{kParkNone};
+
+  static constexpr std::uint64_t state_of(std::uint64_t word) {
+    return word & 0xff;
+  }
+  static constexpr std::uint64_t gen_of(std::uint64_t word) { return word >> 8; }
+  static constexpr std::uint64_t pack(std::uint64_t state, std::uint64_t gen) {
+    return (gen << 8) | state;
+  }
+};
+
+inline bool pid_alive(std::int64_t pid) {
+  if (pid <= 0) return false;
+  // EPERM means "exists but not ours" — alive for our purposes.
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+class PidLeaseTable {
+ public:
+  // Places (creator) or binds (attacher) the record array in the arena.
+  PidLeaseTable(ShmArena& arena, int max_procs)
+      : records_(arena.place_array<LeaseRecord>("lease.records",
+                                                static_cast<std::size_t>(max_procs))),
+        max_procs_(max_procs) {}
+
+  // Claims a free slot for this process. The slot index doubles as the
+  // structure pid. ABA_CHECK-fails when the table is full.
+  int acquire() {
+    for (int slot = 0; slot < max_procs_; ++slot) {
+      LeaseRecord& rec = records_[slot];
+      std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
+      if (LeaseRecord::state_of(word) != kLeaseFree) continue;
+      const std::uint64_t next =
+          LeaseRecord::pack(kLeaseLive, LeaseRecord::gen_of(word) + 1);
+      if (rec.state_gen.compare_exchange_strong(word, next,
+                                                std::memory_order_acq_rel)) {
+        rec.pid.store(::getpid(), std::memory_order_release);
+        rec.heartbeat.store(1, std::memory_order_release);
+        rec.park_request.store(kParkNone, std::memory_order_relaxed);
+        rec.park_ack.store(kParkNone, std::memory_order_relaxed);
+        return slot;
+      }
+    }
+    ABA_CHECK_MSG(false, "pid-lease table full");
+    return -1;
+  }
+
+  // Clean exit: the slot becomes acquirable again (generation bumps).
+  void release(int slot) {
+    LeaseRecord& rec = records_[slot];
+    rec.pid.store(0, std::memory_order_relaxed);
+    const std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
+    rec.state_gen.store(
+        LeaseRecord::pack(kLeaseFree, LeaseRecord::gen_of(word) + 1),
+        std::memory_order_release);
+  }
+
+  // Liveness proof, called from every reclaimer entry point. Cheap: one
+  // relaxed RMW on my own cache line.
+  void beat(int slot) {
+    records_[slot].heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The self-fence side of the handshake, called from every reclaimer entry
+  // point before touching shared bookkeeping. Vetoes a false suspicion
+  // (kSuspect -> kLive); throws reclaim::LeaseRevoked once expropriation is
+  // confirmed — the process must stop using the structure (its lists now
+  // belong to the expropriator).
+  void self_check(int slot) {
+    LeaseRecord& rec = records_[slot];
+    std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
+    const std::uint64_t state = LeaseRecord::state_of(word);
+    if (state == kLeaseLive) return;
+    if (state == kLeaseSuspect) {
+      const std::uint64_t veto =
+          LeaseRecord::pack(kLeaseLive, LeaseRecord::gen_of(word));
+      if (rec.state_gen.compare_exchange_strong(word, veto,
+                                                std::memory_order_acq_rel)) {
+        return;  // Vetoed; the suspicion evaporates.
+      }
+      word = rec.state_gen.load(std::memory_order_acquire);
+      if (LeaseRecord::state_of(word) == kLeaseLive) return;
+    }
+    throw reclaim::LeaseRevoked{};
+  }
+
+  // Survivor-side death advance for slot q (reclaim/death.h semantics over
+  // the packed lease word):
+  //   kSuspected          — q looked dead; suspicion recorded. Come back.
+  //   kConfirmed          — this caller won the confirm CAS: it now owns
+  //                         q's bookkeeping and MUST drain it, then reap(q).
+  //   kVetoed / kAlreadyExpropriated — nothing to do here.
+  // Staleness: `stale` is the caller's judgement that q's heartbeat has not
+  // moved across its own scan interval; it can only *suspect*. Confirmation
+  // requires the pid actually gone AND the heartbeat unchanged since
+  // suspicion (pid-recycling guard).
+  reclaim::DeathStep advance_death(int q, bool stale = false) {
+    LeaseRecord& rec = records_[q];
+    std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
+    const std::uint64_t state = LeaseRecord::state_of(word);
+    if (state != kLeaseLive && state != kLeaseSuspect) {
+      return reclaim::DeathStep::kAlreadyExpropriated;
+    }
+    const std::int64_t pid = rec.pid.load(std::memory_order_acquire);
+    const bool gone = !pid_alive(pid);
+    if (state == kLeaseLive) {
+      if (!gone && !stale) return reclaim::DeathStep::kVetoed;
+      const std::uint64_t hb = rec.heartbeat.load(std::memory_order_acquire);
+      const std::uint64_t next =
+          LeaseRecord::pack(kLeaseSuspect, LeaseRecord::gen_of(word));
+      if (rec.state_gen.compare_exchange_strong(word, next,
+                                                std::memory_order_acq_rel)) {
+        rec.suspect_hb.store(hb, std::memory_order_release);
+        return reclaim::DeathStep::kSuspected;
+      }
+      return reclaim::DeathStep::kVetoed;
+    }
+    // kSuspect: confirm only on definitive evidence.
+    if (!gone) return reclaim::DeathStep::kVetoed;
+    if (rec.heartbeat.load(std::memory_order_acquire) !=
+        rec.suspect_hb.load(std::memory_order_acquire)) {
+      return reclaim::DeathStep::kVetoed;
+    }
+    const std::uint64_t next =
+        LeaseRecord::pack(kLeaseDead, LeaseRecord::gen_of(word));
+    if (rec.state_gen.compare_exchange_strong(word, next,
+                                              std::memory_order_acq_rel)) {
+      return reclaim::DeathStep::kConfirmed;
+    }
+    return reclaim::DeathStep::kAlreadyExpropriated;
+  }
+
+  // Called by the confirm winner after it has drained q's bookkeeping: the
+  // slot re-enters circulation.
+  void reap(int q) { release(q); }
+
+  bool is_live(int slot) const {
+    return LeaseRecord::state_of(
+               records_[slot].state_gen.load(std::memory_order_acquire)) ==
+           kLeaseLive;
+  }
+  bool is_held(int slot) const {
+    const std::uint64_t s = LeaseRecord::state_of(
+        records_[slot].state_gen.load(std::memory_order_acquire));
+    return s == kLeaseLive || s == kLeaseSuspect;
+  }
+
+  LeaseRecord& record(int slot) { return records_[slot]; }
+  int max_procs() const { return max_procs_; }
+
+  // Test-only rendezvous (see the park-point constants). The leased
+  // reclaimers call maybe_park(slot, point) at each instrumented instant; a
+  // worker whose lease requests exactly that point spins there — with its
+  // guard/announcement/in-retire marker still published — until the driver
+  // SIGKILLs it or clears the request.
+  void maybe_park(int slot, std::uint64_t point) {
+    LeaseRecord& rec = records_[slot];
+    if (rec.park_request.load(std::memory_order_acquire) != point) return;
+    rec.park_ack.store(point, std::memory_order_release);
+    while (rec.park_request.load(std::memory_order_acquire) == point) {
+      ::usleep(100);  // Parked: the driver kills or releases us.
+    }
+    rec.park_ack.store(kParkNone, std::memory_order_release);
+  }
+
+ private:
+  LeaseRecord* records_;
+  int max_procs_;
+};
+
+}  // namespace aba::shm

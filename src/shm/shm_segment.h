@@ -1,0 +1,255 @@
+// ShmSegment — a POSIX shared-memory segment with a versioned layout header.
+//
+// The crash-robust cross-process tier (src/shm/) hosts the index-based node
+// pool, the platform's atomic words and the pid-lease table inside one
+// shm_open(3) segment, so independent *processes* — not threads — can run
+// the structures layer concurrently and any of them can be SIGKILLed at an
+// arbitrary instruction without corrupting the others (see pid_lease.h and
+// leased_reclaimer.h for the recovery story).
+//
+// Discovery and handshake: the creator maps the segment, placement-
+// initializes every shared object (through ShmArena, shm_platform.h), then
+// calls publish(layout_hash), which stamps the arena's layout fingerprint
+// into the header and flips the `ready` flag with release ordering.
+// Attachers open by name, validate magic and ABI version, wait for `ready`
+// (acquire), and then verify that the layout hash *they* computed while
+// walking the same construction sequence matches the creator's — a mismatch
+// means the two processes compiled different layouts (different code
+// version, different pool size) and binding would reinterpret garbage, so
+// it is a hard error, not UB.
+//
+// Cleanup: destruction unmaps always and shm_unlinks when this process
+// created the segment. Because a SIGKILLed creator runs no destructors,
+// creators also register their segment names in a process-wide atexit
+// registry (best effort), and tools/shm_gc.py sweeps /dev/shm for segments
+// whose creator pid is gone — the two-layer answer to stale segments.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace aba::shm {
+
+// First bytes of every segment. Bump kAbiVersion on any layout-affecting
+// change to this header or to the arena placement rules.
+struct SegmentHeader {
+  static constexpr std::uint64_t kMagic = 0x314d485341424121ull;  // "!ABASHM1"
+  static constexpr std::uint32_t kAbiVersion = 1;
+
+  std::uint64_t magic = 0;
+  std::uint32_t abi_version = 0;
+  std::uint32_t max_procs = 0;
+  std::uint64_t segment_bytes = 0;
+  std::int64_t creator_pid = 0;
+  std::uint64_t layout_hash = 0;   // Stamped by publish().
+  std::atomic<std::uint32_t> ready{0};
+};
+
+// Names of segments this process created and has not yet unlinked; a
+// best-effort atexit sweep for clean exits (SIGKILL is tools/shm_gc.py's
+// job). Registered lazily so programs that never touch shm pay nothing.
+class UnlinkRegistry {
+ public:
+  static UnlinkRegistry& instance() {
+    static UnlinkRegistry* r = [] {
+      auto* reg = new UnlinkRegistry();
+      std::atexit([] { UnlinkRegistry::instance().unlink_all(); });
+      return reg;
+    }();
+    return *r;
+  }
+
+  void add(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    names_.push_back(name);
+  }
+
+  void remove(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = names_.begin(); it != names_.end(); ++it) {
+      if (*it == name) {
+        names_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void unlink_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& name : names_) ::shm_unlink(name.c_str());
+    names_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> names_;
+};
+
+class ShmSegment {
+ public:
+  // Creates a fresh segment (fails if the name exists — stale segments are
+  // surfaced, not silently recycled; run tools/shm_gc.py to sweep).
+  static ShmSegment create(const std::string& name, std::size_t bytes,
+                           int max_procs) {
+    const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    ABA_CHECK_MSG(fd >= 0, "shm_open(O_CREAT|O_EXCL) failed — stale segment? "
+                           "(tools/shm_gc.py sweeps dead creators)");
+    ABA_CHECK(::ftruncate(fd, static_cast<off_t>(bytes)) == 0);
+    void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    ABA_CHECK(base != MAP_FAILED);
+
+    ShmSegment seg;
+    seg.name_ = name;
+    seg.base_ = base;
+    seg.bytes_ = bytes;
+    seg.owner_ = true;
+    UnlinkRegistry::instance().add(name);
+
+    auto* header = new (base) SegmentHeader();
+    header->magic = SegmentHeader::kMagic;
+    header->abi_version = SegmentHeader::kAbiVersion;
+    header->max_procs = static_cast<std::uint32_t>(max_procs);
+    header->segment_bytes = bytes;
+    header->creator_pid = ::getpid();
+    return seg;
+  }
+
+  // Opens an existing segment and blocks until the creator publishes.
+  static ShmSegment attach(const std::string& name) {
+    int fd = -1;
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd >= 0) break;
+      ABA_CHECK_MSG(errno == ENOENT, "shm_open(attach) failed");
+      ::usleep(1000);  // The creator may not have created it yet.
+    }
+    ABA_CHECK_MSG(fd >= 0, "shm segment never appeared");
+
+    // The creator sizes the file before publishing; wait out a zero-length
+    // race window rather than mapping an empty file.
+    struct stat st{};
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      ABA_CHECK(::fstat(fd, &st) == 0);
+      if (st.st_size > 0) break;
+      ::usleep(1000);
+    }
+    ABA_CHECK_MSG(st.st_size > 0, "shm segment never sized");
+
+    const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+    void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    ABA_CHECK(base != MAP_FAILED);
+
+    ShmSegment seg;
+    seg.name_ = name;
+    seg.base_ = base;
+    seg.bytes_ = bytes;
+    seg.owner_ = false;
+
+    auto* header = static_cast<SegmentHeader*>(base);
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+      if (header->ready.load(std::memory_order_acquire) != 0) break;
+      ::usleep(100);
+    }
+    ABA_CHECK_MSG(header->ready.load(std::memory_order_acquire) != 0,
+                  "shm creator never published the segment");
+    ABA_CHECK_MSG(header->magic == SegmentHeader::kMagic,
+                  "shm segment magic mismatch (not ours, or corrupt)");
+    ABA_CHECK_MSG(header->abi_version == SegmentHeader::kAbiVersion,
+                  "shm segment ABI version mismatch");
+    ABA_CHECK(header->segment_bytes == bytes);
+    return seg;
+  }
+
+  ShmSegment(ShmSegment&& o) noexcept { *this = std::move(o); }
+  ShmSegment& operator=(ShmSegment&& o) noexcept {
+    destroy();
+    name_ = std::move(o.name_);
+    base_ = o.base_;
+    bytes_ = o.bytes_;
+    owner_ = o.owner_;
+    o.base_ = nullptr;
+    o.owner_ = false;
+    return *this;
+  }
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment() { destroy(); }
+
+  // Creator only: stamp the arena layout fingerprint and open the gate.
+  void publish(std::uint64_t layout_hash) {
+    ABA_CHECK(owner_);
+    header().layout_hash = layout_hash;
+    header().ready.store(1, std::memory_order_release);
+  }
+
+  // Attacher only: my independently-computed layout must equal the creator's.
+  void verify_layout(std::uint64_t layout_hash) const {
+    ABA_CHECK_MSG(header().layout_hash == layout_hash,
+                  "shm layout hash mismatch: attacher constructed a "
+                  "different object sequence than the creator");
+  }
+
+  SegmentHeader& header() const { return *static_cast<SegmentHeader*>(base_); }
+
+  // The arena region: everything after the (aligned) header.
+  void* arena_base() const {
+    return static_cast<char*>(base_) + arena_offset();
+  }
+  std::size_t arena_bytes() const { return bytes_ - arena_offset(); }
+
+  const std::string& name() const { return name_; }
+  bool owner() const { return owner_; }
+  int max_procs() const { return static_cast<int>(header().max_procs); }
+
+ private:
+  static constexpr std::size_t arena_offset() {
+    return (sizeof(SegmentHeader) + 63) / 64 * 64;
+  }
+
+  ShmSegment() = default;
+
+  void destroy() {
+    if (base_ != nullptr) {
+      ::munmap(base_, bytes_);
+      base_ = nullptr;
+    }
+    if (owner_ && !name_.empty()) {
+      ::shm_unlink(name_.c_str());
+      UnlinkRegistry::instance().remove(name_);
+      owner_ = false;
+    }
+  }
+
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool owner_ = false;
+};
+
+// A collision-free per-test segment name: "/aba.<pid>.<counter>".
+inline std::string unique_segment_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/aba.%ld.%llu", static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
+}
+
+}  // namespace aba::shm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "harness/adapters.h"
@@ -55,7 +56,11 @@ std::string ScheduleScript::serialize() const {
   }
   for (std::size_t i = 0; i < grants.size(); ++i) {
     if (i % 24 == 0) out << (i == 0 ? "grants" : "\ngrants");
-    out << ' ' << grants[i];
+    if (is_crash_grant(grants[i])) {
+      out << " !" << crash_victim(grants[i]);
+    } else {
+      out << ' ' << grants[i];
+    }
   }
   if (!grants.empty()) out << "\n";
   out << "end\n";
@@ -106,10 +111,23 @@ std::optional<ScheduleScript> ScheduleScript::parse(const std::string& text) {
       op.method = *parsed;
       script.workload.push_back(op);
     } else if (word == "grants") {
-      int pid = 0;
-      while (tokens >> pid) {
+      std::string token;
+      while (tokens >> token) {
+        bool crash = false;
+        if (!token.empty() && token[0] == '!') {
+          crash = true;
+          token.erase(0, 1);
+        }
+        int pid = -1;
+        try {
+          std::size_t used = 0;
+          pid = std::stoi(token, &used);
+          if (used != token.size()) return std::nullopt;
+        } catch (...) {
+          return std::nullopt;
+        }
         if (pid < 0 || pid >= script.num_processes) return std::nullopt;
-        script.grants.push_back(pid);
+        script.grants.push_back(crash ? crash_grant(pid) : pid);
       }
     } else if (word == "end") {
       saw_end = true;
@@ -159,6 +177,15 @@ using SimP = sim::SimPlatform;
 // free list even when a frozen epoch keeps every retiree in limbo.
 constexpr int kPoolPerProcess = 48;
 
+// Death oracle over the simulator: a process is dead exactly when the
+// engine crashed it. Installed unconditionally in every flat fixture —
+// trace-neutral while nobody dies (see SearchFixture::oracle).
+struct SimDeathOracle final : reclaim::DeathOracle {
+  const sim::SimWorld* world;
+  explicit SimDeathOracle(const sim::SimWorld* w) : world(w) {}
+  bool is_dead(int pid) const override { return world->is_crashed(pid); }
+};
+
 SearchFixture fixture_shell(int n) {
   SearchFixture fx;
   fx.world = std::make_unique<sim::SimWorld>(n);
@@ -166,6 +193,7 @@ SearchFixture fixture_shell(int n) {
   // ScheduleExplorer::replay, which is when the trace matters.
   fx.world->set_trace_enabled(false);
   fx.history = std::make_unique<spec::History>();
+  fx.oracle = std::make_unique<SimDeathOracle>(fx.world.get());
   return fx;
 }
 
@@ -173,12 +201,13 @@ template <class R>
 SearchFixture make_stack_fixture(int n) {
   using Stack = structures::TreiberStack<SimP, structures::RawCasHead<SimP>, R>;
   SearchFixture fx = fixture_shell(n);
+  auto stack = std::make_unique<Stack>(
+      *fx.world, n,
+      std::make_unique<structures::RawCasHead<SimP>>(*fx.world, n),
+      Stack::partition(n, kPoolPerProcess));
+  stack->reclaimer().set_death_oracle(fx.oracle.get());
   fx.invoker = std::make_unique<harness::StackInvoker<Stack>>(
-      *fx.world, *fx.history,
-      std::make_unique<Stack>(
-          *fx.world, n,
-          std::make_unique<structures::RawCasHead<SimP>>(*fx.world, n),
-          Stack::partition(n, kPoolPerProcess)));
+      *fx.world, *fx.history, std::move(stack));
   return fx;
 }
 
@@ -186,9 +215,10 @@ template <class R>
 SearchFixture make_queue_fixture(int n) {
   using Queue = structures::MsQueue<SimP, R>;
   SearchFixture fx = fixture_shell(n);
+  auto queue = std::make_unique<Queue>(*fx.world, n, kPoolPerProcess);
+  queue->reclaimer().set_death_oracle(fx.oracle.get());
   fx.invoker = std::make_unique<harness::QueueInvoker<Queue>>(
-      *fx.world, *fx.history,
-      std::make_unique<Queue>(*fx.world, n, kPoolPerProcess));
+      *fx.world, *fx.history, std::move(queue));
   return fx;
 }
 
@@ -281,6 +311,9 @@ bool ScheduleRunner::runnable(int pid) const {
 
 bool ScheduleRunner::all_done() const {
   for (int pid = 0; pid < num_processes(); ++pid) {
+    // A crashed process is done by definition: it never runs again and its
+    // remaining queued ops are abandoned with it.
+    if (fixture_.world->is_crashed(pid)) continue;
     if (!fixture_.world->is_idle(pid)) return false;
     if (next_op_[static_cast<std::size_t>(pid)] <
         queues_[static_cast<std::size_t>(pid)].size()) {
@@ -299,6 +332,16 @@ std::vector<int> ScheduleRunner::runnable_pids() const {
 }
 
 void ScheduleRunner::grant(int pid) {
+  if (is_crash_grant(pid)) {
+    const int victim = crash_victim(pid);
+    ABA_CHECK_MSG(victim < num_processes() &&
+                      !fixture_.world->is_crashed(victim),
+                  "schedule crashes an unknown or already-dead process");
+    fixture_.world->crash(victim);
+    grants_.push_back(pid);
+    sample();
+    return;
+  }
   ABA_CHECK_MSG(runnable(pid), "schedule grants a non-runnable process");
   if (fixture_.world->poised(pid).has_value()) {
     fixture_.world->step(pid);
@@ -317,6 +360,7 @@ void ScheduleRunner::grant_while_runnable(int pid, std::uint64_t max_grants) {
 }
 
 int ScheduleRunner::ops_remaining(int pid) const {
+  if (fixture_.world->is_crashed(pid)) return 0;  // Abandoned with the crash.
   const std::size_t queued =
       queues_[static_cast<std::size_t>(pid)].size() -
       next_op_[static_cast<std::size_t>(pid)];
@@ -349,14 +393,23 @@ struct ScheduleExplorer::Live {
   ScheduleRunner runner;
   int last_pid = -1;
   int switches = 0;
+  int crashes = 0;
 
   Live(SearchFixture fixture, std::vector<harness::WorkloadOp> workload,
        CostFn cost)
       : runner(std::move(fixture), std::move(workload), std::move(cost)) {}
 
   // The one advance rule: granting a pid different from the last while the
-  // last is still runnable is a preemption.
+  // last is still runnable is a preemption. Crash grants are not steps of
+  // any process, so they consume no preemption budget; a crash of the
+  // current process just clears the continuity anchor.
   void advance(int pid) {
+    if (is_crash_grant(pid)) {
+      runner.grant(pid);
+      ++crashes;
+      if (crash_victim(pid) == last_pid) last_pid = -1;
+      return;
+    }
     if (last_pid >= 0 && pid != last_pid && runner.runnable(last_pid)) {
       ++switches;
     }
@@ -412,6 +465,25 @@ std::vector<int> ScheduleExplorer::ordered_choices(Live& live) const {
   };
   std::stable_sort(choices.begin(), choices.end(),
                    [&](int a, int b) { return rank(a) < rank(b); });
+  // Crash choices, ranked ahead of every step grant so the preferred DFS
+  // path explores the kill first: a process poised inside a vulnerable or
+  // mid-retire phase may die right there, leaving its published guard or
+  // frozen epoch announcement (or a half-finished retire) for the
+  // survivors' expropriation path to clean up.
+  if (live.crashes < options_.max_crashes) {
+    std::vector<int> crash_choices;
+    const sim::SimWorld& world = *live.runner.fixture().world;
+    for (int pid = 0; pid < live.runner.num_processes(); ++pid) {
+      if (!world.poised(pid).has_value()) continue;
+      const reclaim::ReclaimPhase phase = invoker.reclaim_phase(pid);
+      if (reclaim::is_vulnerable(phase) ||
+          phase == reclaim::ReclaimPhase::kMidRetire) {
+        crash_choices.push_back(crash_grant(pid));
+      }
+    }
+    choices.insert(choices.begin(), crash_choices.begin(),
+                   crash_choices.end());
+  }
   return choices;
 }
 
@@ -499,8 +571,11 @@ ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
   result.peak_cost = runner.peak();
   result.peak_grant = runner.peak_grant();
   result.peak_stats = runner.peak_stats();
+  result.final_stats = runner.invoker().reclaim_stats();
   result.trace = runner.fixture().world->trace_copy();
-  result.history = runner.fixture().history->ops();
+  // completed_ops: identical to ops() for crash-free scripts; a crashed
+  // process's final op never completes and is deliberately excluded.
+  result.history = runner.fixture().history->completed_ops();
   if (runner.fixture().shard_tags) {
     result.shard_tags = runner.fixture().shard_tags();
   }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "harness/harness.h"
+#include "reclaim/death.h"
 #include "reclaim/reclaimer.h"
 #include "sim/sim_world.h"
 #include "spec/history.h"
@@ -54,10 +55,21 @@ namespace aba::search {
 
 // ------------------------------------------------------------- script
 
+// Crash grants. A grant entry >= 0 moves that process one step; a negative
+// entry kills a process at the current configuration (SimWorld::crash — it
+// dies instead of executing its announced step, leaving its published
+// guards/announcements in place). The encoding keeps grants a plain int
+// vector: crash of pid p is stored as -(p + 1) and serialized as `!p`.
+constexpr int crash_grant(int pid) { return -(pid + 1); }
+constexpr bool is_crash_grant(int grant) { return grant < 0; }
+constexpr int crash_victim(int grant) { return -grant - 1; }
+
 // A replayable schedule: the workload (per-process program order) plus the
 // grant sequence. `meta` carries free-form key/value annotations — the
 // corpus uses `fixture`, `cost`, `expect_peak`, `expect_peak_grant` and
-// `expect_grants` (golden bounds checked at replay time).
+// `expect_grants` (golden bounds checked at replay time); crash schedules
+// add `crashes` plus recovery bounds (`expect_expropriations`,
+// `expect_final_retired`, `expect_final_free`, `expect_quarantined`).
 struct ScheduleScript {
   int num_processes = 0;
   std::vector<harness::WorkloadOp> workload;
@@ -88,6 +100,11 @@ struct SearchFixture {
   std::unique_ptr<harness::Invoker> invoker;
   std::function<const std::vector<int>&()> shard_tags;  // Null if unsharded.
   int num_shards = 1;
+  // Death oracle wired into the reclaimer (is_dead == world->is_crashed).
+  // Owned here so it outlives the structure that holds a pointer to it.
+  // Installing it is trace-neutral: with no crashes the reclaimers take no
+  // extra shared steps, so the pre-crash corpus replays bit-identically.
+  std::unique_ptr<reclaim::DeathOracle> oracle;
 };
 
 // Builds a fresh fixture for `n` processes. Must be pure: every call
@@ -138,7 +155,9 @@ class ScheduleRunner {
   std::vector<int> runnable_pids() const;
 
   // Moves `pid` (which must be runnable): invoke its next op if idle, else
-  // grant one step. Records the grant and samples the cost.
+  // grant one step. Records the grant and samples the cost. A negative
+  // argument is a crash grant (see crash_grant above): the victim is killed
+  // at the current configuration and its queued ops are abandoned.
   void grant(int pid);
 
   // Grants `pid` while it stays runnable, up to `max_grants` times.
@@ -186,6 +205,12 @@ struct SearchOptions {
   // while others storm. The heuristic that rediscovers the scripted
   // worst cases; disable to measure its value.
   bool park_vulnerable = true;
+  // Crash events the search may inject per schedule. At every juncture, for
+  // each process poised at a vulnerable or mid-retire ReclaimPhase, the
+  // explorer also considers killing it there (ranked before step grants, so
+  // the preferred DFS path explores the crash). 0 = crash-free search; the
+  // default keeps all existing searches byte-identical.
+  int max_crashes = 0;
 };
 
 struct FoundSchedule {
@@ -207,7 +232,10 @@ struct ReplayResult {
   double peak_cost = 0;
   std::uint64_t peak_grant = 0;
   reclaim::ReclaimStats peak_stats;
-  std::vector<spec::Op> history;
+  // Stats after the full drain — what the crash corpus checks its recovery
+  // bounds (expropriations, final retired/free, quarantined) against.
+  reclaim::ReclaimStats final_stats;
+  std::vector<spec::Op> history;  // Completed ops only (crashes leave one pending).
   std::vector<sim::StepRecord> trace;  // Bit-identical across replays.
   std::vector<int> shard_tags;         // Empty for unsharded fixtures.
   int num_shards = 1;

@@ -68,10 +68,30 @@ void SimWorld::thread_main(ProcessId pid) {
     try {
       method();
     } catch (const ExecutionAborted&) {
-      // World is shutting down; fall through to exit below.
+      // World shutting down, or this process was crashed at its
+      // announcement; the flags below distinguish the two.
+    } catch (...) {
+      // Any other exception escaping a method (reclaim::LeaseRevoked from a
+      // self-fencing process) kills this process, deterministically: mark
+      // it crashed and exit the thread. The engine call that granted the
+      // fatal step observes MethodStatus::kCrashed.
+      lock.lock();
+      if (shutting_down_) return;
+      proc.crash_requested = true;
+      proc.phase = Phase::kCrashed;
+      engine_cv_.notify_all();
+      return;
     }
     lock.lock();
     if (shutting_down_) return;
+    if (proc.crash_requested) {
+      // Crash acknowledged: the victim thread exits; crash() (or the
+      // engine call blocked in wait_for_yield_locked) resumes only now,
+      // so the unwind never overlaps engine execution.
+      proc.phase = Phase::kCrashed;
+      engine_cv_.notify_all();
+      return;
+    }
     proc.phase = Phase::kIdle;
     engine_cv_.notify_all();
   }
@@ -121,6 +141,14 @@ std::vector<std::uint64_t> SimWorld::signature_key() const {
       key.push_back(static_cast<std::uint64_t>(proc.pending.obj));
       key.push_back(proc.pending.arg0);
       key.push_back(proc.pending.arg1);
+    } else if (proc.phase == Phase::kCrashed) {
+      // Crashed marker, distinct from idle: a crashed process never runs
+      // again, so configurations differing only in dead-vs-idle are not
+      // interchangeable for covering arguments.
+      key.push_back(~std::uint64_t{0});
+      key.push_back(0);
+      key.push_back(0);
+      key.push_back(0);
     } else {
       // Idle marker. (A process mid-method but not announced cannot occur
       // between engine calls.)
@@ -136,11 +164,16 @@ std::vector<std::uint64_t> SimWorld::signature_key() const {
 MethodStatus SimWorld::wait_for_yield_locked(std::unique_lock<std::mutex>& lock,
                                              ProcessId pid) {
   auto& proc = procs_[pid];
+  // kCrashed is accepted because a granted step can end in a self-fence
+  // (LeaseRevoked): the victim's thread marks itself crashed and exits
+  // while the engine is parked right here.
   engine_cv_.wait(lock, [&] {
-    return proc.phase == Phase::kAnnounced || proc.phase == Phase::kIdle;
+    return proc.phase == Phase::kAnnounced || proc.phase == Phase::kIdle ||
+           proc.phase == Phase::kCrashed;
   });
-  return proc.phase == Phase::kAnnounced ? MethodStatus::kPoised
-                                         : MethodStatus::kCompleted;
+  if (proc.phase == Phase::kAnnounced) return MethodStatus::kPoised;
+  return proc.phase == Phase::kCrashed ? MethodStatus::kCrashed
+                                       : MethodStatus::kCompleted;
 }
 
 MethodStatus SimWorld::invoke(ProcessId pid, std::function<void()> method) {
@@ -173,6 +206,34 @@ std::uint64_t SimWorld::run_to_completion(ProcessId pid) {
     ++steps;
   }
   return steps;
+}
+
+void SimWorld::crash(ProcessId pid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  auto& proc = procs_[pid];
+  ABA_ASSERT_MSG(proc.phase == Phase::kAnnounced || proc.phase == Phase::kIdle,
+                 "crash on a process that is neither poised nor idle");
+  proc.crash_requested = true;
+  if (proc.phase == Phase::kIdle) {
+    // The thread is parked waiting for a method; it stays parked (it can
+    // never see kHasMethod again — invoke asserts idleness) and exits at
+    // shutdown. Mark the death directly.
+    proc.phase = Phase::kCrashed;
+    return;
+  }
+  // Poised: wake the blocked access(); the thread unwinds via
+  // ExecutionAborted — its announced step is never applied — and
+  // acknowledges by setting kCrashed. Waiting for the ack keeps crashes
+  // deterministic: the engine never runs concurrently with the unwind.
+  proc.cv->notify_all();
+  engine_cv_.wait(lock, [&] { return proc.phase == Phase::kCrashed; });
+}
+
+bool SimWorld::is_crashed(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ABA_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < procs_.size());
+  return procs_[pid].phase == Phase::kCrashed;
 }
 
 bool SimWorld::is_idle(ProcessId pid) const {
@@ -282,8 +343,11 @@ AccessResult SimWorld::access(const PendingOp& op) {
   proc.pending = op;
   proc.phase = Phase::kAnnounced;
   engine_cv_.notify_all();
-  proc.cv->wait(lock, [&] { return shutting_down_ || proc.phase == Phase::kGranted; });
-  if (shutting_down_) throw ExecutionAborted{};
+  proc.cv->wait(lock, [&] {
+    return shutting_down_ || proc.crash_requested ||
+           proc.phase == Phase::kGranted;
+  });
+  if (shutting_down_ || proc.crash_requested) throw ExecutionAborted{};
   AccessResult result = apply_locked(op, pid);
   proc.phase = Phase::kRunning;
   return result;

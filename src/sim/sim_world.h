@@ -50,6 +50,7 @@ struct ExecutionAborted {};
 enum class MethodStatus : std::uint8_t {
   kPoised,     // The method announced a shared-memory step and is blocked.
   kCompleted,  // The method ran to completion.
+  kCrashed,    // The process died (crash event or self-fence) mid-method.
 };
 
 struct ObjectInfo {
@@ -105,6 +106,23 @@ class SimWorld {
   bool is_idle(ProcessId pid) const;
   bool all_idle() const;
 
+  // ---- Crash events (engine thread only) ----
+  //
+  // Kills process `pid` at the current configuration — the simulator's model
+  // of SIGKILL. The process must be poised (it dies *instead of* executing
+  // its announced step, leaving every previously published shared word — a
+  // hazard guard, an epoch announcement — permanently in place) or idle.
+  // A crashed process never runs again: poised() is nullopt, is_idle() is
+  // false, invoke()/step() on it are engine errors. Deterministic: the call
+  // returns only after the victim's thread has fully unwound, so replaying
+  // the same grant-plus-crash script reproduces the execution bit for bit.
+  //
+  // A method that lets any exception other than ExecutionAborted escape
+  // (reclaim::LeaseRevoked from a self-fencing process) crashes its process
+  // the same way: the engine call driving it returns MethodStatus::kCrashed.
+  void crash(ProcessId pid);
+  bool is_crashed(ProcessId pid) const;
+
   // The operation `pid` is poised to execute, if any.
   std::optional<PendingOp> poised(ProcessId pid) const;
 
@@ -140,6 +158,7 @@ class SimWorld {
                  // waiting for the next announcement or completion).
     kAnnounced,  // Blocked at an announced shared-memory operation.
     kGranted,    // Step granted; thread about to execute it (transient).
+    kCrashed,    // Dead (crash event or self-fence); never runs again.
   };
 
   struct Proc {
@@ -147,6 +166,9 @@ class SimWorld {
     Phase phase = Phase::kIdle;
     std::function<void()> method;
     PendingOp pending;
+    // Set by crash(); the victim's blocked access() wakes on it, unwinds,
+    // and acknowledges by setting phase = kCrashed.
+    bool crash_requested = false;
     std::uint64_t steps_in_method = 0;
     std::unique_ptr<std::condition_variable> cv =
         std::make_unique<std::condition_variable>();

@@ -81,6 +81,12 @@ class History {
   // All ops must be complete before calling ops().
   std::vector<Op> ops() const;
 
+  // The completed subset, for crash executions: a process killed mid-method
+  // leaves its last op pending forever. Standard linearizability treats
+  // pending ops as optionally includable; the crash tests use the completed
+  // prefix plus structure-side accounting for the pending effect.
+  std::vector<Op> completed_ops() const;
+
   std::size_t size() const;
   void clear();
 

@@ -97,6 +97,11 @@ class MsQueue {
         // Tail is the last node: link the new node.
         if (nodes_[index_of(tail)]->next.cas(
                 tail_next, pack(node_index, tag_of(tail_next) + 1))) {
+          // The node is linked: tell crash-robust reclaimers its allocation
+          // is no longer in flight (thread-private — schedules unchanged).
+          if constexpr (requires { reclaimer_.commit(p); }) {
+            reclaimer_.commit(p);
+          }
           // Swing tail (may fail if someone helped; that's fine).
           tail_.cas(tail, pack(node_index, tag_of(tail) + 1));
           reclaimer_.end_op(p);

@@ -157,7 +157,13 @@ class TreiberStack {
     for (;;) {
       const std::uint64_t observed = head_->load(p);
       node.next.write(head_->index_of(observed));
-      if (head_->try_swing(p, observed, *index + 1)) return true;
+      if (head_->try_swing(p, observed, *index + 1)) {
+        // The node is reachable: tell crash-robust reclaimers its
+        // allocation is no longer in flight (thread-private, no shared
+        // step — schedules are unchanged).
+        if constexpr (requires { reclaimer_.commit(p); }) reclaimer_.commit(p);
+        return true;
+      }
       if (probe_ != nullptr) probe_->record_failure();
       backoff();
     }

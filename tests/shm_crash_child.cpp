@@ -1,0 +1,67 @@
+// The sacrificial worker of the multi-process crash harness.
+//
+//   shm_crash_child <segment-name> <kind> <park-point> <cycles>
+//
+// Attaches to the driver's segment, acquires lease slot 1, waits until the
+// driver plants a park request on that lease, then storms put/take cycles.
+// The leased reclaimers call PidLeaseTable::maybe_park at each instrumented
+// instant (guard just published, epoch just announced, mid-retire), so the
+// worker ends up spinning at the requested vulnerable point with its
+// protocol state still published — which is where the driver SIGKILLs it.
+// Every exit path other than the kill reports a distinct code so the driver
+// can tell "never parked" from "lease revoked" from "bad invocation".
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "shm_crash_common.h"
+
+namespace {
+
+constexpr int kExitBadArgs = 3;
+constexpr int kExitFinishedWithoutPark = 2;
+constexpr int kExitLeaseRevoked = 4;
+constexpr int kExitWrongSlot = 5;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aba::shm;
+  using namespace aba::shm::crash;
+
+  if (argc != 5) {
+    std::fprintf(stderr, "usage: %s <segment> <kind> <park-point> <cycles>\n",
+                 argv[0]);
+    return kExitBadArgs;
+  }
+  const std::string segment_name = argv[1];
+  const std::string kind = argv[2];
+  const std::uint64_t park_point =
+      static_cast<std::uint64_t>(std::strtoull(argv[3], nullptr, 10));
+  const int cycles = std::atoi(argv[4]);
+
+  CrashWorld world(ShmSegment::attach(segment_name), /*owner=*/false, kind);
+  const int slot = world.leases.acquire();
+  if (slot != kVictimSlot) return kExitWrongSlot;
+
+  // Self-plant the park request (acquire() just reset it): the reclaimer
+  // will park us at that instant and raise park_ack, which is the driver's
+  // signal to shoot. Planting driver-side would race with acquire's reset.
+  LeaseRecord& rec = world.leases.record(slot);
+  rec.park_request.store(park_point, std::memory_order_release);
+
+  try {
+    for (int c = 0; c < cycles; ++c) {
+      if (!world.put(slot, 1000u + static_cast<std::uint64_t>(c))) break;
+      world.take(slot);
+    }
+  } catch (const aba::reclaim::LeaseRevoked&) {
+    return kExitLeaseRevoked;
+  }
+  // Reaching here means the park point never caught us — the driver wanted
+  // us dead mid-protocol, so a clean finish is a harness failure.
+  return kExitFinishedWithoutPark;
+}

@@ -76,10 +76,16 @@ void expect_linearizable(const std::vector<spec::Op>& ops) {
 
 // The full invariant battery on one replayed schedule: conservation plus
 // linearizability — whole-history for flat fixtures, per-shard when the
-// fixture recorded landing shards.
-void expect_schedule_invariants(const ReplayResult& replay, bool is_queue) {
+// fixture recorded landing shards. Crash schedules skip linearizability:
+// the victim's pending op may have taken effect without completing (e.g. a
+// crash mid-retire removed a value no recorded take accounts for), so only
+// conservation — no value taken that was never put — still holds on the
+// completed history.
+void expect_schedule_invariants(const ReplayResult& replay, bool is_queue,
+                                bool has_crash = false) {
   const Method take = is_queue ? Method::kDeq : Method::kPop;
   expect_conserved(replay.history, take);
+  if (has_crash) return;
   if (replay.shard_tags.empty()) {
     if (is_queue) {
       expect_linearizable<spec::QueueSpec>(replay.history);
@@ -195,6 +201,23 @@ TEST(ScheduleScript, SerializeParseRoundTrip) {
   }
 }
 
+TEST(ScheduleScript, CrashGrantsRoundTrip) {
+  // Crash grants serialize as "!<pid>" tokens in the grants lines and
+  // survive a serialize → parse round trip as the negative encoding.
+  ScheduleScript script;
+  script.num_processes = 2;
+  script.workload = {{0, Method::kPush, 7}, {1, Method::kPop, 0}};
+  script.grants = {0, 1, crash_grant(1), 0, 0};
+  script.meta["crashes"] = "1";
+
+  const std::string text = script.serialize();
+  EXPECT_NE(text.find("!1"), std::string::npos) << text;
+  const auto parsed = ScheduleScript::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(parsed->grants, script.grants);
+  EXPECT_EQ(parsed->meta, script.meta);
+}
+
 TEST(ScheduleScript, ParseRejectsMalformedInput) {
   EXPECT_FALSE(ScheduleScript::parse("").has_value());
   EXPECT_FALSE(ScheduleScript::parse("not-a-script v1\nend\n").has_value());
@@ -207,6 +230,18 @@ TEST(ScheduleScript, ParseRejectsMalformedInput) {
   EXPECT_FALSE(  // Unknown method.
       ScheduleScript::parse(
           "schedule-script v1\nprocesses 1\nop 0 swap 3\nend\n")
+          .has_value());
+  EXPECT_FALSE(  // Crash grant naming a pid outside [0, n).
+      ScheduleScript::parse(
+          "schedule-script v1\nprocesses 2\ngrants 0 !2\nend\n")
+          .has_value());
+  EXPECT_FALSE(  // Crash token with no pid.
+      ScheduleScript::parse(
+          "schedule-script v1\nprocesses 2\ngrants 0 !\nend\n")
+          .has_value());
+  EXPECT_FALSE(  // Non-numeric grant token.
+      ScheduleScript::parse(
+          "schedule-script v1\nprocesses 2\ngrants 0 !x\nend\n")
           .has_value());
 }
 
@@ -343,8 +378,38 @@ TEST(ScheduleCorpus, ReplaysAreBitIdenticalAndMatchGoldenBounds) {
     EXPECT_EQ(first.peak_cost, second.peak_cost);
     EXPECT_EQ(first.peak_grant, second.peak_grant);
     EXPECT_EQ(trace_signature(first.trace), trace_signature(second.trace));
-    // A worst case must still be a correct execution.
-    expect_schedule_invariants(first, fixture_name.rfind("queue", 0) == 0);
+
+    // Crash schedules carry golden *recovery* bounds: after the victim is
+    // killed mid-protocol, the survivors' final reclaimer stats must land
+    // exactly where they did when the schedule was committed.
+    const bool has_crash =
+        std::any_of(script->grants.begin(), script->grants.end(),
+                    [](int g) { return is_crash_grant(g); });
+    if (has_crash) {
+      ASSERT_TRUE(script->meta.count("crashes"));
+      EXPECT_EQ(std::count_if(script->grants.begin(), script->grants.end(),
+                              [](int g) { return is_crash_grant(g); }),
+                std::stoll(script->meta.at("crashes")));
+      ASSERT_TRUE(script->meta.count("expect_expropriations"))
+          << "crash schedule missing its recovery bound";
+      EXPECT_EQ(first.final_stats.expropriations,
+                std::stoull(script->meta.at("expect_expropriations")));
+      if (script->meta.count("expect_final_retired")) {
+        EXPECT_EQ(first.final_stats.retired_unreclaimed,
+                  std::stoull(script->meta.at("expect_final_retired")));
+      }
+      if (script->meta.count("expect_final_free")) {
+        EXPECT_EQ(first.final_stats.free_nodes,
+                  std::stoull(script->meta.at("expect_final_free")));
+      }
+      if (script->meta.count("expect_quarantined")) {
+        EXPECT_EQ(first.final_stats.quarantined,
+                  std::stoull(script->meta.at("expect_quarantined")));
+      }
+    }
+    // A worst case must still be a correct execution (of the completed ops).
+    expect_schedule_invariants(first, fixture_name.rfind("queue", 0) == 0,
+                               has_crash);
   }
   // The acceptance pair the ISSUE names must be in the committed corpus.
   EXPECT_TRUE(fixtures_seen.count("stack_hazard_cached")) << "corpus gap";

@@ -1,0 +1,169 @@
+// The real-process half of the crash-robustness gate: fork an actual
+// worker process, park it at a named vulnerable instant of the reclamation
+// protocol (guard just published, epoch just announced, mid-retire),
+// SIGKILL it there, and verify the survivor recovers — two-phase
+// expropriation confirms within TWO survivor passes, the pool conserves
+// (free + retired + quarantined + structure-resident == pool), at most one
+// node is quarantined, and the structure keeps working afterwards.
+//
+// The SimWorld twin of this file is test_crash_sim.cpp: same protocol,
+// same bounds, but with model-checked interleavings instead of a real
+// SIGKILL. This one proves the story holds for OS processes — zombies,
+// kill(pid, 0) semantics, shared mappings and all.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shm_crash_common.h"
+
+#ifndef ABA_SHM_CRASH_CHILD
+#error "ABA_SHM_CRASH_CHILD (path to the worker binary) must be defined"
+#endif
+
+namespace aba::shm::crash {
+namespace {
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    ::usleep(200);
+  }
+  return pred();
+}
+
+pid_t spawn_child(const std::string& segment, const std::string& kind,
+                  std::uint64_t park_point) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const std::string park = std::to_string(park_point);
+    ::execl(ABA_SHM_CRASH_CHILD, ABA_SHM_CRASH_CHILD, segment.c_str(),
+            kind.c_str(), park.c_str(), "256", static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed.
+  }
+  return pid;
+}
+
+// The whole play: create the world, sacrifice a worker at `park_point`,
+// assert bounded recovery and conservation.
+void run_crash_case(const std::string& kind, std::uint64_t park_point) {
+  SCOPED_TRACE(kind + " @ park-point " + std::to_string(park_point));
+  const std::string name = unique_segment_name();
+  CrashWorld world(ShmSegment::create(name, kSegmentBytes, kProcs),
+                   /*owner=*/true, kind);
+  const int me = world.leases.acquire();
+  ASSERT_EQ(me, kDriverSlot);
+
+  const pid_t child = spawn_child(name, kind, park_point);
+  ASSERT_GT(child, 0);
+
+  // The worker raises park_ack at the instrumented instant, still holding
+  // whatever it just published. That is the kill signal.
+  LeaseRecord& victim = world.leases.record(kVictimSlot);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return victim.park_ack.load(std::memory_order_acquire) == park_point;
+      },
+      10000))
+      << "worker never reached the park point";
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  // Reap before probing: a zombie still answers kill(pid, 0) with 0, which
+  // would stall the suspect/confirm handshake until the wait.
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "worker exited on its own (status " << status
+      << ") instead of dying parked";
+
+  // Bounded recovery: pass one suspects the dead lease, pass two confirms
+  // and drains it. No third pass is needed to reclaim ownership.
+  world.survivor_pass(me);
+  EXPECT_TRUE(world.leases.is_held(kVictimSlot));  // Suspected, not seized.
+  world.survivor_pass(me);
+  EXPECT_EQ(world.stats().expropriations, 1u);
+  EXPECT_FALSE(world.leases.is_held(kVictimSlot));
+
+  // Drain whatever the dead worker left in the structure, then let the
+  // survivor's reclamation settle (epoch limbo needs two more advances).
+  std::size_t drained = 0;
+  while (world.take(me).has_value()) ++drained;
+  for (int i = 0; i < 4; ++i) world.survivor_pass(me);
+
+  const reclaim::ReclaimStats s = world.stats();
+  EXPECT_LE(s.quarantined, 1u);
+  EXPECT_EQ(s.free_nodes + s.retired_unreclaimed + s.quarantined +
+                world.resident_nodes(),
+            s.pool_size)
+      << "pool leak or double-count after expropriation (drained " << drained
+      << ")";
+
+  // The slot is reusable and the structure still works end to end.
+  EXPECT_EQ(world.leases.acquire(), kVictimSlot);
+  for (std::uint64_t v = 0; v < 8; ++v) ASSERT_TRUE(world.put(me, v));
+  for (std::uint64_t v = 0; v < 8; ++v) EXPECT_TRUE(world.take(me).has_value());
+  EXPECT_FALSE(world.take(me).has_value());
+}
+
+TEST(ShmCrash, HazardStackKilledAtGuardPublished) {
+  run_crash_case(kKindStackHazard, kParkGuardPublished);
+}
+
+TEST(ShmCrash, HazardStackKilledMidRetire) {
+  run_crash_case(kKindStackHazard, kParkMidRetire);
+}
+
+TEST(ShmCrash, EpochQueueKilledAtEpochAnnounced) {
+  run_crash_case(kKindQueueEpoch, kParkEpochAnnounced);
+}
+
+TEST(ShmCrash, EpochQueueKilledMidRetire) {
+  run_crash_case(kKindQueueEpoch, kParkMidRetire);
+}
+
+// The false-suspicion side in real processes: a live-but-silent worker is
+// suspected (stale heartbeat), then vetoes at its next entry point instead
+// of losing its lease.
+TEST(ShmCrash, LiveWorkerVetoesStaleSuspicion) {
+  const std::string name = unique_segment_name();
+  CrashWorld world(ShmSegment::create(name, kSegmentBytes, kProcs),
+                   /*owner=*/true, kKindStackHazard);
+  const int me = world.leases.acquire();
+  const pid_t child = spawn_child(name, kKindStackHazard, kParkGuardPublished);
+  ASSERT_GT(child, 0);
+  LeaseRecord& victim = world.leases.record(kVictimSlot);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return victim.park_ack.load(std::memory_order_acquire) ==
+               kParkGuardPublished;
+      },
+      10000));
+
+  // Suspect on staleness alone; the pid is alive, so no number of survivor
+  // passes may confirm.
+  EXPECT_EQ(world.leases.advance_death(kVictimSlot, /*stale=*/true),
+            reclaim::DeathStep::kSuspected);
+  for (int i = 0; i < 4; ++i) world.survivor_pass(me);
+  EXPECT_EQ(world.stats().expropriations, 0u);
+  EXPECT_TRUE(world.leases.is_held(kVictimSlot));
+
+  // Release the park: the worker's next reclaimer entry self-checks and
+  // vetoes, and its lease is fully live again.
+  victim.park_request.store(kParkNone, std::memory_order_release);
+  ASSERT_TRUE(wait_until([&] { return world.leases.is_live(kVictimSlot); },
+                         10000));
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+}
+
+}  // namespace
+}  // namespace aba::shm::crash

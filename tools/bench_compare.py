@@ -93,6 +93,9 @@ def main():
                     help="report regressions but always exit 0")
     ap.add_argument("--report", default=None,
                     help="write a markdown report to this path")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="write the comparison as machine-readable JSON "
+                         "(dashboards, trend jobs); '-' for stdout")
     args = ap.parse_args()
 
     base, base_ctx = load_records(args.baseline)
@@ -179,6 +182,42 @@ def main():
         lines.append("")
         lines.extend(f"- {fmt_key(k)}" for k in removed)
         lines.append("")
+
+    if args.json:
+        def row_obj(row):
+            key, b, f, d = row
+            return {"cell": fmt_key(key), "baseline_ops_per_sec": b,
+                    "fresh_ops_per_sec": f, "delta": d}
+        doc = {
+            "baseline": args.baseline,
+            "fresh": args.fresh,
+            "threshold": args.threshold,
+            "min_seconds": args.min_seconds,
+            "cells_compared": compared,
+            "regressions": [row_obj(r) for r in regressions],
+            "improvements": [row_obj(r) for r in improvements],
+            "informational": [row_obj(r) for r in informational],
+            "added": [fmt_key(k) for k in added],
+            "removed": [fmt_key(k) for k in removed],
+            "geomean_by_group": [
+                {"scenario": scenario, "reclaimer": reclaimer,
+                 "cells": len(ratios),
+                 "geomean": math.exp(
+                     sum(math.log(r) for r in ratios) / len(ratios))}
+                for (scenario, reclaimer), ratios
+                in sorted(ratios_by_group.items())],
+        }
+        payload = json.dumps(doc, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as f:
+                    f.write(payload + "\n")
+            except OSError as e:
+                print(f"bench_compare: cannot write {args.json}: {e}",
+                      file=sys.stderr)
+                sys.exit(2)
 
     report = "\n".join(lines)
     print(report)

@@ -35,7 +35,11 @@ def parse(path):
         elif kind == "op":
             script["ops"].append((int(rest[0]), rest[1], int(rest[2])))
         elif kind == "grants":
-            script["grants"].extend(int(t) for t in rest)
+            # "!<pid>" is a crash grant (kill pid at this juncture); encoded
+            # internally the way the engine does: -(pid + 1).
+            script["grants"].extend(
+                -(int(t[1:]) + 1) if t.startswith("!") else int(t)
+                for t in rest)
         elif kind == "end":
             break
         else:
@@ -70,10 +74,17 @@ def dump(path):
         print(f"   p{pid} program: {line}")
 
     grants = script["grants"]
-    counts = Counter(grants)
+    steps = [g for g in grants if g >= 0]
+    crashes = [-g - 1 for g in grants if g < 0]
+    counts = Counter(steps)
     totals = " ".join(f"p{pid}:{n}" for pid, n in sorted(counts.items()))
-    print(f"   grants: {len(grants)} total ({totals})")
-    rle = " ".join(f"p{pid}x{n}" for pid, n in run_length(grants))
+    crash_note = (
+        " crashes: " + " ".join(f"!p{pid}" for pid in crashes) if crashes
+        else "")
+    print(f"   grants: {len(grants)} total ({totals}){crash_note}")
+    rle = " ".join(
+        f"!p{-pid - 1}" if pid < 0 else f"p{pid}x{n}"
+        for pid, n in run_length(grants))
     print(f"   grant runs: {rle}")
     print()
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Sweep stale shared-memory segments left by SIGKILLed creators.
+
+Segments of the cross-process tier (src/shm/shm_segment.h) are named
+/aba.<pid>.<counter> and carry a versioned header whose creator_pid field
+identifies the process that created them. A cleanly-exiting creator
+unlinks its segments via the atexit registry; a SIGKILLed one cannot, so
+its segments linger in /dev/shm until someone sweeps them. This tool is
+that someone: it walks /dev/shm, validates each candidate's magic, and
+unlinks every segment whose creator pid no longer exists.
+
+The death test mirrors the lease protocol's: a pid that still answers
+kill(pid, 0) — including EPERM, "exists but not ours" — keeps its
+segments; only a definitively-gone creator is swept. Attached survivors
+of a dead creator keep their mappings (POSIX keeps unlinked segments
+alive until the last munmap), so sweeping is always safe.
+
+Usage:
+    tools/shm_gc.py [--dry-run] [--shm-dir /dev/shm] [--prefix aba.]
+
+Exit codes: 0 swept (or nothing to do), 1 some unlink failed.
+"""
+
+import argparse
+import errno
+import os
+import struct
+import sys
+
+# Must mirror SegmentHeader in src/shm/shm_segment.h.
+MAGIC = 0x314D485341424121  # "!ABASHM1"
+HEADER_FMT = "<QIIQqQ"      # magic, abi, max_procs, bytes, creator_pid, hash
+HEADER_LEN = struct.calcsize(HEADER_FMT)
+
+
+def pid_alive(pid):
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # Exists, not ours.
+
+
+def read_creator(path):
+    """Returns (creator_pid, reason-if-skipped)."""
+    try:
+        with open(path, "rb") as f:
+            header = f.read(HEADER_LEN)
+    except OSError as e:
+        return None, f"unreadable ({e.strerror})"
+    if len(header) < HEADER_LEN:
+        return None, "too short for a segment header"
+    magic, _abi, _procs, _bytes, creator_pid, _hash = struct.unpack(
+        HEADER_FMT, header)
+    if magic != MAGIC:
+        return None, "magic mismatch (not one of ours)"
+    return creator_pid, None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shm-dir", default="/dev/shm",
+                    help="where POSIX shm segments appear as files")
+    ap.add_argument("--prefix", default="aba.",
+                    help="segment filename prefix to consider")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="report what would be swept, unlink nothing")
+    args = ap.parse_args()
+
+    try:
+        names = sorted(os.listdir(args.shm_dir))
+    except OSError as e:
+        print(f"shm_gc: cannot list {args.shm_dir}: {e}", file=sys.stderr)
+        return 1
+
+    failed = 0
+    swept = 0
+    for name in names:
+        if not name.startswith(args.prefix):
+            continue
+        path = os.path.join(args.shm_dir, name)
+        creator_pid, skip = read_creator(path)
+        if skip is not None:
+            print(f"shm_gc: skip {name}: {skip}")
+            continue
+        if pid_alive(creator_pid):
+            print(f"shm_gc: keep {name}: creator pid {creator_pid} alive")
+            continue
+        if args.dry_run:
+            print(f"shm_gc: would sweep {name} (creator pid {creator_pid} "
+                  f"gone)")
+            swept += 1
+            continue
+        try:
+            os.unlink(path)
+            print(f"shm_gc: swept {name} (creator pid {creator_pid} gone)")
+            swept += 1
+        except OSError as e:
+            if e.errno != errno.ENOENT:  # Lost a race to another sweeper: fine.
+                print(f"shm_gc: cannot unlink {name}: {e.strerror}",
+                      file=sys.stderr)
+                failed += 1
+    if swept == 0 and failed == 0:
+        print("shm_gc: nothing to sweep")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
