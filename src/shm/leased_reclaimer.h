@@ -79,6 +79,17 @@ class NodeLists {
     head.store(idx + 1, std::memory_order_seq_cst);
   }
 
+  // Push for heads with MULTIPLE writers (the global quarantine: two
+  // survivors confirming different victims push concurrently). The list is
+  // push-only, so a CAS on the head is all the coordination needed.
+  void push_shared(std::atomic<std::uint64_t>& head, std::uint64_t idx) {
+    std::uint64_t h = head.load(std::memory_order_seq_cst);
+    do {
+      links_[idx].store(h, std::memory_order_seq_cst);
+    } while (!head.compare_exchange_weak(h, idx + 1, std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst));
+  }
+
   std::optional<std::uint64_t> pop(std::atomic<std::uint64_t>& head) {
     const std::uint64_t h = head.load(std::memory_order_seq_cst);
     if (h == 0) return std::nullopt;
@@ -206,7 +217,10 @@ struct SharedBook {
     const std::uint64_t mf = in_flight[q].load(std::memory_order_seq_cst);
     if (mf != 0) {
       if (!lists.contains(free_head[q], mf - 1)) {
-        lists.push(*quarantine_head, mf - 1);
+        // The quarantine head is the one list with concurrent pushers
+        // (confirm winners of *different* victims), so it takes the CAS
+        // push, not the single-owner one.
+        lists.push_shared(*quarantine_head, mf - 1);
         quarantine_count->fetch_add(1, std::memory_order_relaxed);
       }
       in_flight[q].store(0, std::memory_order_seq_cst);
@@ -321,6 +335,10 @@ class LeasedHazardReclaimerT {
     phases_[p] = reclaim::ReclaimPhase::kMidRetire;
     book_.in_retire[p].store(idx + 1, std::memory_order_seq_cst);
     leases_->maybe_park(p, kParkMidRetire);
+    // Re-validate after the park: a worker that was expropriated while
+    // parked (the simulated-kill rendezvous) must self-fence here instead
+    // of pushing onto lists that now belong to the expropriator.
+    leases_->self_check(p);
     book_.retire_onto(p, idx);
     book_.in_retire[p].store(0, std::memory_order_seq_cst);
     if (book_.retired_count[p].load(std::memory_order_relaxed) >=
@@ -502,6 +520,11 @@ class LeasedEpochReclaimer {
     phases_[p] = reclaim::ReclaimPhase::kMidRetire;
     book_.in_retire[p].store(idx + 1, std::memory_order_seq_cst);
     leases_->maybe_park(p, kParkMidRetire);
+    // Re-validate after the park: a worker that was expropriated while
+    // parked (the simulated-kill rendezvous) must self-fence here instead
+    // of stamping and pushing onto lists that now belong to the
+    // expropriator.
+    leases_->self_check(p);
     stamps_[idx].store(global_->load(std::memory_order_seq_cst),
                        std::memory_order_seq_cst);
     book_.retire_onto(p, idx);
@@ -562,6 +585,21 @@ class LeasedEpochReclaimer {
       if (q == p || !leases_->is_held(q)) continue;
       if (leases_->advance_death(q) == reclaim::DeathStep::kConfirmed) {
         announce_[q].store(kQuiescent, std::memory_order_seq_cst);
+        // A victim killed inside retire() can leave in_retire set with the
+        // node's stamp never written (retire stamps AFTER the mid-retire
+        // park point), so the stale/zero stamp would pass collect()'s
+        // two-epoch grace test immediately — freeing a node that readers
+        // announced in earlier epochs may still hold. Re-stamp with the
+        // current global epoch before drain_dead re-homes it, so the
+        // orphan waits a full grace period like any other retiree (the
+        // in-process EpochBasedReclaimer::expropriate re-records the limbo
+        // entry with the current epoch for the same reason).
+        const std::uint64_t mr =
+            book_.in_retire[q].load(std::memory_order_seq_cst);
+        if (mr != 0) {
+          stamps_[mr - 1].store(global_->load(std::memory_order_seq_cst),
+                                std::memory_order_seq_cst);
+        }
         book_.drain_dead(p, q);
         leases_->reap(q);
       }

@@ -24,6 +24,13 @@
 //       additionally requires the heartbeat unchanged since, which closes
 //       the pid-recycling hole (a new process wearing the dead pid cannot
 //       resurrect the lease, and a revived heartbeat cancels the suspicion).
+//       The *slot*-recycling hole is closed by the generation: acquire()
+//       records the generation it installed (process-locally) and every
+//       self_check/beat verifies the word still wears it — a slot that was
+//       confirmed, reaped, and reacquired by someone else reads kLive but a
+//       generation the original owner never installed, so the original
+//       owner self-fences with LeaseRevoked instead of operating on the
+//       new owner's lease.
 //   park point — a test-only rendezvous: the crash harness asks a worker to
 //       spin at a named vulnerable instant (guard just published, epoch just
 //       announced, mid-retire) so the driver can SIGKILL it exactly there.
@@ -42,6 +49,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
+#include <vector>
 
 #include "reclaim/death.h"
 #include "shm/shm_platform.h"
@@ -95,6 +103,7 @@ class PidLeaseTable {
   PidLeaseTable(ShmArena& arena, int max_procs)
       : records_(arena.place_array<LeaseRecord>("lease.records",
                                                 static_cast<std::size_t>(max_procs))),
+        my_gen_(static_cast<std::size_t>(max_procs), 0),
         max_procs_(max_procs) {}
 
   // Claims a free slot for this process. The slot index doubles as the
@@ -108,6 +117,7 @@ class PidLeaseTable {
           LeaseRecord::pack(kLeaseLive, LeaseRecord::gen_of(word) + 1);
       if (rec.state_gen.compare_exchange_strong(word, next,
                                                 std::memory_order_acq_rel)) {
+        my_gen_[static_cast<std::size_t>(slot)] = LeaseRecord::gen_of(next);
         rec.pid.store(::getpid(), std::memory_order_release);
         rec.heartbeat.store(1, std::memory_order_release);
         rec.park_request.store(kParkNone, std::memory_order_relaxed);
@@ -119,20 +129,30 @@ class PidLeaseTable {
     return -1;
   }
 
-  // Clean exit: the slot becomes acquirable again (generation bumps).
+  // Clean exit: the slot becomes acquirable again (generation bumps). A
+  // no-op when the lease is no longer this owner's to free — already
+  // expropriated and reaped (possibly reacquired: generation mismatch), or
+  // confirmed kDead with the winner mid-drain.
   void release(int slot) {
     LeaseRecord& rec = records_[slot];
-    rec.pid.store(0, std::memory_order_relaxed);
     const std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
-    rec.state_gen.store(
-        LeaseRecord::pack(kLeaseFree, LeaseRecord::gen_of(word) + 1),
-        std::memory_order_release);
+    if (!gen_current(slot, word)) return;
+    const std::uint64_t state = LeaseRecord::state_of(word);
+    if (state != kLeaseLive && state != kLeaseSuspect) return;
+    my_gen_[static_cast<std::size_t>(slot)] = 0;
+    free_slot(rec, word);
   }
 
   // Liveness proof, called from every reclaimer entry point. Cheap: one
-  // relaxed RMW on my own cache line.
+  // load plus one relaxed RMW on my own cache line. Throws LeaseRevoked if
+  // the slot has been recycled under us (generation mismatch) so a fenced
+  // owner can't pollute the new owner's heartbeat.
   void beat(int slot) {
-    records_[slot].heartbeat.fetch_add(1, std::memory_order_relaxed);
+    LeaseRecord& rec = records_[slot];
+    if (!gen_current(slot, rec.state_gen.load(std::memory_order_acquire))) {
+      throw reclaim::LeaseRevoked{};
+    }
+    rec.heartbeat.fetch_add(1, std::memory_order_relaxed);
   }
 
   // The self-fence side of the handshake, called from every reclaimer entry
@@ -143,6 +163,9 @@ class PidLeaseTable {
   void self_check(int slot) {
     LeaseRecord& rec = records_[slot];
     std::uint64_t word = rec.state_gen.load(std::memory_order_acquire);
+    // Generation first: a kLive word wearing a generation we never
+    // installed is someone else's lease on a recycled slot, not ours.
+    if (!gen_current(slot, word)) throw reclaim::LeaseRevoked{};
     const std::uint64_t state = LeaseRecord::state_of(word);
     if (state == kLeaseLive) return;
     if (state == kLeaseSuspect) {
@@ -153,7 +176,10 @@ class PidLeaseTable {
         return;  // Vetoed; the suspicion evaporates.
       }
       word = rec.state_gen.load(std::memory_order_acquire);
-      if (LeaseRecord::state_of(word) == kLeaseLive) return;
+      if (gen_current(slot, word) &&
+          LeaseRecord::state_of(word) == kLeaseLive) {
+        return;
+      }
     }
     throw reclaim::LeaseRevoked{};
   }
@@ -176,6 +202,10 @@ class PidLeaseTable {
       return reclaim::DeathStep::kAlreadyExpropriated;
     }
     const std::int64_t pid = rec.pid.load(std::memory_order_acquire);
+    // pid == 0 is the acquire window (kLive published, pid store still in
+    // flight) or a racing release — indeterminate, never "definitively
+    // gone": suspecting here could confirm a freshly-acquired live lease.
+    if (pid <= 0) return reclaim::DeathStep::kVetoed;
     const bool gone = !pid_alive(pid);
     if (state == kLeaseLive) {
       if (!gone && !stale) return reclaim::DeathStep::kVetoed;
@@ -205,8 +235,13 @@ class PidLeaseTable {
   }
 
   // Called by the confirm winner after it has drained q's bookkeeping: the
-  // slot re-enters circulation.
-  void reap(int q) { release(q); }
+  // slot re-enters circulation. Unconditional — the winner's kDead CAS gave
+  // it exclusive ownership of the slot (unlike release, which must prove
+  // the lease is still the caller's).
+  void reap(int q) {
+    LeaseRecord& rec = records_[q];
+    free_slot(rec, rec.state_gen.load(std::memory_order_acquire));
+  }
 
   bool is_live(int slot) const {
     return LeaseRecord::state_of(
@@ -238,7 +273,25 @@ class PidLeaseTable {
   }
 
  private:
+  // True when the caller either holds no local claim on `slot` (never
+  // acquired through this table instance) or the word still wears the
+  // generation it installed.
+  bool gen_current(int slot, std::uint64_t word) const {
+    const std::uint64_t mine = my_gen_[static_cast<std::size_t>(slot)];
+    return mine == 0 || LeaseRecord::gen_of(word) == mine;
+  }
+
+  void free_slot(LeaseRecord& rec, std::uint64_t word) {
+    rec.pid.store(0, std::memory_order_relaxed);
+    rec.state_gen.store(
+        LeaseRecord::pack(kLeaseFree, LeaseRecord::gen_of(word) + 1),
+        std::memory_order_release);
+  }
+
   LeaseRecord* records_;
+  // Process-local: the generation this process installed per slot it
+  // acquired (0 = no claim). The fence against slot recycling.
+  std::vector<std::uint64_t> my_gen_;
   int max_procs_;
 };
 

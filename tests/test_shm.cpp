@@ -196,6 +196,46 @@ TEST(PidLease, StalenessAloneNeverConfirms) {
   EXPECT_TRUE(fx.leases.is_held(q));
 }
 
+TEST(PidLease, AcquireWindowPidZeroIsIndeterminate) {
+  // Rewind a lease to the acquire window: kLive already published, the pid
+  // store still in flight. pid_alive(0) is false, but a survivor must treat
+  // the window as indeterminate — suspecting (let alone confirming) here
+  // would expropriate a live, freshly-acquired lease.
+  LeaseFixture fx;
+  const int q = fx.leases.acquire();
+  fx.leases.record(q).pid.store(0, std::memory_order_release);
+  EXPECT_EQ(fx.leases.advance_death(q), reclaim::DeathStep::kVetoed);
+  EXPECT_EQ(fx.leases.advance_death(q, /*stale=*/true),
+            reclaim::DeathStep::kVetoed);
+  EXPECT_TRUE(fx.leases.is_live(q));
+}
+
+TEST(PidLease, GenerationFencesRecycledSlot) {
+  LeaseFixture fx;
+  const int q = fx.leases.acquire();
+  // q's owner "dies" (planted dead pid); a survivor confirms and reaps.
+  fx.leases.record(q).pid.store(dead_pid(), std::memory_order_release);
+  fx.leases.advance_death(q);
+  ASSERT_EQ(fx.leases.advance_death(q), reclaim::DeathStep::kConfirmed);
+  fx.leases.reap(q);
+
+  // Another process (a second table instance bound to the same records)
+  // reacquires the slot: it reads kLive again, but in a new generation.
+  ShmArena bind(fx.seg, /*owner=*/false);
+  PidLeaseTable other(bind, 4);
+  ASSERT_EQ(other.acquire(), q);
+  ASSERT_TRUE(other.is_live(q));
+
+  // The original owner sees kLive wearing a generation it never installed:
+  // it must self-fence, not beat or operate on the new owner's lease.
+  EXPECT_THROW(fx.leases.self_check(q), reclaim::LeaseRevoked);
+  EXPECT_THROW(fx.leases.beat(q), reclaim::LeaseRevoked);
+  // Nor may its clean-exit path free the new owner's lease.
+  fx.leases.release(q);
+  EXPECT_TRUE(other.is_live(q));
+  EXPECT_NO_THROW(other.self_check(q));
+}
+
 TEST(PidLease, SelfCheckVetoesSuspicionAndFencesExpropriation) {
   LeaseFixture fx;
   const int q = fx.leases.acquire();
@@ -369,6 +409,107 @@ TEST(LeasedReclaimer, EpochExpropriatesFrozenAnnouncement) {
   // One node is in the structure (p1's enqueue) plus the current dummy.
   EXPECT_EQ(s.free_nodes + s.retired_unreclaimed + s.quarantined + 2,
             s.pool_size);
+}
+
+// A process killed at the mid-retire park point leaves in_retire set with
+// the node's epoch stamp never written (retire stamps after the park).
+// Expropriation must re-stamp the orphan with the current epoch before
+// re-homing it: with the stale/zero stamp it would pass the two-epoch grace
+// test immediately and be freed while a reader announced in an earlier
+// epoch still holds it.
+TEST(LeasedReclaimer, EpochMidRetireOrphanKeepsGracePeriod) {
+  TierFixture fx(3);
+  reclaim::FreeLists initial(3);
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    for (std::uint64_t i = 0; i < 4; ++i) initial[p].push_back(p * 4 + i);
+  }
+  LeasedEpochReclaimer r(fx.env, 3, initial);
+  fx.seg.publish(fx.arena.layout_hash());
+  const int p0 = fx.leases.acquire();
+  const int p1 = fx.leases.acquire();
+  const int p2 = fx.leases.acquire();
+
+  // Push the global epoch well past the value-initialized stamp of 0, so a
+  // never-stamped node would look ancient to collect().
+  for (int i = 0; i < 4; ++i) r.try_advance(p0);
+
+  // p2 enters a region: announced at the current epoch — an old-epoch
+  // reader for everything retired from here on.
+  r.begin_op(p2);
+
+  // p1 allocates a node and "dies" parked mid-retire: in_retire set, the
+  // stamp never written.
+  const auto idx = r.allocate(p1);
+  ASSERT_TRUE(idx.has_value());
+  r.commit(p1);
+  auto& rec = fx.leases.record(p1);
+  rec.park_request.store(kParkMidRetire, std::memory_order_release);
+  std::thread victim([&] {
+    try {
+      r.retire(p1, *idx);
+    } catch (const reclaim::LeaseRevoked&) {
+      // Expected: expropriated while parked; the post-park self-check
+      // fences the resumed worker before it touches the drained lists.
+    }
+  });
+  while (rec.park_ack.load(std::memory_order_acquire) != kParkMidRetire) {
+    std::this_thread::yield();
+  }
+  rec.pid.store(dead_pid(), std::memory_order_release);
+
+  // Two survivor advances: suspect, then confirm + re-stamp + drain.
+  r.try_advance(p0);
+  r.try_advance(p0);
+  ASSERT_EQ(r.stats().expropriations, 1u);
+
+  // While p2 still pins its (older) epoch, collect must keep the re-homed
+  // orphan in limbo — freeing it here is the use-after-free.
+  r.collect(p0);
+  EXPECT_EQ(r.stats().retired_unreclaimed, 1u)
+      << "orphaned mid-retire node freed without a grace period";
+
+  // Release the park; the resumed victim self-fences on its revoked lease.
+  rec.park_request.store(kParkNone, std::memory_order_release);
+  victim.join();
+
+  // Once the reader leaves, the normal two-advance rule drains the orphan
+  // and the pool conserves in full.
+  r.end_op(p2);
+  for (int i = 0; i < 3; ++i) {
+    r.try_advance(p0);
+    r.collect(p0);
+  }
+  const reclaim::ReclaimStats s = r.stats();
+  EXPECT_EQ(s.retired_unreclaimed, 0u);
+  EXPECT_EQ(s.quarantined, 0u);
+  EXPECT_EQ(s.free_nodes, s.pool_size);
+}
+
+// The global quarantine is the one list with concurrent pushers (confirm
+// winners of different victims); its push must be lossless under
+// contention, keeping the count and the list in sync.
+TEST(LeasedReclaimer, SharedQuarantinePushIsLosslessUnderContention) {
+  const std::string name = unique_segment_name();
+  ShmSegment seg = ShmSegment::create(name, 1 << 18, 2);
+  ShmArena arena(seg, true);
+  constexpr std::uint64_t kNodes = 256;
+  detail::NodeLists lists(arena, "links", kNodes);
+  auto* head = arena.place<std::atomic<std::uint64_t>>("head");
+
+  std::thread evens([&] {
+    for (std::uint64_t i = 0; i < kNodes; i += 2) lists.push_shared(*head, i);
+  });
+  std::thread odds([&] {
+    for (std::uint64_t i = 1; i < kNodes; i += 2) lists.push_shared(*head, i);
+  });
+  evens.join();
+  odds.join();
+
+  std::uint64_t seen = 0;
+  for (std::uint64_t i = 0; i < kNodes; ++i) {
+    if (lists.contains(*head, i)) ++seen;
+  }
+  EXPECT_EQ(seen, kNodes) << "concurrent pushes lost a link";
 }
 
 }  // namespace
