@@ -9,6 +9,15 @@
 //                                          # DIR/<fixture>.crash.sched whose
 //                                          # golden bounds cover recovery
 //                                          # (expropriations, final counts)
+//   ./schedule_search_demo --procs=3 ...   # n>2 fixtures (extra parked
+//                                          # readers); emits
+//                                          # DIR/<fixture>.n3.sched
+//   ./schedule_search_demo --workload-search
+//                                          # outer search over the workload
+//                                          # candidates (storm, double storm,
+//                                          # put surge, reader pairs); emits
+//                                          # DIR/<fixture>.wl.sched stamped
+//                                          # with the winning shape
 //
 // Each emitted script carries its golden bounds (expect_peak,
 // expect_peak_grant, expect_grants — plus, for crash schedules, crashes,
@@ -18,6 +27,7 @@
 // change, and re-run the tests afterwards.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -137,17 +147,35 @@ bool emit_crash_schedule(const std::string& name, const std::string& out_dir) {
 int main(int argc, char** argv) {
   std::string out_dir;
   bool crashes = false;
+  bool workload_search = false;
+  int procs = kProcs;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_dir = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--crashes") == 0) {
       crashes = true;
+    } else if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      procs = std::atoi(argv[i] + 8);
+      if (procs < 2) {
+        std::fprintf(stderr, "--procs must be >= 2\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--workload-search") == 0) {
+      workload_search = true;
     } else {
       wanted.emplace_back(argv[i]);
     }
   }
   if (wanted.empty()) wanted = search::reclaim_fixture_names();
+  // More processes multiply the branching factor; trim the storm length so
+  // the n=3 corpus searches stay in the same time budget as n=2.
+  const int cycles = procs > 2 ? 8 : kCycles;
+  // DIR/<fixture>[.nN][.wl].sched — n=2 plain storms keep the bare name the
+  // committed corpus already uses.
+  const std::string suffix =
+      (procs != kProcs ? ".n" + std::to_string(procs) : std::string()) +
+      (workload_search ? ".wl" : "") + ".sched";
 
   std::printf("%-30s %10s %12s %10s\n", "fixture", "peak", "peak@grant",
               "schedules");
@@ -160,16 +188,25 @@ int main(int argc, char** argv) {
   }
   for (const std::string& name : wanted) {
     const auto factory = search::reclaim_fixture(name);
-    const auto workload = search::storm_workload(name, kProcs, kCycles);
 
     search::SearchOptions options;
     options.top_k = 3;
     options.context_bound = 3;
     options.max_executions = 128;
-    search::ScheduleExplorer explorer(factory, kProcs, workload,
-                                      search::retired_unreclaimed_cost,
-                                      options);
-    const search::SearchResult result = explorer.run();
+    search::SearchResult result;
+    std::string winning_workload;
+    if (workload_search) {
+      const auto ws = search::search_workloads(
+          factory, procs, search::workload_candidates(name, procs, cycles),
+          search::retired_unreclaimed_cost, options);
+      result = ws.best;
+      winning_workload = ws.best_name;
+    } else {
+      search::ScheduleExplorer explorer(
+          factory, procs, search::storm_workload(name, procs, cycles),
+          search::retired_unreclaimed_cost, options);
+      result = explorer.run();
+    }
     if (result.best.empty()) {
       std::printf("%-30s %10s\n", name.c_str(), "(none)");
       continue;
@@ -197,12 +234,15 @@ int main(int argc, char** argv) {
     script.meta["expect_peak_grant"] = std::to_string(first.peak_grant);
     script.meta["expect_grants"] = std::to_string(script.grants.size());
 
-    std::printf("%-30s %10.0f %12llu %10llu\n", name.c_str(), first.peak_cost,
+    std::printf("%-30s %10.0f %12llu %10llu%s%s\n", name.c_str(),
+                first.peak_cost,
                 static_cast<unsigned long long>(first.peak_grant),
-                static_cast<unsigned long long>(result.executions));
+                static_cast<unsigned long long>(result.executions),
+                winning_workload.empty() ? "" : "  workload=",
+                winning_workload.c_str());
 
     if (!out_dir.empty()) {
-      const std::string path = out_dir + "/" + name + ".sched";
+      const std::string path = out_dir + "/" + name + suffix;
       std::ofstream out(path);
       if (!out.good()) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());

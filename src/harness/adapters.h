@@ -52,6 +52,17 @@ reclaim::ReclaimPhase impl_reclaim_phase(const Impl& impl, int pid) {
   }
 }
 
+template <class Impl>
+std::uint64_t impl_reclaim_fingerprint(const Impl& impl) {
+  if constexpr (requires { impl.reclaim_fingerprint(); }) {
+    return impl.reclaim_fingerprint();
+  } else if constexpr (requires { impl.reclaimer().fingerprint(); }) {
+    return impl.reclaimer().fingerprint();
+  } else {
+    return 0;
+  }
+}
+
 }  // namespace detail
 
 // Impl must expose: std::pair<uint64_t,bool> dread(int q); void dwrite(int p, uint64_t x).
@@ -177,6 +188,9 @@ class StackInvoker : public Invoker {
   reclaim::ReclaimPhase reclaim_phase(int pid) const override {
     return detail::impl_reclaim_phase(*impl_, pid);
   }
+  std::uint64_t reclaim_fingerprint() const override {
+    return detail::impl_reclaim_fingerprint(*impl_);
+  }
 
  protected:
   // Called after each completion is recorded; the extension point the
@@ -230,6 +244,9 @@ class QueueInvoker : public Invoker {
   }
   reclaim::ReclaimPhase reclaim_phase(int pid) const override {
     return detail::impl_reclaim_phase(*impl_, pid);
+  }
+  std::uint64_t reclaim_fingerprint() const override {
+    return detail::impl_reclaim_fingerprint(*impl_);
   }
 
  protected:

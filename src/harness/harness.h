@@ -49,6 +49,10 @@ class Invoker {
   virtual reclaim::ReclaimPhase reclaim_phase(int /*pid*/) const {
     return reclaim::ReclaimPhase::kIdle;
   }
+  // Hash of the reclaimer's thread-private bookkeeping (reclaim::Fingerprint)
+  // — the state SimWorld::signature_key() omits. The model checker folds it
+  // into its DPOR state key; 0 for implementations with nothing hidden.
+  virtual std::uint64_t reclaim_fingerprint() const { return 0; }
 };
 
 // Builds the implementation under test in `world` and returns its invoker.

@@ -311,6 +311,28 @@ class EpochBasedReclaimer {
   }
   ReclaimPhase phase(int p) const { return procs_[p].phase; }
 
+  // The thread-private state the signature key misses: limbo stamps and
+  // free-list order decide what future flushes release, the advance counter
+  // decides *when* the next amortized advance fires, and the crash
+  // bookkeeping decides what an expropriator would drain.
+  std::uint64_t fingerprint() const {
+    Fingerprint fp;
+    for (const auto& proc : procs_) {
+      fp.mix_range(proc.free);
+      fp.mix(proc.limbo.size());
+      for (const Limbo& l : proc.limbo) fp.mix(l.index).mix(l.epoch);
+      fp.mix(proc.retires_since_advance);
+      fp.mix(proc.announce_mirror);
+      fp.mix(static_cast<std::uint64_t>(proc.phase));
+      fp.mix(proc.in_flight);
+      fp.mix(proc.in_retire);
+      fp.mix_range(proc.quarantine);
+      fp.mix(proc.expropriations);
+      fp.mix(proc.death.load(std::memory_order_relaxed));
+    }
+    return fp.value();
+  }
+
  private:
   static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
 

@@ -286,6 +286,25 @@ class HazardPointerReclaimer {
   }
   ReclaimPhase phase(int p) const { return procs_[p].phase; }
 
+  // The thread-private state the signature key misses: free-list order and
+  // retired contents decide which indices future allocates/scans move, the
+  // published mirror and phase decide where the next guard lands, and the
+  // crash bookkeeping decides what an expropriator would drain.
+  std::uint64_t fingerprint() const {
+    Fingerprint fp;
+    for (const auto& proc : procs_) {
+      fp.mix_range(proc.free);
+      fp.mix_range(proc.retired);
+      fp.mix_range(proc.published);
+      fp.mix(static_cast<std::uint64_t>(proc.phase));
+      fp.mix(proc.in_flight);
+      fp.mix_range(proc.quarantine);
+      fp.mix(proc.expropriations);
+      fp.mix(proc.death.load(std::memory_order_relaxed));
+    }
+    return fp.value();
+  }
+
  private:
   static constexpr std::uint64_t kNone = 0;  // Indices are stored +1.
 

@@ -76,6 +76,17 @@ class LeakyReclaimer {
   }
   ReclaimPhase phase(int /*p*/) const { return ReclaimPhase::kIdle; }
 
+  // Free-list order plus the leak counters: everything the next allocate
+  // (and the stats the search engine scores) can depend on.
+  std::uint64_t fingerprint() const {
+    Fingerprint fp;
+    for (const auto& proc : procs_) {
+      fp.mix_range(proc.free);
+      fp.mix(proc.leaked);
+    }
+    return fp.value();
+  }
+
  private:
   // One cache line per process: allocate/retire touch these fields on the
   // hot path and must not false-share with neighbouring processes.

@@ -146,6 +146,38 @@ struct ReclaimStats {
   }
 };
 
+// Order-sensitive FNV-1a accumulator over 64-bit words. Reclaimers use it
+// to expose a fingerprint() of their thread-private bookkeeping (free-list
+// order, retired/limbo contents, published guards, in-flight markers) —
+// state that SimWorld::signature_key() deliberately omits but that decides
+// every future allocation and scan. The schedule-search engine folds the
+// fingerprint into its DPOR state key so two configurations are merged only
+// when their *reclamation futures* are identical too, not just their shared
+// memory. Like ReclaimStats, computing it reads thread-private bookkeeping
+// while all simulated processes are parked: no shared steps, no schedule
+// perturbation.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t word) {
+    hash_ ^= word;
+    hash_ *= 0x100000001b3ull;
+    return *this;
+  }
+
+  // Length-prefixed so adjacent ranges cannot alias ([1],[2] vs [1,2]).
+  template <class Range>
+  Fingerprint& mix_range(const Range& range) {
+    mix(static_cast<std::uint64_t>(range.size()));
+    for (const auto& word : range) mix(static_cast<std::uint64_t>(word));
+    return *this;
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
 template <class R, class P>
 concept ReclaimerFor =
     Platform<P> &&

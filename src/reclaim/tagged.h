@@ -77,6 +77,14 @@ class TaggedReclaimer {
   }
   ReclaimPhase phase(int /*p*/) const { return ReclaimPhase::kIdle; }
 
+  // All hidden state is the free lists: their *order* decides which index
+  // the next allocate recycles, so it is part of the model-checker key.
+  std::uint64_t fingerprint() const {
+    Fingerprint fp;
+    for (const auto& proc : procs_) fp.mix_range(proc.free);
+    return fp.value();
+  }
+
  private:
   // One cache line per process: the free-list header is touched on every
   // allocate/retire and must not false-share with its neighbours.

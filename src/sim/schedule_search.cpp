@@ -1,6 +1,7 @@
 #include "sim/schedule_search.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -8,7 +9,11 @@
 #include "harness/adapters.h"
 #include "reclaim/epoch.h"
 #include "reclaim/hazard_pointer.h"
+#include "reclaim/leaky.h"
+#include "reclaim/mutant.h"
+#include "reclaim/tagged.h"
 #include "sim/sim_platform.h"
+#include "spec/lin_checker.h"
 #include "spec/specs.h"
 #include "structures/ms_queue.h"
 #include "structures/sharded.h"
@@ -158,13 +163,108 @@ double epoch_lag_cost(const reclaim::ReclaimStats& s) {
   return static_cast<double>(s.epoch_lag);
 }
 
+double epoch_lag_backlog_cost(const reclaim::ReclaimStats& s) {
+  return static_cast<double>(s.epoch_lag) *
+         static_cast<double>(s.retired_unreclaimed);
+}
+
 CostFn cost_by_name(const std::string& name) {
   if (name == "retired_unreclaimed") return retired_unreclaimed_cost;
   if (name == "pool_pressure") return pool_pressure_cost;
   if (name == "guard_occupancy") return guard_occupancy_cost;
   if (name == "epoch_lag") return epoch_lag_cost;
+  if (name == "epoch_lag_backlog") return epoch_lag_backlog_cost;
   ABA_CHECK_MSG(false, "unknown schedule-search cost function name");
   return retired_unreclaimed_cost;
+}
+
+// --------------------------------------------------------------- verdicts
+
+namespace {
+
+// Multiset conservation: every taken value was put successfully at least as
+// many times as it was taken. The invariant that survives crashes (a
+// victim's pending put never completed, so its value is simply absent).
+SpecVerdict check_conservation(const std::vector<spec::Op>& ops,
+                               spec::Method take) {
+  SpecVerdict verdict;
+  verdict.checked = true;
+  std::map<std::uint64_t, long> balance;
+  for (const auto& op : ops) {
+    if (op.method != take && op.ret == 1) ++balance[op.arg];
+  }
+  for (const auto& op : ops) {
+    if (op.method == take && op.ret != 0) {
+      const std::uint64_t value = op.ret - 1;  // pack_opt inverse.
+      auto it = balance.find(value);
+      if (it == balance.end() || it->second <= 0) {
+        verdict.ok = false;
+        std::ostringstream out;
+        out << "conservation violated: value " << value
+            << " taken by p" << op.pid << " was never put (or taken twice)";
+        verdict.detail = out.str();
+        return verdict;
+      }
+      --it->second;
+    }
+  }
+  return verdict;
+}
+
+template <class Spec>
+SpecVerdict check_linearizable_history(const std::vector<spec::Op>& ops) {
+  SpecVerdict verdict;
+  verdict.checked = true;
+  const auto result = spec::check_linearizable<Spec>(ops, Spec::initial());
+  if (!result.linearizable) {
+    verdict.ok = false;
+    verdict.detail = spec::explain(ops, result);
+  }
+  return verdict;
+}
+
+}  // namespace
+
+SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
+                          const std::vector<int>& shard_tags, int num_shards,
+                          bool has_crash) {
+  if (kind == SpecKind::kNone) return {};
+  const spec::Method take =
+      kind == SpecKind::kQueue ? spec::Method::kDeq : spec::Method::kPop;
+  // A crash truncates the victim's history: its pending op may have taken
+  // effect without completing, so only conservation is checkable.
+  if (has_crash) return check_conservation(ops, take);
+  switch (kind) {
+    case SpecKind::kStack:
+      return check_linearizable_history<spec::StackSpec>(ops);
+    case SpecKind::kQueue:
+      return check_linearizable_history<spec::QueueSpec>(ops);
+    case SpecKind::kShardedStack: {
+      ABA_CHECK_MSG(shard_tags.size() == ops.size(),
+                    "sharded verdict needs one landing shard per history op");
+      std::vector<std::vector<spec::Op>> by_shard(
+          static_cast<std::size_t>(num_shards));
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        ABA_CHECK(shard_tags[i] >= 0 && shard_tags[i] < num_shards);
+        by_shard[static_cast<std::size_t>(shard_tags[i])].push_back(ops[i]);
+      }
+      for (int shard = 0; shard < num_shards; ++shard) {
+        SpecVerdict verdict = check_linearizable_history<spec::StackSpec>(
+            by_shard[static_cast<std::size_t>(shard)]);
+        if (!verdict.ok) {
+          verdict.detail =
+              "shard " + std::to_string(shard) + ": " + verdict.detail;
+          return verdict;
+        }
+      }
+      SpecVerdict verdict;
+      verdict.checked = true;
+      return verdict;
+    }
+    case SpecKind::kNone:
+      break;
+  }
+  return {};
 }
 
 // --------------------------------------------------------------- fixtures
@@ -172,10 +272,6 @@ CostFn cost_by_name(const std::string& name) {
 namespace {
 
 using SimP = sim::SimPlatform;
-
-// Sized so the storm workloads (tens of cycles) never exhaust a process's
-// free list even when a frozen epoch keeps every retiree in limbo.
-constexpr int kPoolPerProcess = 48;
 
 // Death oracle over the simulator: a process is dead exactly when the
 // engine crashed it. Installed unconditionally in every flat fixture —
@@ -197,32 +293,42 @@ SearchFixture fixture_shell(int n) {
   return fx;
 }
 
+// Not every reclaimer has crash machinery (the tag-family ones are
+// oracle-free by design); wire the oracle only where it exists.
 template <class R>
-SearchFixture make_stack_fixture(int n) {
-  using Stack = structures::TreiberStack<SimP, structures::RawCasHead<SimP>, R>;
+void maybe_set_death_oracle(R& reclaimer, const reclaim::DeathOracle* oracle) {
+  if constexpr (requires { reclaimer.set_death_oracle(oracle); }) {
+    reclaimer.set_death_oracle(oracle);
+  }
+}
+
+template <class R, class Head = structures::RawCasHead<SimP>>
+SearchFixture make_stack_fixture(int n, int pool) {
+  using Stack = structures::TreiberStack<SimP, Head, R>;
   SearchFixture fx = fixture_shell(n);
   auto stack = std::make_unique<Stack>(
-      *fx.world, n,
-      std::make_unique<structures::RawCasHead<SimP>>(*fx.world, n),
-      Stack::partition(n, kPoolPerProcess));
-  stack->reclaimer().set_death_oracle(fx.oracle.get());
+      *fx.world, n, std::make_unique<Head>(*fx.world, n),
+      Stack::partition(n, pool));
+  maybe_set_death_oracle(stack->reclaimer(), fx.oracle.get());
   fx.invoker = std::make_unique<harness::StackInvoker<Stack>>(
       *fx.world, *fx.history, std::move(stack));
+  fx.spec = SpecKind::kStack;
   return fx;
 }
 
 template <class R>
-SearchFixture make_queue_fixture(int n) {
+SearchFixture make_queue_fixture(int n, int pool) {
   using Queue = structures::MsQueue<SimP, R>;
   SearchFixture fx = fixture_shell(n);
-  auto queue = std::make_unique<Queue>(*fx.world, n, kPoolPerProcess);
-  queue->reclaimer().set_death_oracle(fx.oracle.get());
+  auto queue = std::make_unique<Queue>(*fx.world, n, pool);
+  maybe_set_death_oracle(queue->reclaimer(), fx.oracle.get());
   fx.invoker = std::make_unique<harness::QueueInvoker<Queue>>(
       *fx.world, *fx.history, std::move(queue));
+  fx.spec = SpecKind::kQueue;
   return fx;
 }
 
-SearchFixture make_sharded_stack_fixture(int n) {
+SearchFixture make_sharded_stack_fixture(int n, int pool) {
   using Stack =
       structures::ShardedTreiberStack<SimP, structures::RawCasHead<SimP>,
                                       reclaim::CachedHazardPointerReclaimer<SimP>,
@@ -231,35 +337,73 @@ SearchFixture make_sharded_stack_fixture(int n) {
   auto invoker = std::make_unique<harness::ShardedStackInvoker<Stack>>(
       *fx.world, *fx.history,
       std::make_unique<Stack>(*fx.world, n, Stack::make_heads(*fx.world, n),
-                              kPoolPerProcess / 2));
+                              pool / 2));
   auto* tagging = invoker.get();
   fx.shard_tags = [tagging]() -> const std::vector<int>& {
     return tagging->shard_of();
   };
   fx.num_shards = 2;
   fx.invoker = std::move(invoker);
+  fx.spec = SpecKind::kShardedStack;
   return fx;
 }
 
 }  // namespace
 
-SearchFixtureFactory reclaim_fixture(const std::string& name) {
+SearchFixtureFactory reclaim_fixture(const std::string& name,
+                                     int pool_per_process) {
   using Hazard = reclaim::HazardPointerReclaimer<SimP>;
   using Cached = reclaim::CachedHazardPointerReclaimer<SimP>;
   using Epoch = reclaim::EpochBasedReclaimer<SimP>;
-  if (name == "stack_hazard") return make_stack_fixture<Hazard>;
-  if (name == "stack_hazard_cached") return make_stack_fixture<Cached>;
-  if (name == "stack_epoch") return make_stack_fixture<Epoch>;
-  if (name == "queue_hazard") return make_queue_fixture<Hazard>;
-  if (name == "queue_hazard_cached") return make_queue_fixture<Cached>;
-  if (name == "queue_epoch") return make_queue_fixture<Epoch>;
-  if (name == "sharded_stack_hazard_cached") return make_sharded_stack_fixture;
+  using Tagged = reclaim::TaggedReclaimer<SimP>;
+  using Leaky = reclaim::LeakyReclaimer<SimP>;
+  using Mutant = reclaim::MutantTaggedReclaimer<SimP>;
+  using TaggedHead = structures::TaggedCasHead<SimP>;
+  const int pool = pool_per_process;
+  ABA_CHECK(pool >= 1);
+  if (name == "stack_hazard") {
+    return [pool](int n) { return make_stack_fixture<Hazard>(n, pool); };
+  }
+  if (name == "stack_hazard_cached") {
+    return [pool](int n) { return make_stack_fixture<Cached>(n, pool); };
+  }
+  if (name == "stack_epoch") {
+    return [pool](int n) { return make_stack_fixture<Epoch>(n, pool); };
+  }
+  if (name == "stack_tagged") {
+    // The shipped immediate-reuse configuration: the TaggedCasHead's
+    // per-swing version bump is what detects recycled indices.
+    return [pool](int n) {
+      return make_stack_fixture<Tagged, TaggedHead>(n, pool);
+    };
+  }
+  if (name == "stack_leaky") {
+    return [pool](int n) { return make_stack_fixture<Leaky>(n, pool); };
+  }
+  if (name == "stack_mutant_tagged") {
+    // The seeded bug: immediate reuse on a raw head — no version bump
+    // anywhere. The spec-driven search must convict this one.
+    return [pool](int n) { return make_stack_fixture<Mutant>(n, pool); };
+  }
+  if (name == "queue_hazard") {
+    return [pool](int n) { return make_queue_fixture<Hazard>(n, pool); };
+  }
+  if (name == "queue_hazard_cached") {
+    return [pool](int n) { return make_queue_fixture<Cached>(n, pool); };
+  }
+  if (name == "queue_epoch") {
+    return [pool](int n) { return make_queue_fixture<Epoch>(n, pool); };
+  }
+  if (name == "sharded_stack_hazard_cached") {
+    return [pool](int n) { return make_sharded_stack_fixture(n, pool); };
+  }
   ABA_CHECK_MSG(false, "unknown schedule-search fixture name");
   return nullptr;
 }
 
 std::vector<std::string> reclaim_fixture_names() {
   return {"stack_hazard",  "stack_hazard_cached",         "stack_epoch",
+          "stack_tagged",  "stack_leaky",                 "stack_mutant_tagged",
           "queue_hazard",  "queue_hazard_cached",         "queue_epoch",
           "sharded_stack_hazard_cached"};
 }
@@ -282,6 +426,71 @@ std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
     workload.push_back({pid, take, 0});  // The parkable readers.
   }
   return workload;
+}
+
+std::vector<WorkloadCandidate> workload_candidates(const std::string& fixture,
+                                                   int num_processes,
+                                                   int cycles) {
+  ABA_CHECK(num_processes >= 2 && cycles >= 1);
+  const bool is_queue = fixture.rfind("queue", 0) == 0;
+  const spec::Method put = is_queue ? spec::Method::kEnq : spec::Method::kPush;
+  const spec::Method take = is_queue ? spec::Method::kDeq : spec::Method::kPop;
+  std::vector<WorkloadCandidate> candidates;
+
+  candidates.push_back(
+      {"storm", storm_workload(fixture, num_processes, cycles)});
+
+  {
+    // Two stormers churning the pool; at n == 2 the second collapses onto
+    // pid 0 (a double-length storm), which is still a legal shape.
+    const int second = num_processes >= 3 ? 1 : 0;
+    std::vector<harness::WorkloadOp> w;
+    w.push_back({0, put, 1});
+    for (int i = 0; i < cycles; ++i) {
+      w.push_back({0, put, static_cast<std::uint64_t>(100 + i)});
+      w.push_back({second, put, static_cast<std::uint64_t>(200 + i)});
+      w.push_back({0, take, 0});
+      w.push_back({second, take, 0});
+    }
+    w.push_back({0, take, 0});  // Drain the prime.
+    for (int pid = second + 1; pid < num_processes; ++pid) {
+      w.push_back({pid, take, 0});
+    }
+    candidates.push_back({"double_storm", std::move(w)});
+  }
+
+  {
+    // All puts then all takes: the maximal-occupancy shape. Failed puts
+    // under pool exhaustion are legal no-ops in the specs (ret == 0).
+    std::vector<harness::WorkloadOp> w;
+    for (int i = 0; i <= cycles; ++i) {
+      w.push_back({0, put, static_cast<std::uint64_t>(300 + i)});
+    }
+    for (int i = 0; i <= cycles; ++i) w.push_back({0, take, 0});
+    for (int pid = 1; pid < num_processes; ++pid) {
+      w.push_back({pid, take, 0});
+    }
+    candidates.push_back({"put_surge", std::move(w)});
+  }
+
+  {
+    // The storm against readers that each take twice: two parkable
+    // vulnerable windows per reader instead of one.
+    std::vector<harness::WorkloadOp> w;
+    w.push_back({0, put, 1});
+    for (int i = 0; i < cycles; ++i) {
+      w.push_back({0, put, static_cast<std::uint64_t>(400 + i)});
+      w.push_back({0, take, 0});
+    }
+    w.push_back({0, take, 0});  // Drain the prime.
+    for (int pid = 1; pid < num_processes; ++pid) {
+      w.push_back({pid, take, 0});
+      w.push_back({pid, take, 0});
+    }
+    candidates.push_back({"reader_pairs", std::move(w)});
+  }
+
+  return candidates;
 }
 
 // ----------------------------------------------------------------- runner
@@ -365,6 +574,11 @@ int ScheduleRunner::ops_remaining(int pid) const {
       queues_[static_cast<std::size_t>(pid)].size() -
       next_op_[static_cast<std::size_t>(pid)];
   return static_cast<int>(queued) + (fixture_.world->is_idle(pid) ? 0 : 1);
+}
+
+bool ScheduleRunner::has_crash() const {
+  return std::any_of(grants_.begin(), grants_.end(),
+                     [](int g) { return is_crash_grant(g); });
 }
 
 ScheduleScript ScheduleRunner::script() const {
@@ -487,11 +701,109 @@ std::vector<int> ScheduleExplorer::ordered_choices(Live& live) const {
   return choices;
 }
 
-void ScheduleExplorer::record(const Live& live) {
+namespace {
+
+// Violations beyond this many are still *detected* (the search stops on the
+// first one by default) but not stored — each carries a full script.
+constexpr std::size_t kMaxRecordedViolations = 8;
+
+// What a grant does at the current configuration, for the independence
+// relation. An invoke grant runs only process-local code up to the first
+// announcement; a step grant executes the poised shared-memory op; a crash
+// grant kills its victim (and death rewires reclaimer bookkeeping across
+// processes via expropriation, so crashes conflict with everything).
+struct GrantKind {
+  bool crash = false;
+  bool invoke = false;
+  sim::PendingOp op;  // Valid iff step grant (!crash && !invoke).
+};
+
+GrantKind classify_grant(const sim::SimWorld& world, int grant) {
+  GrantKind kind;
+  if (is_crash_grant(grant)) {
+    kind.crash = true;
+    return kind;
+  }
+  const std::optional<sim::PendingOp> poised = world.poised(grant);
+  if (!poised.has_value()) {
+    kind.invoke = true;
+    return kind;
+  }
+  kind.op = *poised;
+  return kind;
+}
+
+// Two shared-memory steps commute iff they touch different objects or
+// neither writes.
+bool ops_independent(const sim::PendingOp& a, const sim::PendingOp& b) {
+  if (a.obj != b.obj) return true;
+  return a.kind == sim::OpKind::kRead && b.kind == sim::OpKind::kRead;
+}
+
+// The process a grant belongs to (its victim, for a crash grant). Two
+// grants of the same process are always dependent: program order.
+int grant_pid(int grant) {
+  return is_crash_grant(grant) ? crash_victim(grant) : grant;
+}
+
+}  // namespace
+
+// The DPOR configuration hash: everything that determines the future of the
+// search from this juncture. SimWorld::signature_key() covers object values
+// and poised ops; the rest is engine-side — remaining per-process programs,
+// the spent preemption/crash budget (feasible continuations depend on it),
+// the continuity anchor, and the reclaimer's thread-private bookkeeping
+// (reclaim::Fingerprint) that the signature cannot see. With spec verdicts
+// on, the completed-op history is folded in too: two configurations must
+// agree on what they will be *judged* on, not just on what they will do.
+std::uint64_t ScheduleExplorer::state_key(const Live& live) const {
+  reclaim::Fingerprint fp;
+  fp.mix_range(live.runner.fixture().world->signature_key());
+  // The per-process observation hashes pin the *local* continuations, which
+  // the signature deliberately omits — two program points can announce the
+  // same PendingOp (a loop-top read vs its validation re-read) with very
+  // different futures. Commuting independent steps leaves every process's
+  // own observation sequence unchanged, so equivalent interleavings still
+  // collide.
+  fp.mix_range(live.runner.fixture().world->observation_hashes());
+  fp.mix_range(live.runner.op_cursors());
+  fp.mix(static_cast<std::uint64_t>(live.last_pid + 1));
+  fp.mix(static_cast<std::uint64_t>(live.switches));
+  fp.mix(static_cast<std::uint64_t>(live.crashes));
+  fp.mix(live.runner.fixture().invoker->reclaim_fingerprint());
+  if (options_.check_spec) {
+    for (const auto& op : live.runner.fixture().history->completed_ops()) {
+      fp.mix(static_cast<std::uint64_t>(op.pid));
+      fp.mix(static_cast<std::uint64_t>(op.method));
+      fp.mix(op.arg);
+      fp.mix(op.ret);
+    }
+  }
+  return fp.value();
+}
+
+bool ScheduleExplorer::stopped() const {
+  return result_.budget_exhausted ||
+         (options_.stop_on_violation && result_.violation_found());
+}
+
+void ScheduleExplorer::record(Live& live) {
   FoundSchedule found;
   found.script = live.runner.script();
   found.peak_cost = live.runner.peak();
   found.peak_grant = live.runner.peak_grant();
+  if (options_.check_spec) {
+    const SearchFixture& fx = live.runner.fixture();
+    static const std::vector<int> kNoTags;
+    const std::vector<int>& tags = fx.shard_tags ? fx.shard_tags() : kNoTags;
+    const SpecVerdict verdict =
+        check_history(fx.spec, fx.history->completed_ops(), tags,
+                      fx.num_shards, live.runner.has_crash());
+    if (verdict.checked && !verdict.ok &&
+        result_.violations.size() < kMaxRecordedViolations) {
+      result_.violations.push_back({found.script, verdict.detail});
+    }
+  }
   auto& best = result_.best;
   const auto pos = std::find_if(
       best.begin(), best.end(),
@@ -502,9 +814,37 @@ void ScheduleExplorer::record(const Live& live) {
   }
 }
 
-void ScheduleExplorer::dfs(std::unique_ptr<Live> live) {
+void ScheduleExplorer::dfs(std::unique_ptr<Live> live, SleepSet sleep) {
+  // Sleep sets are sound only when the context bound cannot exclude any
+  // interleaving: a slept order's explored representative is a commutation
+  // with a different preemption count, which a finite bound may have cut
+  // (see the file comment in schedule_search.h).
+  const bool sleep_active =
+      options_.dpor && options_.context_bound >= kUnboundedContextBound;
+  // Slept-choice matching. A slept entry names a *transition* (pid plus the
+  // exact poised op, or the pid's next invoke), not a bare pid — the same
+  // pid poised at a different op later is a different transition.
+  const auto same_op = [](const sim::PendingOp& a, const sim::PendingOp& b) {
+    return a.obj == b.obj && a.kind == b.kind && a.arg0 == b.arg0 &&
+           a.arg1 == b.arg1;
+  };
+  const auto matches = [&](const SleptChoice& s, int grant,
+                           const GrantKind& k) {
+    return s.grant == grant && s.invoke == k.invoke &&
+           (k.invoke || same_op(s.op, k.op));
+  };
+  // A slept entry survives past an executed grant iff the two commute:
+  // different processes, no crash involved, no same-object write race.
+  const auto still_asleep = [&](const SleptChoice& s, int grant,
+                                const GrantKind& k) {
+    if (k.crash) return false;
+    if (grant_pid(s.grant) == grant_pid(grant)) return false;
+    if (s.invoke || k.invoke) return true;
+    return ops_independent(s.op, k.op);
+  };
+
   for (;;) {
-    if (result_.budget_exhausted) return;
+    if (stopped()) return;
     if (live->runner.all_done()) {
       record(*live);
       if (++result_.executions >= options_.max_executions) {
@@ -516,26 +856,127 @@ void ScheduleExplorer::dfs(std::unique_ptr<Live> live) {
       result_.budget_exhausted = true;
       return;
     }
-    const std::vector<int> choices = ordered_choices(*live);
+    ++result_.nodes;
+
+    // Visited-state dominance: a revisit whose recorded running peak is at
+    // least ours already scored every completion from here at least as high
+    // (peak(completion) = max(peak_so_far, future(state)), and the future
+    // is a function of the state alone).
+    if (options_.dpor) {
+      std::uint64_t key = state_key(*live);
+      if (sleep_active && !sleep.empty()) {
+        // A state first explored under one sleep set must not prune a
+        // revisit under a different one — the revisit may explore choices
+        // the first visit slept — so the sleep set is part of the cache
+        // identity. XOR keeps the key independent of entry order.
+        std::uint64_t sleep_fp = 0;
+        for (const SleptChoice& s : sleep) {
+          reclaim::Fingerprint f;
+          f.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.grant)));
+          f.mix(s.invoke ? 1 : 0);
+          f.mix(static_cast<std::uint64_t>(s.op.obj));
+          f.mix(static_cast<std::uint64_t>(s.op.kind));
+          f.mix(s.op.arg0);
+          f.mix(s.op.arg1);
+          sleep_fp ^= f.value();
+        }
+        reclaim::Fingerprint f;
+        f.mix(key);
+        f.mix(sleep_fp);
+        key = f.value();
+      }
+      const double peak = live->runner.peak();
+      auto [it, inserted] = visited_.try_emplace(key, peak);
+      if (!inserted) {
+        if (it->second >= peak) {
+          ++result_.pruned_states;
+          return;
+        }
+        it->second = peak;
+      }
+    }
+
+    std::vector<int> choices = ordered_choices(*live);
     ABA_CHECK_MSG(!choices.empty(),
                   "no feasible grant but work remains (context bound cannot "
                   "exclude the running process)");
+    const sim::SimWorld& world = *live->runner.fixture().world;
+    std::vector<GrantKind> kinds;
+    kinds.reserve(choices.size());
+    for (const int grant : choices) {
+      kinds.push_back(classify_grant(world, grant));
+    }
+
+    // Sleep-set filter: a choice that commuted with every grant since an
+    // explored sibling took it reaches a configuration in that sibling's
+    // Mazurkiewicz trace — skip it here.
+    if (sleep_active && !sleep.empty()) {
+      std::vector<int> kept;
+      std::vector<GrantKind> kept_kinds;
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        const bool slept = std::any_of(
+            sleep.begin(), sleep.end(), [&](const SleptChoice& s) {
+              return matches(s, choices[i], kinds[i]);
+            });
+        if (slept) {
+          ++result_.pruned_sleep;
+          continue;
+        }
+        kept.push_back(choices[i]);
+        kept_kinds.push_back(kinds[i]);
+      }
+      choices = std::move(kept);
+      kinds = std::move(kept_kinds);
+      if (choices.empty()) return;  // Fully covered by explored siblings.
+    }
+
     if (choices.size() == 1) {
+      if (sleep_active && !sleep.empty()) {
+        // Wake slept transitions the executed grant conflicts with.
+        SleepSet kept;
+        for (const SleptChoice& s : sleep) {
+          if (still_asleep(s, choices[0], kinds[0])) kept.push_back(s);
+        }
+        sleep = std::move(kept);
+      }
       live->advance(choices[0]);
       ++result_.grants;
       continue;
     }
-    // Branch point: the heuristic-preferred child inherits the live run;
-    // siblings are rebuilt by prefix replay (Exec(C, sigma)).
+
+    // Branch point: the heuristic-preferred child inherits the live run
+    // (no replay for the leftmost path — the fix for re-running fixture
+    // setup per node); only the remaining siblings are rebuilt by prefix
+    // replay (Exec(C, sigma)), and each lands directly on the child's
+    // visited-state check, so a revisited subtree costs one replay, never
+    // a re-exploration.
     const std::vector<int> prefix = live->runner.grants();
+    bool live_used = false;
     for (std::size_t i = 0; i < choices.size(); ++i) {
-      if (result_.budget_exhausted) return;
-      std::unique_ptr<Live> child =
-          (i == 0) ? std::move(live) : replay_prefix(prefix);
-      result_.grants += (i == 0) ? 0 : prefix.size();
+      if (stopped()) return;
+      std::unique_ptr<Live> child;
+      if (!live_used) {
+        child = std::move(live);
+        live_used = true;
+      } else {
+        child = replay_prefix(prefix);
+        result_.grants += prefix.size();
+        result_.replayed_grants += prefix.size();
+      }
+      SleepSet child_sleep;
+      if (sleep_active) {
+        for (const SleptChoice& s : sleep) {
+          if (still_asleep(s, choices[i], kinds[i])) child_sleep.push_back(s);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          if (kinds[j].crash) continue;  // Dependent with everything.
+          const SleptChoice s{choices[j], kinds[j].invoke, kinds[j].op};
+          if (still_asleep(s, choices[i], kinds[i])) child_sleep.push_back(s);
+        }
+      }
       child->advance(choices[i]);
       ++result_.grants;
-      dfs(std::move(child));
+      dfs(std::move(child), std::move(child_sleep));
     }
     return;
   }
@@ -543,8 +984,39 @@ void ScheduleExplorer::dfs(std::unique_ptr<Live> live) {
 
 SearchResult ScheduleExplorer::run() {
   result_ = SearchResult{};
-  dfs(make_live());
+  visited_.clear();
+  dfs(make_live(), SleepSet{});
   return std::move(result_);
+}
+
+WorkloadSearchResult search_workloads(
+    const SearchFixtureFactory& factory, int num_processes,
+    const std::vector<WorkloadCandidate>& candidates, const CostFn& cost,
+    const SearchOptions& options) {
+  ABA_CHECK_MSG(!candidates.empty(), "workload search needs candidates");
+  WorkloadSearchResult result;
+  bool first = true;
+  for (const WorkloadCandidate& candidate : candidates) {
+    ScheduleExplorer explorer(factory, num_processes, candidate.workload, cost,
+                              options);
+    SearchResult search = explorer.run();
+    const double peak = search.top() ? search.top()->peak_cost : 0.0;
+    result.peaks.emplace_back(candidate.name, peak);
+    const double best_peak =
+        result.best.top() ? result.best.top()->peak_cost : 0.0;
+    if (first || peak > best_peak) {
+      first = false;
+      result.best_name = candidate.name;
+      result.best = std::move(search);
+    }
+  }
+  for (FoundSchedule& found : result.best.best) {
+    found.script.meta["workload"] = result.best_name;
+  }
+  for (FoundViolation& violation : result.best.violations) {
+    violation.script.meta["workload"] = result.best_name;
+  }
+  return result;
 }
 
 ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
@@ -580,6 +1052,9 @@ ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
     result.shard_tags = runner.fixture().shard_tags();
   }
   result.num_shards = runner.fixture().num_shards;
+  result.verdict =
+      check_history(runner.fixture().spec, result.history, result.shard_tags,
+                    result.num_shards, runner.has_crash());
   return result;
 }
 

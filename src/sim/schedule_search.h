@@ -32,6 +32,54 @@
 //     golden bounds, so every future reclaimer change is re-checked against
 //     the worst schedules ever found.
 //
+// PR 7 grows the explorer into a lincheck-style model checker:
+//
+//   * DPOR-STYLE PRUNING — configurations are keyed on a hash of
+//     SimWorld::signature_key() (object values + poised ops) extended with
+//     the per-process workload cursors, the preemption/crash budget spent,
+//     and the reclaimer fingerprint (reclaim::Fingerprint — the
+//     thread-private free/retired/limbo bookkeeping the signature omits).
+//     A revisited configuration whose recorded running peak dominates the
+//     current one is pruned: any completion from here was already scored at
+//     least as high (peak(completion) = max(peak_so_far, future(state))).
+//     The DFS hands its live runner to the heuristic-preferred child, so
+//     only non-preferred siblings pay a prefix replay — the fix for the
+//     explorer re-running fixture setup per DFS node; the
+//     `replayed_grants` counter measures what remains. Sleep sets skip
+//     grant orders that commute with already-explored siblings (two step
+//     grants are independent iff they touch different objects or are both
+//     reads; invocations are local; crash grants conservatively conflict
+//     with everything). Sleep sets prune by Mazurkiewicz-trace equivalence
+//     of *final* states; a peak attained only in the skipped intermediate
+//     order can in principle be missed, which is why the corpus-hygiene
+//     test re-asserts every committed golden peak against the pruned
+//     search, and why `SearchOptions::dpor` can be switched off.
+//     Sleep sets engage only when context_bound == kUnboundedContextBound:
+//     under a finite preemption budget they are UNSOUND, because the
+//     commuted representative of a slept order can need a different number
+//     of preemptions than the order it prunes — the explored sibling
+//     subtree may have had its representative cut by the bound, leaving the
+//     whole trace class unexplored (this exact interaction hid the mutant
+//     reclaimer's ABA conviction). Bounded searches therefore prune with
+//     the visited-state map only, which is sound: the state key pins the
+//     configuration's entire future, spent budget included.
+//
+//   * SPEC-DRIVEN VERDICTS — each completed schedule's recorded history is
+//     replayed through the sequential StackSpec/QueueSpec linearizability
+//     checkers (per-shard for tagging fixtures, conservation-only once a
+//     crash grant truncates the victim's history), so the searcher hunts
+//     correctness violations directly. The mutation test seeds a broken
+//     reclaimer (reclaim/mutant.h) and asserts the search convicts it
+//     while every shipped reclaimer survives the identical budget.
+//
+//   * WORKLOAD SEARCH — the op mix itself becomes a search dimension:
+//     workload_candidates() enumerates adversarial shapes (storm, double
+//     storm, put surge, symmetric pairs) and search_workloads() runs the
+//     explorer over each, returning the argmax. Together with n>2 fixtures
+//     (multiple parked readers vs a storm) and composite costs
+//     (epoch lag × retire backlog) this is the outer loop every new
+//     structure plugs into.
+//
 // Everything here is deterministic: the search uses no randomness, fixture
 // construction is replayable, and two replays of the same script produce
 // bit-identical step traces (the corpus test asserts exactly that).
@@ -39,10 +87,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "harness/harness.h"
@@ -89,6 +140,12 @@ struct ScheduleScript {
 
 // ------------------------------------------------------------ fixtures
 
+// The sequential specification a fixture's histories are checked against
+// when the search runs with spec-driven verdicts (SearchOptions::check_spec).
+// kShardedStack splits the history by the tagging adapter's landing shards
+// and checks each shard as an exact stack.
+enum class SpecKind : std::uint8_t { kNone, kStack, kQueue, kShardedStack };
+
 // One fresh instrumented execution target: the world, the history the
 // invoker records into, and the invoker driving the implementation (which
 // owns it). `shard_tags`, when set, exposes the tagging adapter's per-op
@@ -100,6 +157,7 @@ struct SearchFixture {
   std::unique_ptr<harness::Invoker> invoker;
   std::function<const std::vector<int>&()> shard_tags;  // Null if unsharded.
   int num_shards = 1;
+  SpecKind spec = SpecKind::kNone;
   // Death oracle wired into the reclaimer (is_dead == world->is_crashed).
   // Owned here so it outlives the structure that holds a pointer to it.
   // Installing it is trace-neutral: with no crashes the reclaimers take no
@@ -112,12 +170,23 @@ struct SearchFixture {
 // replay-based backtracking and corpus replays deterministic).
 using SearchFixtureFactory = std::function<SearchFixture(int n)>;
 
+// Default per-process pool: sized so the storm workloads (tens of cycles)
+// never exhaust a process's free list even when a frozen epoch keeps every
+// retiree in limbo. The mutation tests shrink it so index recycling is
+// reachable within a small search budget.
+inline constexpr int kDefaultPoolPerProcess = 48;
+
 // The standard reclaimer-targeting fixtures over the simulator, keyed by
 // the corpus `fixture` meta value: {stack,queue}_{hazard,hazard_cached,
-// epoch} (TreiberStack with a raw CAS head / MsQueue, pool sized for the
-// storm workloads) and sharded_stack_hazard_cached (2 shards, tagging
-// invoker). ABA_CHECK-fails on an unknown name.
-SearchFixtureFactory reclaim_fixture(const std::string& name);
+// epoch} (TreiberStack with a raw CAS head / MsQueue),
+// sharded_stack_hazard_cached (2 shards, tagging invoker), plus the
+// CAS-site-policy family the mutation tests contrast: stack_tagged
+// (immediate reuse, version-bumping TaggedCasHead), stack_leaky (no reuse,
+// raw head), and stack_mutant_tagged (reclaim/mutant.h: immediate reuse on
+// a raw head — the seeded ABA bug the spec-driven search must convict).
+// ABA_CHECK-fails on an unknown name.
+SearchFixtureFactory reclaim_fixture(
+    const std::string& name, int pool_per_process = kDefaultPoolPerProcess);
 std::vector<std::string> reclaim_fixture_names();
 
 // The canonical adversarial workload for those fixtures: process 0 drives
@@ -127,6 +196,21 @@ std::vector<std::string> reclaim_fixture_names();
 std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
                                                 int num_processes, int cycles);
 
+// A named workload shape for the outer (workload-dimension) search.
+struct WorkloadCandidate {
+  std::string name;
+  std::vector<harness::WorkloadOp> workload;
+};
+
+// The adversarial op-mix candidates for a fixture: "storm" (the canonical
+// seed above), "double_storm" (two stormers), "put_surge" (all puts, then
+// all takes), and "reader_pairs" (each reader takes twice — two parkable
+// vulnerable windows per reader). All shapes are legal at any n >= 2 and
+// under pool exhaustion (a failed put is a legal no-op in the specs).
+std::vector<WorkloadCandidate> workload_candidates(const std::string& fixture,
+                                                   int num_processes,
+                                                   int cycles);
+
 // --------------------------------------------------------------- costs
 
 using CostFn = std::function<double(const reclaim::ReclaimStats&)>;
@@ -135,10 +219,35 @@ double retired_unreclaimed_cost(const reclaim::ReclaimStats& s);
 double pool_pressure_cost(const reclaim::ReclaimStats& s);
 double guard_occupancy_cost(const reclaim::ReclaimStats& s);
 double epoch_lag_cost(const reclaim::ReclaimStats& s);
+// Composite: epoch lag × retired backlog. High only when a pinned epoch AND
+// an accumulating limbo coincide — the system-wide unbounded-garbage shape
+// the epoch reclaimer's retire-bound weakness predicts.
+double epoch_lag_backlog_cost(const reclaim::ReclaimStats& s);
 
 // Lookup by corpus meta name ("retired_unreclaimed", "pool_pressure",
-// "guard_occupancy", "epoch_lag"); ABA_CHECK-fails on an unknown name.
+// "guard_occupancy", "epoch_lag", "epoch_lag_backlog"); ABA_CHECK-fails on
+// an unknown name.
 CostFn cost_by_name(const std::string& name);
+
+// ------------------------------------------------------------- verdicts
+
+// Outcome of checking one recorded history against a fixture's sequential
+// spec. `checked` is false when the fixture declares no spec (kNone).
+struct SpecVerdict {
+  bool checked = false;
+  bool ok = true;
+  std::string detail;  // Human-readable failure evidence when !ok.
+};
+
+// Replays `ops` through the sequential spec for `kind`. Crash histories
+// (has_crash) are checked for multiset conservation only — no value taken
+// that was never put — because the victim's pending op may have taken
+// effect without completing. kShardedStack splits by `shard_tags` (which
+// must be index-aligned with `ops`) and checks each shard as an exact
+// stack; the others run the Wing&Gong linearizability checker whole.
+SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
+                          const std::vector<int>& shard_tags, int num_shards,
+                          bool has_crash);
 
 // -------------------------------------------------------------- runner
 
@@ -169,6 +278,11 @@ class ScheduleRunner {
   const std::vector<int>& grants() const { return grants_; }
   int num_processes() const { return static_cast<int>(queues_.size()); }
   int ops_remaining(int pid) const;
+  // Per-process workload cursors — folded into the DPOR state key (two
+  // configurations with equal signatures but different remaining programs
+  // have different futures).
+  const std::vector<std::size_t>& op_cursors() const { return next_op_; }
+  bool has_crash() const;
 
   const SearchFixture& fixture() const { return fixture_; }
   harness::Invoker& invoker() { return *fixture_.invoker; }
@@ -191,10 +305,19 @@ class ScheduleRunner {
 
 // ------------------------------------------------------------- explorer
 
+// context_bound value meaning "no preemption budget": every interleaving is
+// feasible. This is also the only setting at which sleep-set pruning
+// engages — under a finite bound the commuted representative of a slept
+// choice can need a different number of preemptions than the order it
+// prunes, so sleep sets could cut schedules no explored sibling covers
+// (see the file comment).
+inline constexpr int kUnboundedContextBound = std::numeric_limits<int>::max();
+
 struct SearchOptions {
   int top_k = 3;
   // CHESS-style preemption budget: grants that switch away from a
   // still-runnable process, beyond this many per schedule, are pruned.
+  // Set to kUnboundedContextBound for exhaustive searches.
   int context_bound = 3;
   // Completed schedules to explore before stopping.
   std::uint64_t max_executions = 192;
@@ -211,6 +334,17 @@ struct SearchOptions {
   // the preferred DFS path explores the crash). 0 = crash-free search; the
   // default keeps all existing searches byte-identical.
   int max_crashes = 0;
+  // DPOR-style pruning (see the header comment): visited-state dominance
+  // and — only at context_bound == kUnboundedContextBound — sleep sets
+  // over independent grants. Off = PR 5's plain bounded DFS; the
+  // node-budget regression test measures the difference.
+  bool dpor = true;
+  // Run each completed schedule's history through the fixture's sequential
+  // spec (check_history); failures are recorded in SearchResult::violations.
+  bool check_spec = false;
+  // Stop the search at the first spec violation (the conviction is the
+  // result; the remaining budget would only find more of the same).
+  bool stop_on_violation = true;
 };
 
 struct FoundSchedule {
@@ -219,14 +353,48 @@ struct FoundSchedule {
   std::uint64_t peak_grant = 0;
 };
 
+// A schedule whose completed history failed the fixture's sequential spec —
+// the model checker's conviction, replayable like any other script.
+struct FoundViolation {
+  ScheduleScript script;
+  std::string detail;
+};
+
 struct SearchResult {
   std::vector<FoundSchedule> best;  // Sorted by peak_cost, descending.
+  std::vector<FoundViolation> violations;  // check_spec failures (capped).
   std::uint64_t executions = 0;
   std::uint64_t grants = 0;
+  // DPOR accounting. `nodes` counts DFS junctures entered; the pruned_*
+  // counters are subtrees cut by the visited-state map and choices skipped
+  // by sleep sets. replayed_grants is the share of `grants` spent
+  // rebuilding sibling prefixes — the cost handing the live runner to the
+  // preferred child avoids for the leftmost path, and state pruning
+  // shrinks for the rest.
+  std::uint64_t nodes = 0;
+  std::uint64_t pruned_states = 0;
+  std::uint64_t pruned_sleep = 0;
+  std::uint64_t replayed_grants = 0;
   bool budget_exhausted = false;
 
   const FoundSchedule* top() const { return best.empty() ? nullptr : &best[0]; }
+  bool violation_found() const { return !violations.empty(); }
 };
+
+// Outer search over the workload dimension: runs the explorer once per
+// candidate and returns the argmax by top peak cost, with every
+// candidate's peak for reporting. Each winning script is stamped with
+// meta["workload"] = candidate name.
+struct WorkloadSearchResult {
+  std::string best_name;
+  SearchResult best;
+  std::vector<std::pair<std::string, double>> peaks;  // name -> top peak.
+};
+
+WorkloadSearchResult search_workloads(
+    const SearchFixtureFactory& factory, int num_processes,
+    const std::vector<WorkloadCandidate>& candidates, const CostFn& cost,
+    const SearchOptions& options);
 
 struct ReplayResult {
   double peak_cost = 0;
@@ -239,6 +407,9 @@ struct ReplayResult {
   std::vector<sim::StepRecord> trace;  // Bit-identical across replays.
   std::vector<int> shard_tags;         // Empty for unsharded fixtures.
   int num_shards = 1;
+  // The history checked against the fixture's spec (check_history);
+  // verdict.checked is false for fixtures that declare SpecKind::kNone.
+  SpecVerdict verdict;
 };
 
 class ScheduleExplorer {
@@ -257,12 +428,25 @@ class ScheduleExplorer {
 
  private:
   struct Live;
+  // A grant another branch already explored from an equivalent juncture,
+  // carried down so commuting re-orderings of it are skipped. Step grants
+  // remember the poised op they stood for (the pid alone is not a stable
+  // transition identity — its poised op changes as it advances); invoke
+  // grants are identified by the pid's cursor position via the state key.
+  struct SleptChoice {
+    int grant = -1;
+    bool invoke = false;
+    sim::PendingOp op;
+  };
+  using SleepSet = std::vector<SleptChoice>;
 
   std::unique_ptr<Live> make_live() const;
   std::unique_ptr<Live> replay_prefix(const std::vector<int>& grants) const;
-  void dfs(std::unique_ptr<Live> live);
-  void record(const Live& live);
+  void dfs(std::unique_ptr<Live> live, SleepSet sleep);
+  void record(Live& live);
   std::vector<int> ordered_choices(Live& live) const;
+  std::uint64_t state_key(const Live& live) const;
+  bool stopped() const;
 
   SearchFixtureFactory factory_;
   int num_processes_;
@@ -270,6 +454,9 @@ class ScheduleExplorer {
   CostFn cost_;
   SearchOptions options_;
   SearchResult result_;
+  // DPOR map, per run(): best running peak recorded at each visited
+  // configuration hash.
+  std::unordered_map<std::uint64_t, double> visited_;
 };
 
 }  // namespace aba::search

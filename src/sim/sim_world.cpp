@@ -293,6 +293,14 @@ std::uint64_t SimWorld::total_steps() const {
   return total_steps_;
 }
 
+std::vector<std::uint64_t> SimWorld::observation_hashes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(procs_.size());
+  for (const auto& proc : procs_) hashes.push_back(proc.obs_hash);
+  return hashes;
+}
+
 AccessResult SimWorld::apply_locked(const PendingOp& op, ProcessId pid) {
   ABA_ASSERT(op.obj >= 0 && static_cast<std::size_t>(op.obj) < objects_.size());
   auto& obj = objects_[op.obj];
@@ -326,6 +334,18 @@ AccessResult SimWorld::apply_locked(const PendingOp& op, ProcessId pid) {
   const std::uint64_t time = clock_++;
   ++total_steps_;
   ++procs_[pid].steps_in_method;
+  {
+    auto& proc = procs_[pid];
+    const auto mix = [&proc](std::uint64_t word) {
+      proc.obs_hash = (proc.obs_hash ^ word) * 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(op.obj));
+    mix(static_cast<std::uint64_t>(op.kind));
+    mix(op.arg0);
+    mix(op.arg1);
+    mix(result.value);
+    mix(result.cas_success ? 1 : 0);
+  }
   if (trace_enabled_) {
     trace_.push_back(StepRecord{time, pid, op.obj, op.kind, op.arg0, op.arg1,
                                 result.value, result.cas_success});

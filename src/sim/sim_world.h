@@ -88,6 +88,17 @@ class SimWorld {
   // the same operation with the same parameters.
   std::vector<std::uint64_t> signature_key() const;
 
+  // Per-process rolling hash of the process's own executed steps (operation
+  // plus observed result), since the world was created. This is the local
+  // history that — together with the sequence of methods invoked on the
+  // process — determines its internal continuation, which signature_key
+  // deliberately omits (two distinct program points can announce the same
+  // PendingOp: a loop-top read and its validation re-read). Reordering
+  // *independent* steps of other processes leaves every process's own
+  // observation sequence unchanged, so the model checker folds these into
+  // its DPOR state key: equal hashes + equal signature means equal futures.
+  std::vector<std::uint64_t> observation_hashes() const;
+
   // ---- Process control (engine thread only) ----
 
   // Starts `method` on process `pid` (which must be idle) and runs it until
@@ -170,6 +181,7 @@ class SimWorld {
     // and acknowledges by setting phase = kCrashed.
     bool crash_requested = false;
     std::uint64_t steps_in_method = 0;
+    std::uint64_t obs_hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
     std::unique_ptr<std::condition_variable> cv =
         std::make_unique<std::condition_variable>();
   };

@@ -125,6 +125,21 @@ class ShardRouter {
     }
     return worst;
   }
+  // Per-shard fingerprints plus the routing tags: the last-shard values
+  // steer the next operation's probe order, so two configurations that
+  // differ only there have different futures.
+  std::uint64_t reclaim_fingerprint() const {
+    reclaim::Fingerprint fp;
+    for (const auto& s : shards_) {
+      if constexpr (requires { s->reclaimer().fingerprint(); }) {
+        fp.mix(s->reclaimer().fingerprint());
+      }
+    }
+    for (const auto& tag : last_) {
+      fp.mix(static_cast<std::uint64_t>(tag.value));
+    }
+    return fp.value();
+  }
 
   // Releases p's cached reclaimer guards on every shard (see
   // TreiberStack::detach); no-op for guard-free policies.

@@ -1,0 +1,375 @@
+// Model-checker tests (src/sim/schedule_search.h, PR 7):
+//
+//   * MUTATION HARNESS — the spec-driven search must convict the seeded
+//     mutant reclaimer (reclaim/mutant.h: immediate FIFO reuse on a raw
+//     CAS head, i.e. the classic ABA) within a small bounded budget, and
+//     every shipped reclaimer must survive the *identical* budget clean.
+//     The conviction is a replayable script whose replay re-produces the
+//     failing verdict.
+//   * DPOR REGRESSIONS — with pruning on, the bounded exhaustive search
+//     must explore measurably fewer nodes and spend measurably fewer
+//     replayed grants than PR 5's plain DFS while reaching the same peak
+//     and the same conviction; with an unbounded context bound, sleep
+//     sets + state caching must exhaust a space plain DFS cannot finish.
+//   * CORPUS HYGIENE — every committed tests/schedules/*.sched golden
+//     expect_peak is still what the search finds at the committed depth
+//     (equality for plain schedules; the crash emitter picks a recovering
+//     candidate from the top-K, so crash goldens assert containment).
+//   * n>2 AND WORKLOAD SEARCH — three-process fixtures search and verify
+//     clean, the outer workload search returns the argmax candidate and
+//     stamps the winning shape into script meta, and crash grants compose
+//     with DPOR + spec checking (conservation-only verdicts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/schedule_search.h"
+#include "spec/history.h"
+
+namespace aba::search {
+namespace {
+
+// The mutation-harness budget: identical for the mutant and every shipped
+// reclaimer. Pool of 2 nodes/process makes index recycling reachable within
+// a couple of storm cycles; context bound 3 covers the park → storm →
+// resume → observe shape of a harmful ABA.
+SearchOptions mutation_budget() {
+  SearchOptions options;
+  options.top_k = 1;
+  options.context_bound = 3;
+  options.max_executions = 256;
+  options.check_spec = true;
+  options.stop_on_violation = true;
+  return options;
+}
+constexpr int kMutationPool = 2;
+constexpr int kMutationCycles = 2;
+
+// Runs the spec-driven search over every workload candidate and returns
+// the first conviction (empty detail if the fixture survives them all).
+struct SweepOutcome {
+  std::string convicted_workload;
+  ScheduleScript conviction;
+  std::string detail;
+  std::uint64_t executions = 0;
+};
+
+SweepOutcome sweep_workloads(const std::string& fixture_name) {
+  SweepOutcome outcome;
+  const auto factory = reclaim_fixture(fixture_name, kMutationPool);
+  for (const auto& candidate :
+       workload_candidates(fixture_name, 2, kMutationCycles)) {
+    ScheduleExplorer explorer(factory, 2, candidate.workload,
+                              pool_pressure_cost, mutation_budget());
+    const SearchResult result = explorer.run();
+    outcome.executions += result.executions;
+    if (!result.violations.empty()) {
+      outcome.convicted_workload = candidate.name;
+      outcome.conviction = result.violations[0].script;
+      outcome.detail = result.violations[0].detail;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+TEST(MutantCatch, SpecSearchConvictsTheMutantReclaimer) {
+  const SweepOutcome outcome = sweep_workloads("stack_mutant_tagged");
+  ASSERT_FALSE(outcome.convicted_workload.empty())
+      << "the seeded ABA mutant survived every workload candidate ("
+      << outcome.executions << " schedules explored)";
+  EXPECT_NE(outcome.detail.find("NOT linearizable"), std::string::npos)
+      << outcome.detail;
+
+  // The conviction is evidence, not an anecdote: replaying the script on a
+  // fresh fixture must re-produce a failing verdict.
+  const ReplayResult replay =
+      ScheduleExplorer::replay(reclaim_fixture("stack_mutant_tagged",
+                                               kMutationPool),
+                               outcome.conviction, pool_pressure_cost);
+  EXPECT_TRUE(replay.verdict.checked);
+  EXPECT_FALSE(replay.verdict.ok) << "conviction did not replay";
+}
+
+TEST(MutantCatch, AllShippedStackReclaimersSurviveTheIdenticalBudget) {
+  for (const std::string& name :
+       {std::string("stack_hazard"), std::string("stack_hazard_cached"),
+        std::string("stack_epoch"), std::string("stack_tagged"),
+        std::string("stack_leaky")}) {
+    SCOPED_TRACE(name);
+    const SweepOutcome outcome = sweep_workloads(name);
+    EXPECT_TRUE(outcome.convicted_workload.empty())
+        << name << " convicted on " << outcome.convicted_workload << ":\n"
+        << outcome.detail;
+  }
+}
+
+// ------------------------------------------------------ DPOR regressions
+
+TEST(DporRegression, BoundedExhaustiveSearchPrunesNodesAndReplays) {
+  // The full bounded space of the mutant's convicting workload, explored
+  // to exhaustion with and without pruning. Both must convict and agree on
+  // the peak; DPOR must do it in several-fold fewer nodes/executions and
+  // fewer replayed grants (the node-budget fix: the live runner rides down
+  // the preferred path, visited-state pruning cuts revisited subtrees).
+  const auto factory = reclaim_fixture("stack_mutant_tagged", kMutationPool);
+  const auto candidates =
+      workload_candidates("stack_mutant_tagged", 2, kMutationCycles);
+  const auto double_storm =
+      std::find_if(candidates.begin(), candidates.end(),
+                   [](const WorkloadCandidate& c) {
+                     return c.name == "double_storm";
+                   });
+  ASSERT_NE(double_storm, candidates.end());
+
+  SearchResult results[2];
+  for (const bool dpor : {true, false}) {
+    SearchOptions options = mutation_budget();
+    options.max_executions = 20000;
+    options.stop_on_violation = false;  // Exhaust; don't stop at the first.
+    options.dpor = dpor;
+    ScheduleExplorer explorer(factory, 2, double_storm->workload,
+                              pool_pressure_cost, options);
+    results[dpor ? 0 : 1] = explorer.run();
+  }
+  const SearchResult& pruned = results[0];
+  const SearchResult& plain = results[1];
+
+  ASSERT_FALSE(pruned.budget_exhausted);
+  ASSERT_FALSE(plain.budget_exhausted);
+  EXPECT_TRUE(pruned.violation_found());
+  EXPECT_TRUE(plain.violation_found());
+  ASSERT_NE(pruned.top(), nullptr);
+  ASSERT_NE(plain.top(), nullptr);
+  EXPECT_EQ(pruned.top()->peak_cost, plain.top()->peak_cost);
+
+  EXPECT_GT(pruned.pruned_states, 0u);
+  EXPECT_LE(pruned.nodes * 4, plain.nodes)
+      << "DPOR node reduction regressed (" << pruned.nodes << " vs "
+      << plain.nodes << ")";
+  EXPECT_LE(pruned.executions * 4, plain.executions);
+  EXPECT_LE(pruned.replayed_grants * 2, plain.replayed_grants)
+      << "prefix-replay cost regressed (" << pruned.replayed_grants << " vs "
+      << plain.replayed_grants << ")";
+}
+
+TEST(DporRegression, UnboundedSearchExhaustsWherePlainDfsCannot) {
+  // With no preemption budget, sleep sets engage (they are only sound
+  // there — see schedule_search.h). DPOR must exhaust the full interleaving
+  // space of a small storm; plain DFS must still be churning when its
+  // execution budget runs dry, having entered more junctures and found
+  // nothing better.
+  const auto factory = reclaim_fixture("stack_epoch");
+  const auto workload = storm_workload("stack_epoch", 2, 1);
+
+  SearchOptions options;
+  options.top_k = 1;
+  options.context_bound = kUnboundedContextBound;
+  options.max_grants = 100000000;
+
+  options.max_executions = 100000;
+  ScheduleExplorer pruned_explorer(factory, 2, workload,
+                                   retired_unreclaimed_cost, options);
+  const SearchResult pruned = pruned_explorer.run();
+
+  options.dpor = false;
+  options.max_executions = 1000;
+  ScheduleExplorer plain_explorer(factory, 2, workload,
+                                  retired_unreclaimed_cost, options);
+  const SearchResult plain = plain_explorer.run();
+
+  EXPECT_FALSE(pruned.budget_exhausted)
+      << "DPOR failed to exhaust the unbounded space in "
+      << pruned.executions << " executions";
+  EXPECT_TRUE(plain.budget_exhausted)
+      << "plain DFS finished — the fixture is too small to discriminate";
+  EXPECT_GT(pruned.pruned_sleep, 0u) << "sleep sets never engaged";
+  EXPECT_LT(pruned.nodes, plain.nodes);
+  ASSERT_NE(pruned.top(), nullptr);
+  ASSERT_NE(plain.top(), nullptr);
+  // Exhaustive-with-pruning must not miss the peak the budgeted plain
+  // search can reach.
+  EXPECT_GE(pruned.top()->peak_cost, plain.top()->peak_cost);
+}
+
+// --------------------------------------------------------- corpus hygiene
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  const std::filesystem::path dir(ABA_SCHEDULE_DIR);
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".sched") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusHygiene, GoldenPeaksAreStillTheSearchMaxima) {
+  // Re-runs the search each corpus schedule was found by — same workload,
+  // same cost, the committed search depth — and checks the golden
+  // expect_peak is still what the search attains. A plain schedule's
+  // golden must match the search maximum exactly (a higher search result
+  // means the golden went stale; lower means the searcher regressed). The
+  // crash emitter commits the first *recovering* top-K candidate, not
+  // necessarily the argmax, so crash goldens assert the search still
+  // reaches at least the committed peak.
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto script = ScheduleScript::parse(buffer.str());
+    ASSERT_TRUE(script.has_value());
+    ASSERT_TRUE(script->meta.count("fixture"));
+    ASSERT_TRUE(script->meta.count("cost"));
+    ASSERT_TRUE(script->meta.count("expect_peak"));
+
+    const double golden = std::stod(script->meta.at("expect_peak"));
+    const bool is_crash_script = script->meta.count("crashes") &&
+                                 std::stoi(script->meta.at("crashes")) > 0;
+
+    // The committed search depth (examples/schedule_search_demo.cpp).
+    SearchOptions options;
+    options.context_bound = 3;
+    if (is_crash_script) {
+      options.top_k = 8;
+      options.max_executions = 48;
+      options.max_crashes = 1;
+    } else {
+      options.top_k = 3;
+      options.max_executions = 128;
+    }
+    ScheduleExplorer explorer(reclaim_fixture(script->meta.at("fixture")),
+                              script->num_processes, script->workload,
+                              cost_by_name(script->meta.at("cost")), options);
+    const SearchResult result = explorer.run();
+    ASSERT_NE(result.top(), nullptr);
+    if (is_crash_script) {
+      EXPECT_GE(result.top()->peak_cost, golden)
+          << "search no longer reaches the committed crash peak";
+    } else {
+      EXPECT_EQ(result.top()->peak_cost, golden)
+          << "golden peak went stale or the searcher regressed";
+    }
+  }
+}
+
+// ------------------------------------------- n>2, workloads, crash compose
+
+TEST(ModelCheck, ThreeProcessSpecSearchRunsClean) {
+  // Two parked readers against the storm: the n=3 shape the CI job runs
+  // under its time budget. Spec verdicts on; every shipped fixture must
+  // explore its budget without a violation.
+  for (const std::string& name :
+       {std::string("stack_hazard_cached"), std::string("queue_epoch")}) {
+    SCOPED_TRACE(name);
+    SearchOptions options;
+    options.top_k = 3;
+    options.context_bound = 2;
+    options.max_executions = 96;
+    options.check_spec = true;
+    ScheduleExplorer explorer(reclaim_fixture(name), 3,
+                              storm_workload(name, 3, 8),
+                              retired_unreclaimed_cost, options);
+    const SearchResult result = explorer.run();
+    EXPECT_TRUE(result.violations.empty());
+    ASSERT_NE(result.top(), nullptr);
+    EXPECT_GT(result.top()->peak_cost, 0.0);
+
+    // The found worst case replays to the same peak with a clean verdict.
+    const ReplayResult replay = ScheduleExplorer::replay(
+        reclaim_fixture(name), result.top()->script, retired_unreclaimed_cost);
+    EXPECT_EQ(replay.peak_cost, result.top()->peak_cost);
+    EXPECT_TRUE(replay.verdict.checked);
+    EXPECT_TRUE(replay.verdict.ok) << replay.verdict.detail;
+  }
+}
+
+TEST(ModelCheck, WorkloadSearchReturnsArgmaxAndStampsMeta) {
+  SearchOptions options;
+  options.top_k = 2;
+  options.context_bound = 3;
+  options.max_executions = 48;
+  const auto candidates = workload_candidates("stack_hazard_cached", 2, 6);
+  const WorkloadSearchResult ws =
+      search_workloads(reclaim_fixture("stack_hazard_cached"), 2, candidates,
+                       retired_unreclaimed_cost, options);
+
+  ASSERT_EQ(ws.peaks.size(), candidates.size());
+  ASSERT_NE(ws.best.top(), nullptr);
+  double max_peak = 0;
+  for (const auto& [name, peak] : ws.peaks) max_peak = std::max(max_peak, peak);
+  EXPECT_EQ(ws.best.top()->peak_cost, max_peak)
+      << "best workload is not the argmax";
+  bool named = false;
+  for (const auto& [name, peak] : ws.peaks) {
+    if (name == ws.best_name) {
+      named = true;
+      EXPECT_EQ(peak, ws.best.top()->peak_cost);
+    }
+  }
+  EXPECT_TRUE(named) << ws.best_name;
+  for (const FoundSchedule& found : ws.best.best) {
+    ASSERT_TRUE(found.script.meta.count("workload"));
+    EXPECT_EQ(found.script.meta.at("workload"), ws.best_name);
+  }
+}
+
+TEST(ModelCheck, CompositeCostIsSearchableAndNamed) {
+  // The epoch fixture under the composite cost: a frozen epoch AND a retire
+  // backlog must coincide for a nonzero score, and the storm makes both
+  // happen. Also pins the cost_by_name registry entry.
+  SearchOptions options;
+  options.top_k = 1;
+  options.context_bound = 3;
+  options.max_executions = 64;
+  ScheduleExplorer explorer(reclaim_fixture("stack_epoch"), 2,
+                            storm_workload("stack_epoch", 2, 8),
+                            cost_by_name("epoch_lag_backlog"), options);
+  const SearchResult result = explorer.run();
+  ASSERT_NE(result.top(), nullptr);
+  EXPECT_GT(result.top()->peak_cost, 0.0)
+      << "the composite cost never fired on an epoch storm";
+}
+
+TEST(ModelCheck, CrashGrantsComposeWithDporAndSpecVerdicts) {
+  // One crash allowed, DPOR on, spec checking on: crash histories are
+  // checked for conservation only (the victim's pending op may have taken
+  // effect without completing), so a correct reclaimer explores clean; the
+  // search must actually exercise crash grants along the way.
+  SearchOptions options;
+  options.top_k = 4;
+  options.context_bound = 3;
+  options.max_executions = 48;
+  options.max_crashes = 1;
+  options.check_spec = true;
+  ScheduleExplorer explorer(reclaim_fixture("stack_epoch"), 2,
+                            storm_workload("stack_epoch", 2, 8),
+                            retired_unreclaimed_cost, options);
+  const SearchResult result = explorer.run();
+  EXPECT_TRUE(result.violations.empty())
+      << (result.violations.empty() ? "" : result.violations[0].detail);
+  bool saw_crash_schedule = false;
+  for (const FoundSchedule& found : result.best) {
+    saw_crash_schedule =
+        saw_crash_schedule ||
+        std::any_of(found.script.grants.begin(), found.script.grants.end(),
+                    [](int g) { return is_crash_grant(g); });
+  }
+  EXPECT_TRUE(saw_crash_schedule)
+      << "crash-enabled search surfaced no crash schedule in its top-K";
+}
+
+}  // namespace
+}  // namespace aba::search

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Smoke tests for tools/schedule_dump.py (ctest: tools.schedule_dump).
+
+Drives the pretty-printer as a subprocess over edge-case scripts the corpus
+itself never commits: an empty schedule, a crash-grant-only schedule, and
+the malformed/out-of-range inputs the validator must reject with a clean
+exit code instead of a traceback.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "tools", "schedule_dump.py")
+
+
+def run_tool(*paths):
+    return subprocess.run([sys.executable, TOOL, *paths],
+                          capture_output=True, text=True)
+
+
+class ScheduleDumpTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, text):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def test_no_args_prints_usage_and_exits_2(self):
+        result = run_tool()
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("Usage", result.stderr)
+
+    def test_empty_schedule_dumps_cleanly(self):
+        # A legal script with no ops and no grants — the searcher never
+        # emits one, but replay tooling must not choke on it.
+        path = self.write("empty.sched",
+                          "schedule-script v1\nprocesses 2\ngrants\nend\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("processes: 2", result.stdout)
+        self.assertIn("grants: 0 total", result.stdout)
+
+    def test_crash_grant_only_schedule(self):
+        # Every grant is a kill: no steps, two crash victims. The dump must
+        # decode the !pid form and render both the totals note and the RLE.
+        path = self.write("crash.sched",
+                          "schedule-script v1\n"
+                          "processes 3\n"
+                          "meta crashes 2\n"
+                          "grants !0 !2\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("crashes: !p0 !p2", result.stdout)
+        self.assertIn("!p0 !p2", result.stdout.splitlines()[-2])
+
+    def test_comments_and_meta_survive(self):
+        path = self.write("meta.sched",
+                          "# leading comment\n"
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "meta fixture stack_epoch\n"
+                          "op 0 push 7\n"
+                          "op 1 pop 0\n"
+                          "grants 0 0 1 0\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("meta fixture: stack_epoch", result.stdout)
+        self.assertIn("push(7)", result.stdout)
+        self.assertIn("p0x2 p1x1 p0x1", result.stdout)
+
+    def test_wrong_header_fails_cleanly(self):
+        path = self.write("bad.sched", "not-a-schedule\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("not a schedule-script v1 file", result.stderr)
+
+    def test_grant_pid_out_of_range_is_rejected(self):
+        path = self.write("range.sched",
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "grants 0 5\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("grant pid 5 out of range", result.stderr)
+
+    def test_crash_victim_out_of_range_is_rejected(self):
+        path = self.write("crashrange.sched",
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "grants !3\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("grant pid 3 out of range", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Smoke tests for tools/shm_gc.py (ctest: tools.shm_gc).
+
+Runs the sweeper as a subprocess against a temp directory standing in for
+/dev/shm, with hand-packed segment headers: a live creator must be kept, a
+dead creator swept (and only reported under --dry-run), and short or
+foreign files skipped untouched.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "tools", "shm_gc.py")
+
+# Mirrors SegmentHeader (src/shm/shm_segment.h) and the constants in the
+# tool itself.
+MAGIC = 0x314D485341424121
+HEADER_FMT = "<QIIQqQ"
+
+
+def dead_pid():
+    """A pid that demonstrably no longer exists: a reaped child's."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def run_tool(shm_dir, *extra):
+    return subprocess.run(
+        [sys.executable, TOOL, "--shm-dir", shm_dir, *extra],
+        capture_output=True, text=True)
+
+
+class ShmGcTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+        self.shm_dir = self._dir.name
+
+    def segment(self, name, creator_pid, magic=MAGIC):
+        path = os.path.join(self.shm_dir, name)
+        with open(path, "wb") as f:
+            f.write(struct.pack(HEADER_FMT, magic, 1, 8, 4096, creator_pid, 0)
+                    + b"\0" * 64)
+        return path
+
+    def test_live_creator_is_kept(self):
+        path = self.segment("aba.live.0", os.getpid())
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("keep aba.live.0", result.stdout)
+        self.assertTrue(os.path.exists(path))
+
+    def test_dead_creator_is_swept(self):
+        path = self.segment("aba.dead.0", dead_pid())
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("swept aba.dead.0", result.stdout)
+        self.assertFalse(os.path.exists(path))
+
+    def test_dry_run_reports_but_keeps(self):
+        path = self.segment("aba.dead.1", dead_pid())
+        result = run_tool(self.shm_dir, "--dry-run")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("would sweep aba.dead.1", result.stdout)
+        self.assertTrue(os.path.exists(path))
+
+    def test_short_file_is_skipped(self):
+        path = os.path.join(self.shm_dir, "aba.short.0")
+        with open(path, "wb") as f:
+            f.write(b"tiny")
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("too short", result.stdout)
+        self.assertTrue(os.path.exists(path))
+
+    def test_wrong_magic_is_skipped(self):
+        path = self.segment("aba.foreign.0", dead_pid(), magic=0xDEADBEEF)
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("magic mismatch", result.stdout)
+        self.assertTrue(os.path.exists(path))
+
+    def test_non_prefixed_files_are_ignored(self):
+        path = self.segment("other.dead.0", dead_pid())
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertNotIn("other.dead.0", result.stdout)
+        self.assertTrue(os.path.exists(path))
+
+    def test_empty_dir_reports_nothing_to_sweep(self):
+        result = run_tool(self.shm_dir)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("nothing to sweep", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -44,6 +44,16 @@ def parse(path):
             break
         else:
             raise ValueError(f"{path}: unknown line kind {kind!r}")
+    n = script["processes"]
+    for pid, _method, _arg in script["ops"]:
+        if not 0 <= pid < n:
+            raise ValueError(f"{path}: op pid {pid} out of range for "
+                             f"{n} processes")
+    for grant in script["grants"]:
+        pid = -grant - 1 if grant < 0 else grant
+        if not 0 <= pid < n:
+            raise ValueError(f"{path}: grant pid {pid} out of range for "
+                             f"{n} processes")
     return script
 
 
@@ -94,7 +104,11 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     for path in argv[1:]:
-        dump(path)
+        try:
+            dump(path)
+        except (OSError, ValueError, IndexError) as e:
+            print(f"schedule_dump: {e}", file=sys.stderr)
+            return 1
     return 0
 
 
