@@ -56,6 +56,8 @@ std::string JsonReport::to_json() const {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"" + escape_json(name_) + "\",\n";
+  out += "  \"schema\": " +
+         number(static_cast<std::uint64_t>(kBenchSchemaVersion)) + ",\n";
   out += "  \"context\": {";
   for (std::size_t i = 0; i < context_.size(); ++i) {
     if (i > 0) out += ",";
@@ -76,7 +78,10 @@ std::string JsonReport::to_json() const {
            ", \"shards\": " + number(static_cast<std::uint64_t>(r.shards)) +
            ", \"ops\": " + number(r.ops) +
            ", \"seconds\": " + number(r.seconds) +
-           ", \"ops_per_sec\": " + number(r.ops_per_sec) + "}";
+           ", \"ops_per_sec\": " + number(r.ops_per_sec) +
+           ", \"p50_ns\": " + number(r.p50_ns) +
+           ", \"p99_ns\": " + number(r.p99_ns) +
+           ", \"p999_ns\": " + number(r.p999_ns) + "}";
   }
   out += records_.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

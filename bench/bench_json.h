@@ -31,7 +31,19 @@ struct JsonRecord {
   std::uint64_t ops = 0;      // completed operations across all threads
   double seconds = 0.0;       // measured wall time
   double ops_per_sec = 0.0;   // ops / seconds
+  // Per-op latency percentiles in nanoseconds (schema 2). Zero means the
+  // cell did not record latency (throughput-only cells stay comparable
+  // against schema-1 baselines); tools/bench_compare.py gates on p99 only
+  // when BOTH sides carry a nonzero value.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
 };
+
+// Version of the document layout this emitter writes. Schema 2 added the
+// per-cell latency percentile fields; readers accept schema-1 documents
+// (no percentile fields) read-only.
+inline constexpr int kBenchSchemaVersion = 2;
 
 // Escapes a string for embedding in a JSON string literal.
 std::string escape_json(const std::string& s);

@@ -39,6 +39,27 @@
 //                             "shards" field is the width the facade had
 //                             settled on when the cell ended.
 //
+//   ring family (structures/ring_buffer.h; reclaimer = "none" — the
+//   per-slot sequence words are the ABA answer, there is nothing to
+//   reclaim). These cells ALWAYS record per-op latency (p50/p99/p99.9 ns in
+//   the schema-2 record): the ring workloads are latency-bound, and the
+//   SPSC↔MPMC percentile gap is the paper's prevention price measured on a
+//   second axis. Scenarios:
+//     ring_spsc     — 1 producer, 1 consumer, zero shared RMW per op;
+//     ring_mpsc     — n-1 producers CASing tail into 1 consumer;
+//     ring_mpmc     — the Vyukov ring, threads split producer/consumer;
+//     ring_fanout   — 1 producer feeding n-1 consumers (feed fan-out);
+//     ring_burst    — the producer alternates dense bursts with quiet
+//                     gaps (load spikes: tail percentiles diverge from
+//                     p50 as bursts queue up);
+//     ring_pipeline — feed → handler → gateway over two chained SPSC
+//                     rings (3 threads; per-hop op latency).
+//
+// Latency recording for the legacy (throughput-trajectory) cells is opt-in
+// via --latency, and only for the headline treiber_stack / ms_queue cells:
+// the recorder is a template parameter, so the committed BENCH_native.json
+// throughput cells run the exact code they always ran when the flag is off.
+//
 // The fence dimension: every record carries a "fence" field. "seq_cst"
 // cells realize the hazard/epoch StoreLoad protocols with seq_cst
 // orderings (the Fast policy); "asymmetric" cells run the hazard-family
@@ -69,15 +90,23 @@
 //                                 the adaptive-facade cells; a list without
 //                                 "adaptive" disables those cells
 //   --pin                         pin threads round-robin over online cores
+//   --latency                     also record per-op latency percentiles for
+//                                 the headline legacy cells (treiber_stack,
+//                                 ms_queue); ring cells always record
+//   --scenarios=burst,fanout      run only the named scenarios ("burst"
+//                                 matches "ring_burst"); default all
 #include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #ifdef __linux__
@@ -95,9 +124,11 @@
 #include "reclaim/tagged.h"
 #include "structures/adaptive_sharded.h"
 #include "structures/ms_queue.h"
+#include "structures/ring_buffer.h"
 #include "structures/sharded.h"
 #include "structures/treiber_stack.h"
 #include "util/asymmetric_fence.h"
+#include "util/histogram.h"
 
 namespace {
 
@@ -121,6 +152,10 @@ constexpr const char* fence_label() {
 struct Cell {
   std::uint64_t ops = 0;
   double seconds = 0.0;
+  // Per-op latency percentiles (ns); 0 = this cell did not record latency.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
 };
 
 // --pin state: the online-core list, round-robined over per cell. A cell
@@ -166,10 +201,20 @@ void maybe_pin(std::thread& t, int pid, int n) {
 // when a batch reports no useful work (a drained leaky pool). Duration-based
 // (rather than fixed-count) measurement keeps every cell comparable even
 // when the two policies differ several-fold in speed.
+//
+// Latency-recording cells pass a make_worker(pid, util::LatencyHistogram&)
+// instead: each thread owns a private histogram of raw tick deltas, the
+// histograms are merged after join, and the cell's percentiles are
+// converted to nanoseconds once (util::tick_ns()). Throughput-only workers
+// take the one-argument form and compile exactly as before.
 template <class MakeWorker>
 Cell measure(int n, double min_seconds, MakeWorker make_worker) {
+  constexpr bool kRecordsLatency =
+      std::is_invocable_v<MakeWorker&, int, util::LatencyHistogram&>;
   std::atomic<bool> stop{false};
   std::atomic<int> done{0};
+  std::vector<util::LatencyHistogram> hists(
+      kRecordsLatency ? static_cast<std::size_t>(n) : 0);
   std::vector<std::uint64_t> ops(static_cast<std::size_t>(n), 0);
   // Each worker times itself and the cell reports the makespan (longest
   // worker duration): on an oversubscribed or 1-core host a fast-draining
@@ -182,7 +227,13 @@ Cell measure(int n, double min_seconds, MakeWorker make_worker) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int pid = 0; pid < n; ++pid) {
     threads.emplace_back([&, pid] {
-      auto work = make_worker(pid);
+      auto work = [&] {
+        if constexpr (kRecordsLatency) {
+          return make_worker(pid, hists[static_cast<std::size_t>(pid)]);
+        } else {
+          return make_worker(pid);
+        }
+      }();
       sync.arrive_and_wait();
       const auto start = std::chrono::steady_clock::now();
       std::uint64_t count = 0;
@@ -210,6 +261,16 @@ Cell measure(int n, double min_seconds, MakeWorker make_worker) {
   Cell cell;
   for (const auto c : ops) cell.ops += c;
   for (const auto s : seconds) cell.seconds = cell.seconds > s ? cell.seconds : s;
+  if constexpr (kRecordsLatency) {
+    util::LatencyHistogram merged;
+    for (const auto& h : hists) merged.merge(h);
+    if (merged.total() > 0) {
+      const double ns = util::tick_ns();
+      cell.p50_ns = static_cast<double>(merged.percentile(0.50)) * ns;
+      cell.p99_ns = static_cast<double>(merged.percentile(0.99)) * ns;
+      cell.p999_ns = static_cast<double>(merged.percentile(0.999)) * ns;
+    }
+  }
   return cell;
 }
 
@@ -268,58 +329,99 @@ int pool_per_thread(int n) {
   return budget < index_space_cap ? budget : index_space_cap;
 }
 
+// Per-primitive latency recorders for the recorder-templated pair workers.
+// NullRecorder is the default and compiles to nothing, so the
+// throughput-trajectory cells run byte-identical op loops whether or not
+// the binary was built with --latency support in mind.
+struct NullRecorder {
+  void begin() {}
+  void end() {}
+};
+
+struct TscRecorder {
+  util::LatencyHistogram* hist;
+  std::uint64_t t0 = 0;
+  void begin() { t0 = util::rdtsc(); }
+  void end() { hist->add(util::rdtsc() - t0); }
+};
+
 // The push;pop-pair worker every contended stack cell runs (the sharded
 // and adaptive wrappers expose the same surface, so one worker serves all).
-template <class Stack>
-auto stack_pair_worker(Stack& stack, int pid) {
-  return [&stack, pid, v = std::uint64_t{0}]() mutable {
+template <class Stack, class Rec = NullRecorder>
+auto stack_pair_worker(Stack& stack, int pid, Rec rec = {}) {
+  return [&stack, pid, rec, v = std::uint64_t{0}]() mutable {
     std::uint64_t completed = 0;
     bool useful = false;
     for (int i = 0; i < kBatch; ++i) {
       // push;pop pairs keep the pool balanced; if this thread's free
       // list drained (its nodes were popped by others, or leaked), pop
       // to keep making progress.
-      if (stack.push(pid, v++)) {
+      rec.begin();
+      const bool pushed = stack.push(pid, v++);
+      rec.end();
+      if (pushed) {
         ++completed;
         useful = true;
-      } else if (stack.pop(pid).has_value()) {
-        ++completed;
-        useful = true;
+      } else {
+        rec.begin();
+        const bool popped = stack.pop(pid).has_value();
+        rec.end();
+        if (popped) {
+          ++completed;
+          useful = true;
+        }
       }
       ++completed;  // The paired pop below always completes as an op.
+      rec.begin();
       if (stack.pop(pid).has_value()) useful = true;
+      rec.end();
     }
     return useful ? completed : 0;
   };
 }
 
-template <class Queue>
-auto queue_pair_worker(Queue& queue, int pid) {
-  return [&queue, pid, v = std::uint64_t{0}]() mutable {
+template <class Queue, class Rec = NullRecorder>
+auto queue_pair_worker(Queue& queue, int pid, Rec rec = {}) {
+  return [&queue, pid, rec, v = std::uint64_t{0}]() mutable {
     std::uint64_t completed = 0;
     bool useful = false;
     for (int i = 0; i < kBatch; ++i) {
-      if (queue.enqueue(pid, v++)) {
+      rec.begin();
+      const bool enqueued = queue.enqueue(pid, v++);
+      rec.end();
+      if (enqueued) {
         ++completed;
         useful = true;
-      } else if (queue.dequeue(pid).has_value()) {
-        ++completed;
-        useful = true;
+      } else {
+        rec.begin();
+        const bool dequeued = queue.dequeue(pid).has_value();
+        rec.end();
+        if (dequeued) {
+          ++completed;
+          useful = true;
+        }
       }
       ++completed;
+      rec.begin();
       if (queue.dequeue(pid).has_value()) useful = true;
+      rec.end();
     }
     return useful ? completed : 0;
   };
 }
 
 template <class P, class R>
-Cell run_treiber_stack(int n, double secs) {
+Cell run_treiber_stack(int n, double secs, bool latency = false) {
   using Head = structures::TaggedCasHead<P>;
   using Stack = structures::TreiberStack<P, Head, R>;
   typename P::Env env;
   Stack stack(env, n, std::make_unique<Head>(env, n),
               Stack::partition(n, pool_per_thread<R>(n)));
+  if (latency) {
+    return measure(n, secs, [&](int pid, util::LatencyHistogram& h) {
+      return stack_pair_worker(stack, pid, TscRecorder{&h});
+    });
+  }
   return measure(n, secs,
                  [&](int pid) { return stack_pair_worker(stack, pid); });
 }
@@ -374,10 +476,15 @@ Cell run_treiber_stack_90_10(int n, double secs) {
 }
 
 template <class P, class R>
-Cell run_ms_queue(int n, double secs) {
+Cell run_ms_queue(int n, double secs, bool latency = false) {
   using Queue = structures::MsQueue<P, R>;
   typename P::Env env;
   Queue queue(env, n, pool_per_thread<R>(n));
+  if (latency) {
+    return measure(n, secs, [&](int pid, util::LatencyHistogram& h) {
+      return queue_pair_worker(queue, pid, TscRecorder{&h});
+    });
+  }
   return measure(n, secs,
                  [&](int pid) { return queue_pair_worker(queue, pid); });
 }
@@ -443,6 +550,182 @@ Cell run_adaptive_queue(int n, double secs, int* settled) {
   return cell;
 }
 
+// ------------------------------------------------------- the ring family
+
+// Ring cells always record per-op latency. An op is one successful
+// transfer: a refused push/pop is retried a bounded number of times
+// (yielding periodically — the natural backpressure response), and the
+// recorded latency spans first attempt → success, so ring-full stalls land
+// in the tail percentiles instead of inflating the op count. A worker
+// whose retries all fail returns 0 from the batch and exits — at steady
+// state that only happens once its peers have stopped, i.e. at cell end.
+constexpr std::size_t kRingCapacity = 1024;
+constexpr int kRingRetries = 4096;
+
+template <class TryOp>
+bool ring_retry(TryOp&& op) {
+  for (int r = 0; r < kRingRetries; ++r) {
+    if (op()) return true;
+    if ((r & 63) == 63) std::this_thread::yield();
+  }
+  return false;
+}
+
+template <class Ring>
+std::function<std::uint64_t()> ring_producer(Ring& ring, int pid,
+                                             util::LatencyHistogram& hist) {
+  return [&ring, &hist, pid, v = std::uint64_t{0}]() mutable {
+    std::uint64_t completed = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      const std::uint64_t t0 = util::rdtsc();
+      if (!ring_retry([&] { return ring.try_push(pid, v); })) break;
+      hist.add(util::rdtsc() - t0);
+      ++v;
+      ++completed;
+    }
+    return completed;
+  };
+}
+
+template <class Ring>
+std::function<std::uint64_t()> ring_consumer(Ring& ring, int pid,
+                                             util::LatencyHistogram& hist) {
+  return [&ring, &hist, pid] {
+    std::uint64_t completed = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      const std::uint64_t t0 = util::rdtsc();
+      if (!ring_retry([&] { return ring.try_pop(pid).has_value(); })) break;
+      hist.add(util::rdtsc() - t0);
+      ++completed;
+    }
+    return completed;
+  };
+}
+
+// The load-spike producer: a dense kBatch burst, then a quiet gap. The gap
+// busy-waits (sleep granularity is far too coarse at this scale), so the
+// consumers' percentile spread shows the queueing the bursts cause.
+template <class Ring>
+std::function<std::uint64_t()> ring_burst_producer(
+    Ring& ring, int pid, util::LatencyHistogram& hist) {
+  return [&ring, &hist, pid, v = std::uint64_t{0}]() mutable {
+    std::uint64_t completed = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      const std::uint64_t t0 = util::rdtsc();
+      if (!ring_retry([&] { return ring.try_push(pid, v); })) break;
+      hist.add(util::rdtsc() - t0);
+      ++v;
+      ++completed;
+    }
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    return completed;
+  };
+}
+
+// 1 producer, 1 consumer on the SPSC ring — zero shared RMW per op (the
+// machine-checked claim of tests/test_ring.cpp, priced here).
+template <class P>
+Cell run_ring_spsc(double secs) {
+  typename P::Env env;
+  structures::SpscRing<P> ring(env, 2, kRingCapacity);
+  return measure(2, secs,
+                 [&](int pid, util::LatencyHistogram& h)
+                     -> std::function<std::uint64_t()> {
+                   if (pid == 0) return ring_producer(ring, pid, h);
+                   return ring_consumer(ring, pid, h);
+                 });
+}
+
+// n-1 producers CASing tail, 1 consumer (pid n-1) owning head.
+template <class P>
+Cell run_ring_mpsc(int n, double secs) {
+  typename P::Env env;
+  structures::MpscRing<P> ring(env, n, kRingCapacity);
+  return measure(n, secs,
+                 [&, n](int pid, util::LatencyHistogram& h)
+                     -> std::function<std::uint64_t()> {
+                   if (pid == n - 1) return ring_consumer(ring, pid, h);
+                   return ring_producer(ring, pid, h);
+                 });
+}
+
+// The Vyukov ring with the thread set split producer/consumer.
+template <class P>
+Cell run_ring_mpmc(int n, double secs) {
+  typename P::Env env;
+  structures::MpmcRing<P> ring(env, n, kRingCapacity);
+  const int consumers = n / 2;  // >= 1 for every n >= 2.
+  return measure(n, secs,
+                 [&, n, consumers](int pid, util::LatencyHistogram& h)
+                     -> std::function<std::uint64_t()> {
+                   if (pid >= n - consumers) return ring_consumer(ring, pid, h);
+                   return ring_producer(ring, pid, h);
+                 });
+}
+
+// 1 producer feeding n-1 consumers (feed fan-out; MPMC ring because the
+// consumer side is multi).
+template <class P>
+Cell run_ring_fanout(int n, double secs) {
+  typename P::Env env;
+  structures::MpmcRing<P> ring(env, n, kRingCapacity);
+  return measure(n, secs,
+                 [&](int pid, util::LatencyHistogram& h)
+                     -> std::function<std::uint64_t()> {
+                   if (pid == 0) return ring_producer(ring, pid, h);
+                   return ring_consumer(ring, pid, h);
+                 });
+}
+
+// The bursty variant of fanout: load spikes, quiet gaps, tail percentiles.
+template <class P>
+Cell run_ring_burst(int n, double secs) {
+  typename P::Env env;
+  structures::MpmcRing<P> ring(env, n, kRingCapacity);
+  return measure(n, secs,
+                 [&](int pid, util::LatencyHistogram& h)
+                     -> std::function<std::uint64_t()> {
+                   if (pid == 0) return ring_burst_producer(ring, pid, h);
+                   return ring_consumer(ring, pid, h);
+                 });
+}
+
+// feed → handler → gateway over two chained SPSC rings; the middle stage's
+// recorded latency is the whole pop-transform-push hop.
+template <class P>
+Cell run_ring_pipeline(double secs) {
+  typename P::Env env;
+  structures::SpscRing<P> feed(env, 3, kRingCapacity);
+  structures::SpscRing<P> out(env, 3, kRingCapacity);
+  return measure(
+      3, secs,
+      [&](int pid,
+          util::LatencyHistogram& h) -> std::function<std::uint64_t()> {
+        if (pid == 0) return ring_producer(feed, pid, h);
+        if (pid == 2) return ring_consumer(out, pid, h);
+        return [&feed, &out, &h, pid] {
+          std::uint64_t completed = 0;
+          for (int i = 0; i < kBatch; ++i) {
+            const std::uint64_t t0 = util::rdtsc();
+            std::optional<std::uint64_t> v;
+            if (!ring_retry([&] {
+                  v = feed.try_pop(pid);
+                  return v.has_value();
+                })) {
+              break;
+            }
+            if (!ring_retry([&] { return out.try_push(pid, *v + 1); })) break;
+            h.add(util::rdtsc() - t0);
+            ++completed;
+          }
+          return completed;
+        };
+      });
+}
+
 // ------------------------------------------------------------ the matrix
 
 int oversub_threads() {
@@ -454,8 +737,10 @@ struct MatrixConfig {
   std::vector<int> thread_counts;
   std::vector<std::string> reclaimers;
   std::vector<int> shard_counts;
+  std::vector<std::string> scenarios;  // --scenarios filter; empty = all.
   bool adaptive = true;
   bool pin = false;
+  bool latency = false;  // --latency: percentiles for treiber_stack/ms_queue.
   double secs = 0.2;
 };
 
@@ -466,16 +751,33 @@ bool wants(const MatrixConfig& config, const char* reclaimer) {
   return false;
 }
 
+// --scenarios filter: empty selects everything; a token matches a scenario
+// by exact name or by ring shorthand ("burst" matches "ring_burst").
+bool scenario_wanted(const MatrixConfig& config, const char* scenario) {
+  if (config.scenarios.empty()) return true;
+  const std::string name = scenario;
+  for (const auto& tok : config.scenarios) {
+    if (tok == name || "ring_" + tok == name) return true;
+  }
+  return false;
+}
+
 void emit(bench::JsonReport& report, const char* scenario, const char* label,
           const char* orderings, const char* reclaimer, const char* fence,
           int n, int shards, const Cell& cell) {
   const double rate =
       cell.seconds > 0 ? static_cast<double>(cell.ops) / cell.seconds : 0;
   report.add(bench::JsonRecord{scenario, label, orderings, reclaimer, fence, n,
-                               shards, cell.ops, cell.seconds, rate});
+                               shards, cell.ops, cell.seconds, rate,
+                               cell.p50_ns, cell.p99_ns, cell.p999_ns});
   std::printf(
-      "  %-22s %-8s %-13s %-10s threads=%-3d shards=%-2d %-15s %12.0f ops/s\n",
+      "  %-22s %-8s %-13s %-10s threads=%-3d shards=%-2d %-15s %12.0f ops/s",
       scenario, label, reclaimer, fence, n, shards, orderings, rate);
+  if (cell.p99_ns > 0) {
+    std::printf("  p50=%.0f p99=%.0f p99.9=%.0f ns", cell.p50_ns, cell.p99_ns,
+                cell.p999_ns);
+  }
+  std::printf("\n");
   std::fflush(stdout);
 }
 
@@ -486,46 +788,61 @@ template <class P, class R>
 void run_sharded_cells(const char* label, const char* orderings,
                        const MatrixConfig& config, bench::JsonReport& report) {
   const char* fence = fence_label<P>();
-  for (const int shards : config.shard_counts) {
-    for (const int n : config.thread_counts) {
-      Cell stack_cell, queue_cell;
-      switch (shards) {
-        case 1:
-          stack_cell = run_sharded_stack<P, R, 1>(n, config.secs);
-          queue_cell = run_sharded_queue<P, R, 1>(n, config.secs);
-          break;
-        case 2:
-          stack_cell = run_sharded_stack<P, R, 2>(n, config.secs);
-          queue_cell = run_sharded_queue<P, R, 2>(n, config.secs);
-          break;
-        case 4:
-          stack_cell = run_sharded_stack<P, R, 4>(n, config.secs);
-          queue_cell = run_sharded_queue<P, R, 4>(n, config.secs);
-          break;
-        case 8:
-          stack_cell = run_sharded_stack<P, R, 8>(n, config.secs);
-          queue_cell = run_sharded_queue<P, R, 8>(n, config.secs);
-          break;
-        default:
-          std::fprintf(stderr, "shard count %d not instantiated (want 1|2|4|8)\n",
-                       shards);
-          continue;
+  const bool want_stack = scenario_wanted(config, "sharded_treiber_stack");
+  const bool want_queue = scenario_wanted(config, "sharded_ms_queue");
+  if (want_stack || want_queue) {
+    for (const int shards : config.shard_counts) {
+      for (const int n : config.thread_counts) {
+        Cell stack_cell, queue_cell;
+        switch (shards) {
+          case 1:
+            stack_cell = run_sharded_stack<P, R, 1>(n, config.secs);
+            queue_cell = run_sharded_queue<P, R, 1>(n, config.secs);
+            break;
+          case 2:
+            stack_cell = run_sharded_stack<P, R, 2>(n, config.secs);
+            queue_cell = run_sharded_queue<P, R, 2>(n, config.secs);
+            break;
+          case 4:
+            stack_cell = run_sharded_stack<P, R, 4>(n, config.secs);
+            queue_cell = run_sharded_queue<P, R, 4>(n, config.secs);
+            break;
+          case 8:
+            stack_cell = run_sharded_stack<P, R, 8>(n, config.secs);
+            queue_cell = run_sharded_queue<P, R, 8>(n, config.secs);
+            break;
+          default:
+            std::fprintf(stderr,
+                         "shard count %d not instantiated (want 1|2|4|8)\n",
+                         shards);
+            continue;
+        }
+        if (want_stack) {
+          emit(report, "sharded_treiber_stack", label, orderings, R::kName,
+               fence, n, shards, stack_cell);
+        }
+        if (want_queue) {
+          emit(report, "sharded_ms_queue", label, orderings, R::kName, fence, n,
+               shards, queue_cell);
+        }
       }
-      emit(report, "sharded_treiber_stack", label, orderings, R::kName, fence,
-           n, shards, stack_cell);
-      emit(report, "sharded_ms_queue", label, orderings, R::kName, fence, n,
-           shards, queue_cell);
     }
   }
   if (config.adaptive) {
     for (const int n : config.thread_counts) {
       int settled = 1;
-      const Cell stack_cell = run_adaptive_stack<P, R>(n, config.secs, &settled);
-      emit(report, "adaptive_sharded_stack", label, orderings, R::kName, fence,
-           n, settled, stack_cell);
-      const Cell queue_cell = run_adaptive_queue<P, R>(n, config.secs, &settled);
-      emit(report, "adaptive_sharded_queue", label, orderings, R::kName, fence,
-           n, settled, queue_cell);
+      if (scenario_wanted(config, "adaptive_sharded_stack")) {
+        const Cell stack_cell =
+            run_adaptive_stack<P, R>(n, config.secs, &settled);
+        emit(report, "adaptive_sharded_stack", label, orderings, R::kName,
+             fence, n, settled, stack_cell);
+      }
+      if (scenario_wanted(config, "adaptive_sharded_queue")) {
+        const Cell queue_cell =
+            run_adaptive_queue<P, R>(n, config.secs, &settled);
+        emit(report, "adaptive_sharded_queue", label, orderings, R::kName,
+             fence, n, settled, queue_cell);
+      }
     }
   }
 }
@@ -537,18 +854,28 @@ void run_reclaim_column(const char* label, const char* orderings,
   if (!wants(config, R::kName)) return;
   const char* fence = fence_label<P>();
   for (const int n : config.thread_counts) {
-    emit(report, "treiber_stack", label, orderings, R::kName, fence, n, 1,
-         run_treiber_stack<P, R>(n, config.secs));
-    emit(report, "treiber_stack_llsc", label, orderings, R::kName, fence, n, 1,
-         run_treiber_stack_llsc<P, R>(n, config.secs));
-    emit(report, "ms_queue", label, orderings, R::kName, fence, n, 1,
-         run_ms_queue<P, R>(n, config.secs));
-    emit(report, "treiber_stack_90_10", label, orderings, R::kName, fence, n, 1,
-         run_treiber_stack_90_10<P, R>(n, config.secs));
+    if (scenario_wanted(config, "treiber_stack")) {
+      emit(report, "treiber_stack", label, orderings, R::kName, fence, n, 1,
+           run_treiber_stack<P, R>(n, config.secs, config.latency));
+    }
+    if (scenario_wanted(config, "treiber_stack_llsc")) {
+      emit(report, "treiber_stack_llsc", label, orderings, R::kName, fence, n,
+           1, run_treiber_stack_llsc<P, R>(n, config.secs));
+    }
+    if (scenario_wanted(config, "ms_queue")) {
+      emit(report, "ms_queue", label, orderings, R::kName, fence, n, 1,
+           run_ms_queue<P, R>(n, config.secs, config.latency));
+    }
+    if (scenario_wanted(config, "treiber_stack_90_10")) {
+      emit(report, "treiber_stack_90_10", label, orderings, R::kName, fence, n,
+           1, run_treiber_stack_90_10<P, R>(n, config.secs));
+    }
   }
-  const int oversub = oversub_threads();
-  emit(report, "treiber_stack_oversub", label, orderings, R::kName, fence,
-       oversub, 1, run_treiber_stack<P, R>(oversub, config.secs));
+  if (scenario_wanted(config, "treiber_stack_oversub")) {
+    const int oversub = oversub_threads();
+    emit(report, "treiber_stack_oversub", label, orderings, R::kName, fence,
+         oversub, 1, run_treiber_stack<P, R>(oversub, config.secs));
+  }
   run_sharded_cells<P, R>(label, orderings, config, report);
 }
 
@@ -567,10 +894,14 @@ void run_side(const char* label, const MatrixConfig& config,
   using SeqCstP = native::NativePlatform<SeqCstPolicy>;
   using StructP = native::NativePlatform<StructPolicy>;
   for (const int n : config.thread_counts) {
-    emit(report, "llsc_single_cas", label, orderings_label<LlscPolicy>(),
-         "none", "seq_cst", n, 1, run_llsc<LlscP>(n, config.secs));
-    emit(report, "aba_register", label, orderings_label<SeqCstPolicy>(), "none",
-         "seq_cst", n, 1, run_aba_register<SeqCstP>(n, config.secs));
+    if (scenario_wanted(config, "llsc_single_cas")) {
+      emit(report, "llsc_single_cas", label, orderings_label<LlscPolicy>(),
+           "none", "seq_cst", n, 1, run_llsc<LlscP>(n, config.secs));
+    }
+    if (scenario_wanted(config, "aba_register")) {
+      emit(report, "aba_register", label, orderings_label<SeqCstPolicy>(),
+           "none", "seq_cst", n, 1, run_aba_register<SeqCstP>(n, config.secs));
+    }
   }
   run_reclaim_column<StructP, reclaim::TaggedReclaimer<StructP>>(
       label, orderings_label<StructPolicy>(), config, report);
@@ -582,6 +913,41 @@ void run_side(const char* label, const MatrixConfig& config,
       label, orderings_label<SeqCstPolicy>(), config, report);
   run_reclaim_column<SeqCstP, reclaim::EpochBasedReclaimer<SeqCstP>>(
       label, orderings_label<SeqCstPolicy>(), config, report);
+}
+
+// The ring cells of one platform side. Fixed-role scenarios (spsc: 2
+// threads, pipeline: 3) run once; the role-asymmetric sweeps need at least
+// one thread per side, so n=1 entries are skipped.
+template <class P>
+void run_ring_cells(const char* label, const char* orderings,
+                    const MatrixConfig& config, bench::JsonReport& report) {
+  if (scenario_wanted(config, "ring_spsc")) {
+    emit(report, "ring_spsc", label, orderings, "none", "seq_cst", 2, 1,
+         run_ring_spsc<P>(config.secs));
+  }
+  for (const int n : config.thread_counts) {
+    if (n < 2) continue;
+    if (scenario_wanted(config, "ring_mpsc")) {
+      emit(report, "ring_mpsc", label, orderings, "none", "seq_cst", n, 1,
+           run_ring_mpsc<P>(n, config.secs));
+    }
+    if (scenario_wanted(config, "ring_mpmc")) {
+      emit(report, "ring_mpmc", label, orderings, "none", "seq_cst", n, 1,
+           run_ring_mpmc<P>(n, config.secs));
+    }
+    if (scenario_wanted(config, "ring_fanout")) {
+      emit(report, "ring_fanout", label, orderings, "none", "seq_cst", n, 1,
+           run_ring_fanout<P>(n, config.secs));
+    }
+    if (scenario_wanted(config, "ring_burst")) {
+      emit(report, "ring_burst", label, orderings, "none", "seq_cst", n, 1,
+           run_ring_burst<P>(n, config.secs));
+    }
+  }
+  if (scenario_wanted(config, "ring_pipeline")) {
+    emit(report, "ring_pipeline", label, orderings, "none", "seq_cst", 3, 1,
+         run_ring_pipeline<P>(config.secs));
+  }
 }
 
 double find_rate(const bench::JsonReport& report, const std::string& scenario,
@@ -677,12 +1043,21 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--pin") {
       config.pin = true;
+    } else if (arg == "--latency") {
+      config.latency = true;
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      config.scenarios = parse_csv(arg.substr(std::strlen("--scenarios=")));
+      if (config.scenarios.empty()) {
+        std::fprintf(stderr, "no scenarios selected\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
                    "[--threads=1,2,4] "
                    "[--reclaimers=tagged,leaky,hazard,hazard_cached,epoch] "
-                   "[--shards=1,2,4,8,adaptive] [--pin]\n",
+                   "[--shards=1,2,4,8,adaptive] [--pin] [--latency] "
+                   "[--scenarios=name,name]\n",
                    argv[0]);
       return 2;
     }
@@ -703,6 +1078,7 @@ int main(int argc, char** argv) {
                                 : "off");
   report.add_context("asymmetric_fence_scheme",
                      util::AsymmetricFence::scheme_name());
+  report.add_context("latency_legacy_cells", config.latency ? "on" : "off");
 #ifdef ABA_RELAXED_ORDERINGS
   report.add_context("relaxed_orderings_option", "on");
 #else
@@ -739,6 +1115,13 @@ int main(int argc, char** argv) {
     run_reclaim_column<AsymP, reclaim::CachedHazardPointerReclaimer<AsymP>>(
         "fast", ord, config, report);
   }
+
+  // The ring family on both platform sides: SPSC's zero-RMW fast path vs
+  // the MPSC/MPMC per-op CAS price, in throughput AND latency percentiles.
+  run_ring_cells<native::NativePlatform<native::Counted>>(
+      "counted", orderings_label<native::Counted>(), config, report);
+  run_ring_cells<native::NativePlatform<native::FastRelaxed>>(
+      "fast", orderings_label<native::FastRelaxed>(), config, report);
 
   std::printf("\n  fast/counted speedup:\n");
   for (const char* scenario : {"llsc_single_cas", "aba_register"}) {
@@ -817,6 +1200,18 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  // The ring latency headline: the SPSC↔MPMC percentile gap on the fast
+  // side is the prevention price measured on the latency axis.
+  std::printf("\n  ring latency (fast side):\n");
+  for (const auto& r : report.records()) {
+    if (r.platform == "fast" && r.scenario.rfind("ring_", 0) == 0 &&
+        r.p99_ns > 0) {
+      std::printf("  %-22s threads=%-3d p50=%.0fns p99=%.0fns p99.9=%.0fns\n",
+                  r.scenario.c_str(), r.threads, r.p50_ns, r.p99_ns,
+                  r.p999_ns);
     }
   }
 

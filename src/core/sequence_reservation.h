@@ -29,7 +29,11 @@
 #include <vector>
 
 #include "core/platform.h"
-#include "util/bounded_queue.h"
+// Layering note: usedQ is the sequential LocalRing from the ring-buffer
+// family — structures/ring_buffer.h's plain-memory member, not a platform
+// structure. Its accesses are process-local and MUST stay off the shared-
+// step ledger, or Figure 4's per-op step counts change.
+#include "structures/ring_buffer.h"
 #include "util/cacheline.h"
 #include "util/packed_word.h"
 
@@ -133,7 +137,7 @@ class SequenceReservation {
     int c = 0;  // Announce-array scan cursor.
     // na as a partial map: announce slot -> sequence number seen there.
     std::vector<std::optional<std::uint64_t>> na;
-    util::BoundedQueue<std::optional<std::uint64_t>> used_q;
+    structures::LocalRing<std::optional<std::uint64_t>> used_q;
     // exclusion_count[s] = how many na entries / usedQ slots hold s; a value
     // is admissible iff its count is zero.
     std::vector<std::uint16_t> exclusion_count;

@@ -19,6 +19,7 @@
 #include "reclaim/reclaimer.h"
 #include "sim/sim_world.h"
 #include "spec/history.h"
+#include "structures/concepts.h"
 #include "util/assert.h"
 
 namespace aba::harness {
@@ -146,12 +147,19 @@ class LlscInvoker : public Invoker {
   std::unique_ptr<Impl> impl_;
 };
 
-// Impl must expose: bool push(int p, uint64_t v); std::optional<uint64_t> pop(int p).
-template <class Impl>
-class StackInvoker : public Invoker {
+// The one invoker for every application structure. Impl must satisfy
+// structures::Container (concepts.h): bool try_push(int p, uint64_t v) and
+// std::optional<uint64_t> try_pop(int p). The history keeps the caller's
+// verb vocabulary (kPush/kPop for stacks, kEnq/kDeq for queues and rings) —
+// the workload chooses the methods, the spec interprets them; the invoker
+// only cares that both pairs funnel into the same two verbs. This is what
+// replaced the per-structure StackInvoker/QueueInvoker copy-paste when the
+// structures converged on the uniform API.
+template <structures::Container Impl>
+class ContainerInvoker : public Invoker {
  public:
-  StackInvoker(sim::SimWorld& world, spec::History& history,
-               std::unique_ptr<Impl> impl)
+  ContainerInvoker(sim::SimWorld& world, spec::History& history,
+                   std::unique_ptr<Impl> impl)
       : world_(world), history_(history), impl_(std::move(impl)) {}
 
   Impl& impl() { return *impl_; }
@@ -161,15 +169,17 @@ class StackInvoker : public Invoker {
         history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
     switch (op.method) {
       case spec::Method::kPush:
+      case spec::Method::kEnq:
         world_.invoke(op.pid, [this, op, idx] {
-          const bool ok = impl_->push(op.pid, op.arg);
+          const bool ok = impl_->try_push(op.pid, op.arg);
           history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
           on_complete(idx, op.pid);
         });
         break;
       case spec::Method::kPop:
+      case spec::Method::kDeq:
         world_.invoke(op.pid, [this, op, idx] {
-          const auto value = impl_->pop(op.pid);
+          const auto value = impl_->try_pop(op.pid);
           history_.complete(idx,
                             spec::pack_opt(value.has_value(),
                                            value.has_value() ? *value : 0),
@@ -178,7 +188,7 @@ class StackInvoker : public Invoker {
         });
         break;
       default:
-        ABA_CHECK_MSG(false, "StackInvoker: unsupported method");
+        ABA_CHECK_MSG(false, "ContainerInvoker: unsupported method");
     }
   }
 
@@ -203,61 +213,12 @@ class StackInvoker : public Invoker {
   std::unique_ptr<Impl> impl_;
 };
 
-// Impl must expose: bool enqueue(int p, uint64_t v); std::optional<uint64_t> dequeue(int p).
+// Legacy names: call sites (and make_factory<...> instantiations) read as
+// what they drive; the implementation is the single template above.
 template <class Impl>
-class QueueInvoker : public Invoker {
- public:
-  QueueInvoker(sim::SimWorld& world, spec::History& history,
-               std::unique_ptr<Impl> impl)
-      : world_(world), history_(history), impl_(std::move(impl)) {}
-
-  Impl& impl() { return *impl_; }
-
-  void invoke(const WorkloadOp& op) override {
-    const std::size_t idx =
-        history_.begin_op(op.pid, op.method, op.arg, world_.next_event_time());
-    switch (op.method) {
-      case spec::Method::kEnq:
-        world_.invoke(op.pid, [this, op, idx] {
-          const bool ok = impl_->enqueue(op.pid, op.arg);
-          history_.complete(idx, ok ? 1 : 0, world_.next_event_time());
-          on_complete(idx, op.pid);
-        });
-        break;
-      case spec::Method::kDeq:
-        world_.invoke(op.pid, [this, op, idx] {
-          const auto value = impl_->dequeue(op.pid);
-          history_.complete(idx,
-                            spec::pack_opt(value.has_value(),
-                                           value.has_value() ? *value : 0),
-                            world_.next_event_time());
-          on_complete(idx, op.pid);
-        });
-        break;
-      default:
-        ABA_CHECK_MSG(false, "QueueInvoker: unsupported method");
-    }
-  }
-
-  reclaim::ReclaimStats reclaim_stats() const override {
-    return detail::impl_reclaim_stats(*impl_);
-  }
-  reclaim::ReclaimPhase reclaim_phase(int pid) const override {
-    return detail::impl_reclaim_phase(*impl_, pid);
-  }
-  std::uint64_t reclaim_fingerprint() const override {
-    return detail::impl_reclaim_fingerprint(*impl_);
-  }
-
- protected:
-  // See StackInvoker::on_complete.
-  virtual void on_complete(std::size_t /*idx*/, int /*pid*/) {}
-
- private:
-  sim::SimWorld& world_;
-  spec::History& history_;
-  std::unique_ptr<Impl> impl_;
-};
+using StackInvoker = ContainerInvoker<Impl>;
+template <class Impl>
+using QueueInvoker = ContainerInvoker<Impl>;
 
 // ----------------------------------------------------- sharded structures
 //

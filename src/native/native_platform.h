@@ -48,6 +48,16 @@ inline std::uint64_t& step_counter() {
   return counter;
 }
 
+// Thread-local count of read-modify-write operations (CAS) specifically,
+// a strict subset of step_counter(). Exists so tests can assert an
+// algorithm's *shape*, not just its step total — RingStepCount proves
+// SpscRing performs zero shared RMW per operation (reads and writes only)
+// while MpmcRing necessarily pays CAS on its position words.
+inline std::uint64_t& rmw_counter() {
+  thread_local std::uint64_t counter = 0;
+  return counter;
+}
+
 // ----------------------------------------------------------------- policies
 
 // Paper-faithful instrumented mode: what the tests measure against.
@@ -217,7 +227,10 @@ struct NativePlatform {
 
     bool cas(std::uint64_t expected, std::uint64_t desired) {
       if constexpr (Policy::kCheckBounds) ABA_ASSERT(bound_.fits(desired));
-      if constexpr (Policy::kCountSteps) ++step_counter();
+      if constexpr (Policy::kCountSteps) {
+        ++step_counter();
+        ++rmw_counter();
+      }
       return word_.value.compare_exchange_strong(expected, desired,
                                                  Policy::kCasSuccessOrder,
                                                  Policy::kCasFailureOrder);
@@ -245,7 +258,10 @@ struct NativePlatform {
 
     bool cas(std::uint64_t expected, std::uint64_t desired) {
       if constexpr (Policy::kCheckBounds) ABA_ASSERT(bound_.fits(desired));
-      if constexpr (Policy::kCountSteps) ++step_counter();
+      if constexpr (Policy::kCountSteps) {
+        ++step_counter();
+        ++rmw_counter();
+      }
       return word_.value.compare_exchange_strong(expected, desired,
                                                  Policy::kCasSuccessOrder,
                                                  Policy::kCasFailureOrder);

@@ -16,6 +16,7 @@
 #include "spec/lin_checker.h"
 #include "spec/specs.h"
 #include "structures/ms_queue.h"
+#include "structures/ring_buffer.h"
 #include "structures/sharded.h"
 #include "structures/treiber_stack.h"
 #include "util/assert.h"
@@ -227,10 +228,12 @@ SpecVerdict check_linearizable_history(const std::vector<spec::Op>& ops) {
 
 SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
                           const std::vector<int>& shard_tags, int num_shards,
-                          bool has_crash) {
+                          bool has_crash, std::uint64_t ring_capacity) {
   if (kind == SpecKind::kNone) return {};
   const spec::Method take =
-      kind == SpecKind::kQueue ? spec::Method::kDeq : spec::Method::kPop;
+      (kind == SpecKind::kQueue || kind == SpecKind::kRing)
+          ? spec::Method::kDeq
+          : spec::Method::kPop;
   // A crash truncates the victim's history: its pending op may have taken
   // effect without completing, so only conservation is checkable.
   if (has_crash) return check_conservation(ops, take);
@@ -239,6 +242,19 @@ SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
       return check_linearizable_history<spec::StackSpec>(ops);
     case SpecKind::kQueue:
       return check_linearizable_history<spec::QueueSpec>(ops);
+    case SpecKind::kRing: {
+      ABA_CHECK_MSG(ring_capacity >= 1,
+                    "kRing verdict needs the fixture's ring_capacity");
+      SpecVerdict verdict;
+      verdict.checked = true;
+      const auto result = spec::check_linearizable<spec::BoundedQueueSpec>(
+          ops, spec::BoundedQueueSpec::initial(ring_capacity));
+      if (!result.linearizable) {
+        verdict.ok = false;
+        verdict.detail = spec::explain(ops, result);
+      }
+      return verdict;
+    }
     case SpecKind::kShardedStack: {
       ABA_CHECK_MSG(shard_tags.size() == ops.size(),
                     "sharded verdict needs one landing shard per history op");
@@ -328,6 +344,24 @@ SearchFixture make_queue_fixture(int n, int pool) {
   return fx;
 }
 
+// The MPMC ring under the model checker: no reclaimer (the per-slot
+// sequence words ARE the ABA answer — there are no nodes to reclaim, so
+// every cost function reads zero and the fixture is driven purely for its
+// spec verdict). Capacity 2 (the minimum): the full and empty boundaries —
+// where the strict-refusal contract bites — are a single op away from any
+// state, so even small search budgets cross them constantly.
+SearchFixture make_ring_fixture(int n) {
+  using Ring = structures::MpmcRing<SimP>;
+  constexpr std::size_t kCapacity = 2;
+  SearchFixture fx = fixture_shell(n);
+  fx.invoker = std::make_unique<harness::ContainerInvoker<Ring>>(
+      *fx.world, *fx.history,
+      std::make_unique<Ring>(*fx.world, n, kCapacity));
+  fx.spec = SpecKind::kRing;
+  fx.ring_capacity = kCapacity;
+  return fx;
+}
+
 SearchFixture make_sharded_stack_fixture(int n, int pool) {
   using Stack =
       structures::ShardedTreiberStack<SimP, structures::RawCasHead<SimP>,
@@ -397,6 +431,10 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
   if (name == "sharded_stack_hazard_cached") {
     return [pool](int n) { return make_sharded_stack_fixture(n, pool); };
   }
+  if (name == "ring_mpmc") {
+    // Reclaimer-free: pool_per_process does not apply.
+    return [](int n) { return make_ring_fixture(n); };
+  }
   ABA_CHECK_MSG(false, "unknown schedule-search fixture name");
   return nullptr;
 }
@@ -405,13 +443,14 @@ std::vector<std::string> reclaim_fixture_names() {
   return {"stack_hazard",  "stack_hazard_cached",         "stack_epoch",
           "stack_tagged",  "stack_leaky",                 "stack_mutant_tagged",
           "queue_hazard",  "queue_hazard_cached",         "queue_epoch",
-          "sharded_stack_hazard_cached"};
+          "sharded_stack_hazard_cached",                  "ring_mpmc"};
 }
 
 std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
                                                 int num_processes, int cycles) {
   ABA_CHECK(num_processes >= 2 && cycles >= 1);
-  const bool is_queue = fixture.rfind("queue", 0) == 0;
+  const bool is_queue = fixture.rfind("queue", 0) == 0 ||
+                        fixture.rfind("ring", 0) == 0;
   const spec::Method put = is_queue ? spec::Method::kEnq : spec::Method::kPush;
   const spec::Method take = is_queue ? spec::Method::kDeq : spec::Method::kPop;
   std::vector<harness::WorkloadOp> workload;
@@ -432,7 +471,8 @@ std::vector<WorkloadCandidate> workload_candidates(const std::string& fixture,
                                                    int num_processes,
                                                    int cycles) {
   ABA_CHECK(num_processes >= 2 && cycles >= 1);
-  const bool is_queue = fixture.rfind("queue", 0) == 0;
+  const bool is_queue = fixture.rfind("queue", 0) == 0 ||
+                        fixture.rfind("ring", 0) == 0;
   const spec::Method put = is_queue ? spec::Method::kEnq : spec::Method::kPush;
   const spec::Method take = is_queue ? spec::Method::kDeq : spec::Method::kPop;
   std::vector<WorkloadCandidate> candidates;
@@ -798,7 +838,8 @@ void ScheduleExplorer::record(Live& live) {
     const std::vector<int>& tags = fx.shard_tags ? fx.shard_tags() : kNoTags;
     const SpecVerdict verdict =
         check_history(fx.spec, fx.history->completed_ops(), tags,
-                      fx.num_shards, live.runner.has_crash());
+                      fx.num_shards, live.runner.has_crash(),
+                      fx.ring_capacity);
     if (verdict.checked && !verdict.ok &&
         result_.violations.size() < kMaxRecordedViolations) {
       result_.violations.push_back({found.script, verdict.detail});
@@ -854,6 +895,13 @@ void ScheduleExplorer::dfs(std::unique_ptr<Live> live, SleepSet sleep) {
     }
     if (result_.grants >= options_.max_grants) {
       result_.budget_exhausted = true;
+      return;
+    }
+    if (options_.max_grants_per_execution != 0 &&
+        live->runner.grants().size() >= options_.max_grants_per_execution) {
+      // Bounded-wait cut for non-solo-terminating fixtures: abandon this
+      // path before its spin loop exhausts the stack (see SearchOptions).
+      ++result_.truncated_paths;
       return;
     }
     ++result_.nodes;
@@ -1054,7 +1102,8 @@ ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
   result.num_shards = runner.fixture().num_shards;
   result.verdict =
       check_history(runner.fixture().spec, result.history, result.shard_tags,
-                    result.num_shards, runner.has_crash());
+                    result.num_shards, runner.has_crash(),
+                    runner.fixture().ring_capacity);
   return result;
 }
 

@@ -143,8 +143,11 @@ struct ScheduleScript {
 // The sequential specification a fixture's histories are checked against
 // when the search runs with spec-driven verdicts (SearchOptions::check_spec).
 // kShardedStack splits the history by the tagging adapter's landing shards
-// and checks each shard as an exact stack.
-enum class SpecKind : std::uint8_t { kNone, kStack, kQueue, kShardedStack };
+// and checks each shard as an exact stack. kRing checks against the
+// capacity-strict BoundedQueueSpec (the fixture's ring_capacity feeds the
+// initial state).
+enum class SpecKind : std::uint8_t { kNone, kStack, kQueue, kShardedStack,
+                                     kRing };
 
 // One fresh instrumented execution target: the world, the history the
 // invoker records into, and the invoker driving the implementation (which
@@ -158,6 +161,9 @@ struct SearchFixture {
   std::function<const std::vector<int>&()> shard_tags;  // Null if unsharded.
   int num_shards = 1;
   SpecKind spec = SpecKind::kNone;
+  // Capacity for SpecKind::kRing fixtures (BoundedQueueSpec initial state);
+  // ignored by the other kinds.
+  std::uint64_t ring_capacity = 0;
   // Death oracle wired into the reclaimer (is_dead == world->is_crashed).
   // Owned here so it outlives the structure that holds a pointer to it.
   // Installing it is trace-neutral: with no crashes the reclaimers take no
@@ -245,9 +251,11 @@ struct SpecVerdict {
 // effect without completing. kShardedStack splits by `shard_tags` (which
 // must be index-aligned with `ops`) and checks each shard as an exact
 // stack; the others run the Wing&Gong linearizability checker whole.
+// `ring_capacity` seeds BoundedQueueSpec for kRing (unused otherwise; the
+// default keeps pre-ring callers source-compatible).
 SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
                           const std::vector<int>& shard_tags, int num_shards,
-                          bool has_crash);
+                          bool has_crash, std::uint64_t ring_capacity = 0);
 
 // -------------------------------------------------------------- runner
 
@@ -345,6 +353,16 @@ struct SearchOptions {
   // Stop the search at the first spec violation (the conviction is the
   // result; the remaining budget would only find more of the same).
   bool stop_on_violation = true;
+  // Per-schedule grant bound: a DFS path whose grant sequence reaches this
+  // length is cut (counted in SearchResult::truncated_paths). 0 = unbounded,
+  // which is correct for the lock-free fixtures — every op solo-terminates,
+  // so paths end on their own. Fixtures with blocking wait loops (the
+  // bounded rings: a producer parked between claiming a slot and publishing
+  // its sequence word makes a consumer spin indefinitely) need this cut —
+  // each futile spin iteration extends the process's observation history,
+  // so the DPOR state key never recurs and the DFS would otherwise deepen
+  // one frame per grant until the stack overflows.
+  std::uint64_t max_grants_per_execution = 0;
 };
 
 struct FoundSchedule {
@@ -375,6 +393,8 @@ struct SearchResult {
   std::uint64_t pruned_states = 0;
   std::uint64_t pruned_sleep = 0;
   std::uint64_t replayed_grants = 0;
+  // Paths cut by SearchOptions::max_grants_per_execution before completing.
+  std::uint64_t truncated_paths = 0;
   bool budget_exhausted = false;
 
   const FoundSchedule* top() const { return best.empty() ? nullptr : &best[0]; }

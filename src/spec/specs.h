@@ -182,4 +182,41 @@ struct QueueSpec {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Bounded FIFO queue (the ring-buffer family). Unlike QueueSpec, capacity is
+// ABSTRACT STATE: a refused enqueue (ret == 0) is legal only when the queue
+// holds exactly `capacity` elements — there is no pool-exhaustion escape
+// hatch. This is the spec that distinguishes a ring whose full/empty refusal
+// is anchored to a fresh position read (linearizable) from one that refuses
+// off a stale slot-sequence observation (not linearizable; see the refusal
+// contract in structures/ring_buffer.h).
+// State encoding: [capacity, length, v_0 ... v_{len-1}] with v_0 the head.
+// ---------------------------------------------------------------------------
+struct BoundedQueueSpec {
+  using State = std::vector<std::uint64_t>;
+
+  static State initial(std::uint64_t capacity) { return {capacity, 0}; }
+
+  static bool apply(State& s, const Op& op) {
+    switch (op.method) {
+      case Method::kEnq: {
+        if (op.ret == 0) return s[1] == s[0];  // "Full" must mean full.
+        if (s[1] == s[0]) return false;        // No overfill either.
+        s.push_back(op.arg);
+        ++s[1];
+        return true;
+      }
+      case Method::kDeq: {
+        if (s[1] == 0) return op.ret == pack_opt(false, 0);
+        if (op.ret != pack_opt(true, s[2])) return false;
+        s.erase(s.begin() + 2);
+        --s[1];
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
 }  // namespace aba::spec

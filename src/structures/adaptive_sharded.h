@@ -288,6 +288,10 @@ class AdaptiveShardedStack
     return this->routed_take(
         p, [](Shard& shard, int pid) { return shard.pop(pid); });
   }
+
+  // Uniform structure verbs (structures/concepts.h).
+  bool try_push(int p, std::uint64_t value) { return push(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return pop(p); }
 };
 
 // ------------------------------------------------------------------- queue
@@ -322,6 +326,10 @@ class AdaptiveShardedQueue
     return this->routed_take(
         p, [](Shard& shard, int pid) { return shard.dequeue(pid); });
   }
+
+  // Uniform structure verbs (structures/concepts.h).
+  bool try_push(int p, std::uint64_t value) { return enqueue(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return dequeue(p); }
 };
 
 }  // namespace aba::structures

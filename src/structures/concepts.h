@@ -1,0 +1,55 @@
+// The uniform structure API: one concept pair, one verb vocabulary.
+//
+// Every application structure in this repository — stacks, queues, sharded
+// and adaptive facades, and the ring-buffer family — speaks the same two
+// verbs:
+//
+//   bool try_push(int p, std::uint64_t v)         — may refuse (full / pool
+//                                                    pressure), never blocks;
+//   std::optional<std::uint64_t> try_pop(int p)   — nullopt when empty.
+//
+// What distinguishes the families is *why* try_push may refuse:
+//
+//   UnboundedContainer — refusal is an implementation artifact (a reclaimer
+//       that cannot produce a safe node under pool pressure). The abstract
+//       object has no capacity; the specs treat a refused put as a legal
+//       no-op at any state. TreiberStack, MsQueue and the sharded/adaptive
+//       facades are these.
+//
+//   BoundedContainer — capacity is part of the abstract object: the
+//       structure additionally exposes capacity() (the exact bound) and
+//       approx_size() (a racy occupancy estimate), and a refused put is
+//       legal ONLY when the structure is full (spec::BoundedQueueSpec pins
+//       exactly that). The ring buffers are these.
+//
+// The harness adapters (harness/adapters.h) are written once against
+// `Container` — a single invoker template drives every structure — and the
+// bounded refinement is what routes ring histories to the capacity-aware
+// spec.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+namespace aba::structures {
+
+template <class C>
+concept Container = requires(C c, int p, std::uint64_t v) {
+  { c.try_push(p, v) } -> std::same_as<bool>;
+  { c.try_pop(p) } -> std::same_as<std::optional<std::uint64_t>>;
+};
+
+// Bounded refinement: the capacity is abstract state, not an artifact.
+// approx_size() is allowed to take shared-memory steps (it reads the
+// position words), so it is non-const like the verbs themselves.
+template <class C>
+concept BoundedContainer = Container<C> && requires(const C& c, C& m) {
+  { c.capacity() } -> std::convertible_to<std::size_t>;
+  { m.approx_size() } -> std::convertible_to<std::size_t>;
+};
+
+template <class C>
+concept UnboundedContainer = Container<C> && !BoundedContainer<C>;
+
+}  // namespace aba::structures

@@ -158,6 +158,11 @@ class MsQueue {
     }
   }
 
+  // Uniform structure verbs (structures/concepts.h): an UnboundedContainer
+  // whose try_push refusal means pool pressure, never "full".
+  bool try_push(int p, std::uint64_t value) { return enqueue(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return dequeue(p); }
+
   // See TreiberStack::detach / set_contention_probe — same contracts.
   void detach(int p) {
     if constexpr (requires { reclaimer_.detach(p); }) reclaimer_.detach(p);

@@ -244,6 +244,10 @@ class ShardedTreiberStack
     return this->routed_take(
         p, [](Shard& shard, int pid) { return shard.pop(pid); });
   }
+
+  // Uniform structure verbs (structures/concepts.h).
+  bool try_push(int p, std::uint64_t value) { return push(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return pop(p); }
 };
 
 // ------------------------------------------------------------------- queue
@@ -279,6 +283,10 @@ class ShardedMsQueue : public detail::ShardRouter<MsQueue<P, R>, kShards> {
     return this->routed_take(
         p, [](Shard& shard, int pid) { return shard.dequeue(pid); });
   }
+
+  // Uniform structure verbs (structures/concepts.h).
+  bool try_push(int p, std::uint64_t value) { return enqueue(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return dequeue(p); }
 };
 
 }  // namespace aba::structures

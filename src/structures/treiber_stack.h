@@ -201,6 +201,11 @@ class TreiberStack {
     }
   }
 
+  // Uniform structure verbs (structures/concepts.h): an UnboundedContainer
+  // whose try_push refusal means pool pressure, never "full".
+  bool try_push(int p, std::uint64_t value) { return push(p, value); }
+  std::optional<std::uint64_t> try_pop(int p) { return pop(p); }
+
   // Releases any guards process p's reclaimer keeps published between
   // operations (the cached-guard hazard mode); no-op for the others. Call
   // when p stops operating on this structure.

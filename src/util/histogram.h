@@ -3,16 +3,140 @@
 // The benchmark harness measures per-operation step counts (simulated model)
 // and latencies (native model). We care about max (the theorems bound the
 // worst case), mean, and a few tail quantiles; an exact sorted-sample
-// implementation suffices at bench scale.
+// implementation suffices at bench scale (Summary below). Per-operation
+// latency recording at tens of millions of ops/sec cannot afford a sample
+// vector, so LatencyHistogram is log-bucketed (HDR-style): constant memory,
+// a few ALU ops per add(), ~3% relative resolution everywhere — exactly the
+// tradeoff latency percentiles want (p99 at 420ns vs 430ns is noise; 420ns
+// vs 4.2us is the story).
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "util/assert.h"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
 namespace aba::util {
+
+// ------------------------------------------------------------ timestamping
+
+// Cheapest available monotonic-enough timestamp for per-op latency deltas.
+// x86: rdtsc (constant_tsc on anything this century — invariant across
+// cores and frequency scaling). aarch64: the generic counter-timer virtual
+// count, same properties. Elsewhere: steady_clock, slower but correct.
+// Ticks are converted to nanoseconds once at report time via tick_ns().
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t virtual_timer;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(virtual_timer));
+  return virtual_timer;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Nanoseconds per tick, measured once against steady_clock over a short
+// spin window. Calibration error is well under the histogram's bucket
+// resolution; cached after the first call.
+inline double tick_ns() {
+  static const double ns_per_tick = [] {
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t t0 = rdtsc();
+    const auto c0 = Clock::now();
+    // ~5ms busy window: long enough to swamp the clock-read cost, short
+    // enough to be invisible at process startup.
+    while (Clock::now() - c0 < std::chrono::milliseconds(5)) {
+    }
+    const std::uint64_t t1 = rdtsc();
+    const auto c1 = Clock::now();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        c1 - c0)
+                        .count();
+    const std::uint64_t ticks = t1 - t0;
+    return ticks > 0 ? static_cast<double>(ns) / static_cast<double>(ticks)
+                     : 1.0;
+  }();
+  return ns_per_tick;
+}
+
+// ------------------------------------------------------ latency histogram
+
+// Log-bucketed value histogram over uint64 (latency ticks, but any positive
+// magnitude works). Layout: values below 2^kSubBits land in exact unit
+// buckets; above that, each power-of-two range splits into 2^kSubBits
+// sub-buckets, so relative resolution is bounded by 1/2^kSubBits (~3%).
+// add() is branch-light and allocation-free; one histogram per recording
+// thread, merge()d at report time — no shared state on the hot path.
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;  // 32 sub-buckets per octave.
+  static constexpr unsigned kSubCount = 1u << kSubBits;
+  // 64-bit values span at most 64 - kSubBits octaves above the linear range.
+  static constexpr std::size_t kBucketCount =
+      kSubCount * (65 - kSubBits);
+
+  void add(std::uint64_t value) {
+    ++counts_[bucket_of(value)];
+    ++total_;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  // Nearest-rank percentile (q in [0,1]), returned as a representative
+  // value for the containing bucket (its lower bound — consistent bias,
+  // bounded by bucket width). Returns 0 on an empty histogram.
+  std::uint64_t percentile(double q) const {
+    if (total_ == 0) return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return bucket_lower_bound(i);
+    }
+    return bucket_lower_bound(kBucketCount - 1);
+  }
+
+ private:
+  static std::size_t bucket_of(std::uint64_t value) {
+    if (value < kSubCount) return static_cast<std::size_t>(value);
+    const unsigned octave =
+        63u - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned sub = static_cast<unsigned>(
+        (value >> (octave - kSubBits)) & (kSubCount - 1));
+    return static_cast<std::size_t>(octave - kSubBits + 1) * kSubCount + sub;
+  }
+
+  static std::uint64_t bucket_lower_bound(std::size_t bucket) {
+    if (bucket < kSubCount) return static_cast<std::uint64_t>(bucket);
+    const std::size_t octave_index = bucket / kSubCount - 1;
+    const std::size_t sub = bucket % kSubCount;
+    const unsigned octave = static_cast<unsigned>(octave_index) + kSubBits;
+    return (std::uint64_t{1} << octave) |
+           (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+  }
+
+  std::vector<std::uint64_t> counts_ =
+      std::vector<std::uint64_t>(kBucketCount, 0);
+  std::uint64_t total_ = 0;
+};
 
 class Summary {
  public:

@@ -117,6 +117,10 @@ struct ShardedLlscStack {
 
   bool push(int p, std::uint64_t v) { return stack.push(p, v); }
   std::optional<std::uint64_t> pop(int p) { return stack.pop(p); }
+  // Uniform container verbs (structures/concepts.h) so the wrapper feeds
+  // harness::ContainerInvoker like the structures it wraps.
+  bool try_push(int p, std::uint64_t v) { return stack.push(p, v); }
+  std::optional<std::uint64_t> try_pop(int p) { return stack.pop(p); }
   int last_shard(int p) const { return stack.last_shard(p); }
 
   std::array<std::unique_ptr<Llsc>, kShards> llscs;

@@ -40,6 +40,10 @@ struct RawStack {
               TreiberStack<SimP, RawCasHead<SimP>>::partition(n, per_process)) {}
   bool push(int p, std::uint64_t v) { return stack.push(p, v); }
   std::optional<std::uint64_t> pop(int p) { return stack.pop(p); }
+  // Uniform container verbs (structures/concepts.h) so the wrapper feeds
+  // harness::ContainerInvoker like the structures it wraps.
+  bool try_push(int p, std::uint64_t v) { return stack.push(p, v); }
+  std::optional<std::uint64_t> try_pop(int p) { return stack.pop(p); }
   TreiberStack<SimP, RawCasHead<SimP>> stack;
 };
 
@@ -51,6 +55,8 @@ struct TaggedStack {
   }
   bool push(int p, std::uint64_t v) { return stack.push(p, v); }
   std::optional<std::uint64_t> pop(int p) { return stack.pop(p); }
+  bool try_push(int p, std::uint64_t v) { return stack.push(p, v); }
+  std::optional<std::uint64_t> try_pop(int p) { return stack.pop(p); }
   TreiberStack<SimP, TaggedCasHead<SimP>> stack;
 };
 
@@ -66,6 +72,8 @@ struct LlscStack {
               TreiberStack<SimP, LlscHead<Llsc>>::partition(n, per_process)) {}
   bool push(int p, std::uint64_t v) { return stack.push(p, v); }
   std::optional<std::uint64_t> pop(int p) { return stack.pop(p); }
+  bool try_push(int p, std::uint64_t v) { return stack.push(p, v); }
+  std::optional<std::uint64_t> try_pop(int p) { return stack.pop(p); }
   Llsc llsc;
   TreiberStack<SimP, LlscHead<Llsc>> stack;
 };
@@ -76,6 +84,8 @@ struct SimQueue {
               MsQueue<SimP>::Options{.index_bits = 16, .tag_bits = tag_bits}) {}
   bool enqueue(int p, std::uint64_t v) { return queue.enqueue(p, v); }
   std::optional<std::uint64_t> dequeue(int p) { return queue.dequeue(p); }
+  bool try_push(int p, std::uint64_t v) { return queue.enqueue(p, v); }
+  std::optional<std::uint64_t> try_pop(int p) { return queue.dequeue(p); }
   MsQueue<SimP> queue;
 };
 

@@ -1,10 +1,10 @@
-// Unit tests for the utility layer: packing codecs, bounded queue, RNG,
-// histograms, table printer.
+// Unit tests for the utility layer: packing codecs, the sequential local
+// ring, RNG, histograms, table printer.
 #include <gtest/gtest.h>
 
 #include <set>
 
-#include "util/bounded_queue.h"
+#include "structures/ring_buffer.h"
 #include "util/histogram.h"
 #include "util/packed_word.h"
 #include "util/rng.h"
@@ -153,10 +153,10 @@ TEST(PairCodec, AllBitsWidth) {
   EXPECT_EQ(PairCodec(32, 16).all_bits(), 0xFFFFFFFFull);
 }
 
-// ------------------------------------------------------------ BoundedQueue
+// --------------------------------------------------------------- LocalRing
 
-TEST(BoundedQueue, FifoOrder) {
-  BoundedQueue<int> q(3);
+TEST(LocalRing, FifoOrder) {
+  structures::LocalRing<int> q(3);
   q.enqueue(1);
   q.enqueue(2);
   q.enqueue(3);
@@ -169,8 +169,8 @@ TEST(BoundedQueue, FifoOrder) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(BoundedQueue, Contains) {
-  BoundedQueue<int> q(4);
+TEST(LocalRing, Contains) {
+  structures::LocalRing<int> q(4);
   q.enqueue(10);
   q.enqueue(20);
   EXPECT_TRUE(q.contains(10));
@@ -180,20 +180,33 @@ TEST(BoundedQueue, Contains) {
   EXPECT_FALSE(q.contains(10));
 }
 
-TEST(BoundedQueue, WrapsAroundManyTimes) {
-  BoundedQueue<int> q(2);
+TEST(LocalRing, WrapsAroundManyTimes) {
+  structures::LocalRing<int> q(2);
   for (int i = 0; i < 100; ++i) {
     q.enqueue(i);
     EXPECT_EQ(q.dequeue(), i);
   }
 }
 
-TEST(BoundedQueue, FrontPeeks) {
-  BoundedQueue<int> q(2);
+TEST(LocalRing, FrontPeeks) {
+  structures::LocalRing<int> q(2);
   q.enqueue(5);
   q.enqueue(6);
   EXPECT_EQ(q.front(), 5);
   EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(LocalRing, TryVerbsRefuseAtBoundaries) {
+  structures::LocalRing<int> q(2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // Full: refusal is exact, not approximate.
+  EXPECT_EQ(q.try_pop(), std::optional<int>(1));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(2));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(3));
+  EXPECT_EQ(q.try_pop(), std::nullopt);
 }
 
 // --------------------------------------------------------------------- RNG

@@ -25,6 +25,14 @@ never failed on. The markdown report also carries a geomean-of-ratios
 summary per (scenario, reclaimer), the per-group trajectory line that
 single-cell noise cannot fake.
 
+Latency cells (schema 2): a record whose p99_ns is nonzero carries per-op
+latency percentiles (E9's ring scenarios always do; legacy headline cells
+do under --latency). When BOTH sides of a cell carry a nonzero p99_ns, a
+fresh p99 that grew by more than --threshold is a latency regression and
+gates exactly like a throughput loss. Schema-1 baselines (no percentile
+fields) are accepted read-only: their cells simply never enter the p99
+gate, so the trajectory can roll forward without rewriting history.
+
 Usage:
   tools/bench_compare.py --baseline BENCH_native.json \
       --fresh build/BENCH_native.json [--threshold 0.30] [--warn-only] \
@@ -72,7 +80,7 @@ def load_records(path):
                   file=sys.stderr)
             sys.exit(2)
         out[key] = r
-    return out, doc.get("context", {})
+    return out, doc.get("context", {}), int(doc.get("schema", 1))
 
 
 def fmt_key(key):
@@ -98,12 +106,14 @@ def main():
                          "(dashboards, trend jobs); '-' for stdout")
     args = ap.parse_args()
 
-    base, base_ctx = load_records(args.baseline)
-    fresh, fresh_ctx = load_records(args.fresh)
+    base, base_ctx, base_schema = load_records(args.baseline)
+    fresh, fresh_ctx, fresh_schema = load_records(args.fresh)
 
     regressions = []  # (key, base_rate, fresh_rate, delta)
     improvements = []
     informational = []  # too short to judge
+    latency_regressions = []  # (key, base_p99_ns, fresh_p99_ns, delta)
+    latency_compared = 0
     ratios_by_group = {}  # (scenario, reclaimer) -> [fresh/base, ...]
     compared = 0
     for key in sorted(base.keys() & fresh.keys()):
@@ -116,12 +126,22 @@ def main():
         row = (key, b["ops_per_sec"], f["ops_per_sec"], delta)
         if ratio > 0:
             ratios_by_group.setdefault((key[0], key[3]), []).append(ratio)
-        if min(b.get("seconds", 0), f.get("seconds", 0)) < args.min_seconds:
+        too_short = (
+            min(b.get("seconds", 0), f.get("seconds", 0)) < args.min_seconds)
+        if too_short:
             informational.append(row)
         elif delta < -args.threshold:
             regressions.append(row)
         elif delta > args.threshold:
             improvements.append(row)
+        # The p99 gate: only when both sides actually recorded latency
+        # (schema-1 baselines never did — their cells stay throughput-only).
+        b_p99, f_p99 = b.get("p99_ns", 0), f.get("p99_ns", 0)
+        if b_p99 > 0 and f_p99 > 0 and not too_short:
+            latency_compared += 1
+            lat_delta = f_p99 / b_p99 - 1.0
+            if lat_delta > args.threshold:
+                latency_regressions.append((key, b_p99, f_p99, lat_delta))
     added = sorted(fresh.keys() - base.keys())
     removed = sorted(base.keys() - fresh.keys())
 
@@ -130,10 +150,13 @@ def main():
     lines.append("")
     lines.append(f"- cells compared: {compared} "
                  f"(threshold {args.threshold:.0%}, min seconds {args.min_seconds})")
+    lines.append(f"- schema: baseline {base_schema}, fresh {fresh_schema}; "
+                 f"latency (p99) cells gated: {latency_compared}")
     lines.append(f"- baseline host concurrency: "
                  f"{base_ctx.get('hardware_concurrency', '?')}, "
                  f"fresh: {fresh_ctx.get('hardware_concurrency', '?')}")
-    lines.append(f"- regressions: {len(regressions)}, "
+    lines.append(f"- regressions: {len(regressions)} throughput + "
+                 f"{len(latency_regressions)} latency, "
                  f"improvements: {len(improvements)}, "
                  f"too-short-to-judge: {len(informational)}, "
                  f"added: {len(added)}, removed: {len(removed)}")
@@ -166,6 +189,14 @@ def main():
         lines.append("")
 
     table("Regressions", regressions)
+    if latency_regressions:
+        lines.append("## Latency regressions (p99)")
+        lines.append("")
+        lines.append("| cell | baseline p99 ns | fresh p99 ns | delta |")
+        lines.append("|---|---:|---:|---:|")
+        for key, b, f, d in latency_regressions:
+            lines.append(f"| {fmt_key(key)} | {b:,.0f} | {f:,.0f} | {d:+.1%} |")
+        lines.append("")
     table("Improvements (>threshold)", improvements)
     # Cells too short to gate on still carry the trajectory signal — render
     # the ones whose delta crossed the threshold so a smoke-mode report
@@ -194,6 +225,11 @@ def main():
             "threshold": args.threshold,
             "min_seconds": args.min_seconds,
             "cells_compared": compared,
+            "latency_cells_compared": latency_compared,
+            "latency_regressions": [
+                {"cell": fmt_key(key), "baseline_p99_ns": b,
+                 "fresh_p99_ns": f, "delta": d}
+                for key, b, f, d in latency_regressions],
             "regressions": [row_obj(r) for r in regressions],
             "improvements": [row_obj(r) for r in improvements],
             "informational": [row_obj(r) for r in informational],
@@ -229,9 +265,10 @@ def main():
             print(f"bench_compare: cannot write {args.report}: {e}", file=sys.stderr)
             sys.exit(2)
 
-    if regressions:
-        verdict = (f"bench_compare: {len(regressions)} cell(s) regressed more "
-                   f"than {args.threshold:.0%}")
+    if regressions or latency_regressions:
+        verdict = (f"bench_compare: {len(regressions)} throughput and "
+                   f"{len(latency_regressions)} latency (p99) cell(s) "
+                   f"regressed more than {args.threshold:.0%}")
         if args.warn_only:
             print(f"{verdict} (warn-only mode, not failing)")
             return 0
