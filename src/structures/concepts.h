@@ -5,8 +5,20 @@
 // verbs:
 //
 //   bool try_push(int p, std::uint64_t v)         — may refuse (full / pool
-//                                                    pressure), never blocks;
+//                                                    pressure);
 //   std::optional<std::uint64_t> try_pop(int p)   — nullopt when empty.
+//
+// Progress caveat: the `try_` prefix promises refusal SEMANTICS (the verb
+// returns rather than waiting for capacity/elements), NOT wait-freedom. On
+// the bounded rings an operation may spin waiting out an in-flight peer —
+// a producer parked between reserving a position and publishing its slot
+// sequence stalls consumers at that position (and symmetrically a claimed-
+// but-unbumped pop stalls a wrapping producer) — so MpscRing/MpmcRing
+// try_* are not lock-free. The simulator bounds these spins with
+// max_grants_per_execution; on native platforms a descheduled peer can
+// stall the operation for its whole quantum. Callers that need bounded
+// completion must use SpscRing (wait-free: reads and writes only) or
+// schedule around the stall.
 //
 // What distinguishes the families is *why* try_push may refuse:
 //

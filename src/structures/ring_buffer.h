@@ -40,7 +40,11 @@
 // pop mid-flight) instead of refusing. A Vyukov ring that refuses straight
 // off the slot sequence is NOT linearizable against the strict bounded
 // spec; the model-checker sweep over the ring_mpmc fixture is what pins
-// this distinction.
+// this distinction. The MPSC push has its own illegal-refusal shape: a
+// stale tail read with head already past it makes the unsigned occupancy
+// underflow to "full" on a possibly-empty ring, so the full check is gated
+// on head <= tail (RingScripted.MpscStaleTailDoesNotFakeFull and the
+// RingMpscSim sweep walk exactly that window).
 //
 // LocalRing<T> at the bottom is the degenerate single-process member of the
 // family (plain sequential code, no platform words). It exists so Figure
@@ -216,9 +220,19 @@ class MpscRing {
     PlatformBackoffT<P> backoff;
     for (;;) {
       const std::uint64_t t = tail_.read();
-      // Full check BEFORE the reservation: at the instant head was read,
-      // the ring held >= capacity elements, so refusing is spec-legal.
-      if (t - head_.read() >= cap_) return false;
+      const std::uint64_t h = head_.read();
+      if (h > t) {
+        // The consumer advanced head past our tail read, so t is stale
+        // (head never passes the real tail) and the unsigned occupancy
+        // t - h would underflow to "full" on a ring that may be EMPTY.
+        // Nothing certifies a full instant here — re-read, never refuse.
+        backoff();
+        continue;
+      }
+      // Full check BEFORE the reservation: head was read after tail, so at
+      // the instant of the head read the real tail was >= t and the ring
+      // truly held >= t - h elements — refusing is spec-legal.
+      if (t - h >= cap_) return false;
       if (tail_.cas(t, t + 1)) {
         Slot& slot = *slots_[t & mask_];
         slot.value.write(detail::ring_encode(value));

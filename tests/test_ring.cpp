@@ -14,12 +14,19 @@
 //     checked against the capacity-strict BoundedQueueSpec (a refused push
 //     must linearize at a truly-full instant, a refused pop at a
 //     truly-empty one).
+//   * RingMpscSim — the same sweep role-constrained for MpscRing (pops
+//     confined to the single consumer), push-heavy over tiny capacities so
+//     the full boundary — and with it the MPSC stale-tail refusal window —
+//     stays hot under every schedule.
 //   * RingScripted — deterministic SimWorld schedules walking the
 //     ABA-shaped cases by hand: a stale tail CAS held across a full ring
 //     wrap must FAIL (the per-slot sequence is an unbounded tag, so the
-//     recycled position can never look fresh), and a pop parked between
+//     recycled position can never look fresh); a pop parked between
 //     claiming its position and bumping the slot sequence must make a
-//     concurrent push RETRY, not refuse (the strict refusal contract).
+//     concurrent push RETRY, not refuse (the strict refusal contract); and
+//     an MPSC producer whose tail read went stale (the consumer drove head
+//     PAST it) must re-read and succeed — the unsigned occupancy underflow
+//     must never surface as a full-report on a non-full ring.
 //   * RingModelCheck — the DPOR-pruned schedule search over the ring_mpmc
 //     fixture with spec verdicts on: no reachable interleaving of the
 //     adversarial workload shapes produces a non-linearizable history.
@@ -241,6 +248,50 @@ TEST(RingMpmcSim, LinearizableUnderRandomSchedules) {
   }
 }
 
+// The MPSC counterpart: pops confined to pid 0 (MpscRing's single-consumer
+// contract), producers push-heavy over tiny capacities so refusals — the
+// path the fresh-head guard in MpscRing::try_push protects — fire under
+// most schedules. A push that reads tail, loses the CPU while the consumer
+// drains head past that read, and then refuses off the underflowed
+// occupancy reports full on a non-full (possibly empty) ring; the
+// BoundedQueueSpec check over every history is what convicts that shape.
+TEST(RingMpscSim, LinearizableUnderRandomSchedules) {
+  constexpr int kProcs = 3;  // pid 0 is the single consumer; pids 1+ produce.
+  for (const std::size_t cap : {std::size_t{2}, std::size_t{4}}) {
+    for (const int pushes_per_producer : {3, 5}) {
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        std::vector<harness::WorkloadOp> workload;
+        std::uint64_t next_value = 1;
+        for (int p = 1; p < kProcs; ++p) {
+          for (int i = 0; i < pushes_per_producer; ++i) {
+            workload.push_back({p, spec::Method::kEnq, next_value++});
+          }
+        }
+        for (int i = 0; i < pushes_per_producer + 1; ++i) {
+          workload.push_back({0, spec::Method::kDeq, 0});
+        }
+        const auto factory = [cap, kProcs](sim::SimWorld& world,
+                                           spec::History& history)
+            -> std::unique_ptr<harness::Invoker> {
+          return std::make_unique<
+              harness::QueueInvoker<structures::MpscRing<sim::SimPlatform>>>(
+              world, history,
+              std::make_unique<structures::MpscRing<sim::SimPlatform>>(
+                  world, kProcs, cap));
+        };
+        const auto ops =
+            harness::run_random_schedule(kProcs, factory, workload, seed);
+        const auto result = spec::check_linearizable<spec::BoundedQueueSpec>(
+            ops, spec::BoundedQueueSpec::initial(cap));
+        ASSERT_TRUE(result.linearizable)
+            << "cap=" << cap << " pushes=" << pushes_per_producer
+            << " seed=" << seed << "\n"
+            << spec::explain(ops, result);
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------------- scripted
 //
 // Hand-walked schedules against the exact words, the shapes the file
@@ -333,6 +384,47 @@ TEST(RingScripted, ClaimedButUnbumpedPopDoesNotFakeFull) {
   ASSERT_TRUE(popped.has_value());
   EXPECT_EQ(*popped, 7u);
   EXPECT_TRUE(p1_pushed);
+}
+
+// The MPSC stale-tail window, walked deterministically: a producer reads
+// tail (t == 0) and parks BEFORE its head read. The other process then
+// pushes twice and the consumer drains twice, driving head to 2 — PAST the
+// parked producer's t. The unsigned occupancy t - head underflows to a
+// huge value; a push willing to refuse off it would report full on an
+// EMPTY ring, an instant the strict bounded spec cannot linearize. The
+// fresh-head guard must instead classify t as stale, re-read the tail, and
+// complete the push.
+TEST(RingScripted, MpscStaleTailDoesNotFakeFull) {
+  sim::SimWorld world(2);
+  structures::MpscRing<sim::SimPlatform> ring(world, 2, 2);
+
+  bool p0_pushed = false;
+  world.invoke(0, [&] { p0_pushed = ring.try_push(0, 100); });
+  // Execute the tail read only; park poised on the head read.
+  ASSERT_EQ(world.step(0), sim::MethodStatus::kPoised);
+
+  bool wrapped = false;
+  std::optional<std::uint64_t> a, b;
+  world.invoke(1, [&] {
+    wrapped = ring.try_push(1, 1) && ring.try_push(1, 2);
+    a = ring.try_pop(1);
+    b = ring.try_pop(1);
+  });
+  world.run_to_completion(1);
+  ASSERT_TRUE(wrapped);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+
+  // Head (== 2) is now past the stale tail read (== 0): the resumed push
+  // must retry off the fresh words and land, not refuse.
+  world.run_to_completion(0);
+  EXPECT_TRUE(p0_pushed);
+
+  std::optional<std::uint64_t> c;
+  world.invoke(1, [&] { c = ring.try_pop(1); });
+  world.run_to_completion(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 100u);
 }
 
 // The contrast case: with no operation in flight, a full ring refuses a

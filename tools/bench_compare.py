@@ -28,10 +28,13 @@ single-cell noise cannot fake.
 Latency cells (schema 2): a record whose p99_ns is nonzero carries per-op
 latency percentiles (E9's ring scenarios always do; legacy headline cells
 do under --latency). When BOTH sides of a cell carry a nonzero p99_ns, a
-fresh p99 that grew by more than --threshold is a latency regression and
-gates exactly like a throughput loss. Schema-1 baselines (no percentile
-fields) are accepted read-only: their cells simply never enter the p99
-gate, so the trajectory can roll forward without rewriting history.
+fresh p99 that grew by more than --latency-threshold (default 50% — tail
+latency on shared runners is substantially noisier than mean throughput,
+so the latency gate defaults looser than --threshold and is tuned
+independently) is a latency regression and gates exactly like a
+throughput loss. Schema-1 baselines (no percentile fields) are accepted
+read-only: their cells simply never enter the p99 gate, so the trajectory
+can roll forward without rewriting history.
 
 Usage:
   tools/bench_compare.py --baseline BENCH_native.json \
@@ -95,6 +98,10 @@ def main():
     ap.add_argument("--fresh", required=True, help="freshly measured BENCH_native.json")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="fractional throughput loss that counts as a regression")
+    ap.add_argument("--latency-threshold", type=float, default=0.50,
+                    help="fractional p99 growth that counts as a latency "
+                         "regression (looser than --threshold by default: "
+                         "tail latency is noisier than mean throughput)")
     ap.add_argument("--min-seconds", type=float, default=0.05,
                     help="ignore cells measured for less than this on either side")
     ap.add_argument("--warn-only", action="store_true",
@@ -140,7 +147,7 @@ def main():
         if b_p99 > 0 and f_p99 > 0 and not too_short:
             latency_compared += 1
             lat_delta = f_p99 / b_p99 - 1.0
-            if lat_delta > args.threshold:
+            if lat_delta > args.latency_threshold:
                 latency_regressions.append((key, b_p99, f_p99, lat_delta))
     added = sorted(fresh.keys() - base.keys())
     removed = sorted(base.keys() - fresh.keys())
@@ -151,7 +158,8 @@ def main():
     lines.append(f"- cells compared: {compared} "
                  f"(threshold {args.threshold:.0%}, min seconds {args.min_seconds})")
     lines.append(f"- schema: baseline {base_schema}, fresh {fresh_schema}; "
-                 f"latency (p99) cells gated: {latency_compared}")
+                 f"latency (p99) cells gated: {latency_compared} "
+                 f"(latency threshold {args.latency_threshold:.0%})")
     lines.append(f"- baseline host concurrency: "
                  f"{base_ctx.get('hardware_concurrency', '?')}, "
                  f"fresh: {fresh_ctx.get('hardware_concurrency', '?')}")
@@ -223,6 +231,7 @@ def main():
             "baseline": args.baseline,
             "fresh": args.fresh,
             "threshold": args.threshold,
+            "latency_threshold": args.latency_threshold,
             "min_seconds": args.min_seconds,
             "cells_compared": compared,
             "latency_cells_compared": latency_compared,
@@ -266,9 +275,10 @@ def main():
             sys.exit(2)
 
     if regressions or latency_regressions:
-        verdict = (f"bench_compare: {len(regressions)} throughput and "
+        verdict = (f"bench_compare: {len(regressions)} throughput cell(s) "
+                   f"regressed more than {args.threshold:.0%} and "
                    f"{len(latency_regressions)} latency (p99) cell(s) "
-                   f"regressed more than {args.threshold:.0%}")
+                   f"more than {args.latency_threshold:.0%}")
         if args.warn_only:
             print(f"{verdict} (warn-only mode, not failing)")
             return 0
