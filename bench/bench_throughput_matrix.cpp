@@ -11,8 +11,9 @@
 //                       array;
 //
 //   structures × reclamation policy (reclaimer = tagged|leaky|hazard|
-//   hazard_cached|epoch, the src/reclaim/ axis — relative cost of each ABA
-//   answer):
+//   hazard_cached|epoch|epoch_deferred, the src/reclaim/ axis — relative
+//   cost of each ABA answer; epoch_deferred_b<K> cells sweep the deferred
+//   pipeline's retire-batch override):
 //     treiber_stack         — push;pop pairs through a bounded-tag CAS head;
 //     treiber_stack_llsc    — the same pairs through a per-shard-free
 //                             Figure 3 LL/SC head, so the (head × reclaimer)
@@ -84,7 +85,8 @@
 //   --out=PATH                    output JSON path (default BENCH_native.json)
 //   --threads=1,2,4               thread counts to sweep
 //   --reclaimers=tagged,epoch     reclamation policies to sweep (default all
-//                                 of tagged,leaky,hazard,hazard_cached,epoch)
+//                                 of tagged,leaky,hazard,hazard_cached,
+//                                 epoch,epoch_deferred)
 //   --shards=1,2,4,8,adaptive     shard counts for the sharded scenarios
 //                                 (compiled instantiations: 1, 2, 4, 8) and
 //                                 the adaptive-facade cells; a list without
@@ -95,6 +97,7 @@
 //                                 ms_queue); ring cells always record
 //   --scenarios=burst,fanout      run only the named scenarios ("burst"
 //                                 matches "ring_burst"); default all
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -913,6 +916,40 @@ void run_side(const char* label, const MatrixConfig& config,
       label, orderings_label<SeqCstPolicy>(), config, report);
   run_reclaim_column<SeqCstP, reclaim::EpochBasedReclaimer<SeqCstP>>(
       label, orderings_label<SeqCstPolicy>(), config, report);
+  run_reclaim_column<SeqCstP, reclaim::DeferredEpochReclaimer<SeqCstP>>(
+      label, orderings_label<SeqCstPolicy>(), config, report);
+}
+
+// The retire-batch-size axis of the deferred-epoch pipeline: the contended
+// stack cell re-run with the batch override swept across the LocalRing
+// sizes, so the amortization curve (one flush — one shared stamp read plus
+// one advance — per K retires) is measurable instead of asserted. Cells are
+// keyed by reclaimer name "epoch_deferred_b<K>"; only the most contended
+// thread count runs, where the flush cadence actually shows.
+template <class P, std::size_t K>
+void run_deferred_batch_cell(const char* label, const char* orderings,
+                             const MatrixConfig& config,
+                             bench::JsonReport& report) {
+  if (!wants(config, "epoch_deferred")) return;
+  if (!scenario_wanted(config, "treiber_stack")) return;
+  using R = reclaim::EpochBasedReclaimer<P, reclaim::DeferredAnnounce, K>;
+  char name[32];
+  std::snprintf(name, sizeof(name), "epoch_deferred_b%zu", K);
+  const int n = *std::max_element(config.thread_counts.begin(),
+                                  config.thread_counts.end());
+  emit(report, "treiber_stack", label, orderings, name, fence_label<P>(), n, 1,
+       run_treiber_stack<P, R>(n, config.secs));
+}
+
+template <class P>
+void run_deferred_batch_axis(const char* label, const char* orderings,
+                             const MatrixConfig& config,
+                             bench::JsonReport& report) {
+  run_deferred_batch_cell<P, 1>(label, orderings, config, report);
+  run_deferred_batch_cell<P, 4>(label, orderings, config, report);
+  run_deferred_batch_cell<P, 16>(label, orderings, config, report);
+  run_deferred_batch_cell<P, 64>(label, orderings, config, report);
+  run_deferred_batch_cell<P, 256>(label, orderings, config, report);
 }
 
 // The ring cells of one platform side. Fixed-role scenarios (spsc: 2
@@ -991,12 +1028,13 @@ std::vector<std::string> parse_reclaimers(const std::string& csv) {
   std::vector<std::string> out;
   for (const auto& tok : parse_csv(csv)) {
     if (tok == "tagged" || tok == "leaky" || tok == "hazard" ||
-        tok == "hazard_cached" || tok == "epoch") {
+        tok == "hazard_cached" || tok == "epoch" || tok == "epoch_deferred") {
       out.push_back(tok);
     } else {
       std::fprintf(stderr,
                    "unknown reclaimer '%s' "
-                   "(want tagged|leaky|hazard|hazard_cached|epoch)\n",
+                   "(want tagged|leaky|hazard|hazard_cached|epoch|"
+                   "epoch_deferred)\n",
                    tok.c_str());
     }
   }
@@ -1008,7 +1046,8 @@ std::vector<std::string> parse_reclaimers(const std::string& csv) {
 int main(int argc, char** argv) {
   MatrixConfig config;
   config.thread_counts = {1, 2, 4};
-  config.reclaimers = {"tagged", "leaky", "hazard", "hazard_cached", "epoch"};
+  config.reclaimers = {"tagged",       "leaky", "hazard",
+                       "hazard_cached", "epoch", "epoch_deferred"};
   config.shard_counts = {1, 4};
   std::string out_path = "BENCH_native.json";
   for (int i = 1; i < argc; ++i) {
@@ -1055,7 +1094,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--benchmark_min_time=SECS] [--out=PATH] "
                    "[--threads=1,2,4] "
-                   "[--reclaimers=tagged,leaky,hazard,hazard_cached,epoch] "
+                   "[--reclaimers=tagged,leaky,hazard,hazard_cached,epoch,"
+                   "epoch_deferred] "
                    "[--shards=1,2,4,8,adaptive] [--pin] [--latency] "
                    "[--scenarios=name,name]\n",
                    argv[0]);
@@ -1114,7 +1154,19 @@ int main(int argc, char** argv) {
         "fast", ord, config, report);
     run_reclaim_column<AsymP, reclaim::CachedHazardPointerReclaimer<AsymP>>(
         "fast", ord, config, report);
+    // Deferred-announce epoch is the ONLY epoch variant admitted on the
+    // asymmetric platform (epoch.h static-rejects the eager protocol
+    // there): a relaxed announce + compiler barrier on the op side, the
+    // membarrier heavy side confined to try_advance.
+    run_reclaim_column<AsymP, reclaim::DeferredEpochReclaimer<AsymP>>(
+        "fast", ord, config, report);
+    run_deferred_batch_axis<AsymP>("fast", ord, config, report);
   }
+
+  // The retire-batch-size axis on the symmetric fast side as well, so the
+  // curve exists even where the asymmetric scheme is compiled out.
+  run_deferred_batch_axis<native::NativePlatform<native::Fast>>(
+      "fast", orderings_label<native::Fast>(), config, report);
 
   // The ring family on both platform sides: SPSC's zero-RMW fast path vs
   // the MPSC/MPMC per-op CAS price, in throughput AND latency percentiles.

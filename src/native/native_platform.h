@@ -58,6 +58,16 @@ inline std::uint64_t& rmw_counter() {
   return counter;
 }
 
+// Thread-local count of shared stores (Register/WritableCas write), the
+// other interesting subset of step_counter(). With rmw_counter() it lets a
+// ledger test pin a protocol's full shape — the deferred-epoch acceptance
+// bound ("0 shared RMW, at most one shared store per op") is asserted
+// against exactly this counter.
+inline std::uint64_t& store_counter() {
+  thread_local std::uint64_t counter = 0;
+  return counter;
+}
+
 // ----------------------------------------------------------------- policies
 
 // Paper-faithful instrumented mode: what the tests measure against.
@@ -130,9 +140,13 @@ struct FastRelaxed : Fast {
 // util/asymmetric_fence.h — before each scan. Soundness of everything
 // *else* on this policy is the FastRelaxed publication argument.
 //
-// Do NOT run the Figure 4 announce-array register or the epoch reclaimer
-// on this policy: their StoreLoad protocols have no scan-shaped heavy side
-// to carry the fence, so they need seq_cst orderings (the Fast policy).
+// Do NOT run the Figure 4 announce-array register or the classic (eager)
+// epoch reclaimer on this policy: their StoreLoad protocols have no
+// scan-shaped heavy side to carry the fence, so they need seq_cst orderings
+// (the Fast policy). The *deferred* epoch variant (DeferredEpochReclaimer)
+// is the exception that makes epoch viable here: its advance path is
+// scan-shaped and carries Fence::heavy() exactly like the hazard scan, so
+// the per-op announce drops to a plain store + Fence::light().
 struct FastAsymmetric : FastRelaxed {
   using Fence = util::AsymmetricFence;
 };
@@ -201,7 +215,10 @@ struct NativePlatform {
 
     void write(std::uint64_t value) {
       if constexpr (Policy::kCheckBounds) ABA_ASSERT(bound_.fits(value));
-      if constexpr (Policy::kCountSteps) ++step_counter();
+      if constexpr (Policy::kCountSteps) {
+        ++step_counter();
+        ++store_counter();
+      }
       word_.value.store(value, Policy::kStoreOrder);
     }
 
@@ -270,7 +287,10 @@ struct NativePlatform {
     void write(std::uint64_t value) {
       // Write() on a writable CAS word is a plain atomic store.
       if constexpr (Policy::kCheckBounds) ABA_ASSERT(bound_.fits(value));
-      if constexpr (Policy::kCountSteps) ++step_counter();
+      if constexpr (Policy::kCountSteps) {
+        ++step_counter();
+        ++store_counter();
+      }
       word_.value.store(value, Policy::kStoreOrder);
     }
 

@@ -217,6 +217,21 @@ class HazardPointerReclaimer {
     procs_[p].phase = resume;
   }
 
+  // Batch hand-off (the Reclaimer concept's batched verb): the whole batch
+  // lands on the retired list under ONE threshold check, so at most one
+  // scan (and one heavy fence) runs regardless of the batch size.
+  void retire_batch(int p, const std::uint64_t* idxs, std::size_t count) {
+    death_self_check(procs_[p].death);
+    if (count == 0) return;
+    const ReclaimPhase resume = procs_[p].phase;
+    procs_[p].phase = ReclaimPhase::kMidRetire;
+    for (std::size_t i = 0; i < count; ++i) {
+      procs_[p].retired.push_back(idxs[i]);
+    }
+    if (procs_[p].retired.size() >= scan_threshold()) scan(p);
+    procs_[p].phase = resume;
+  }
+
   // Reads every hazard slot once and frees p's retired nodes that no slot
   // guards. O(H + retired) local work, H shared reads — and, on asymmetric
   // platforms, the one heavy fence that makes every reader's pending guard

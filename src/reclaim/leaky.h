@@ -59,6 +59,11 @@ class LeakyReclaimer {
   // The index is abandoned: safe (it can never ABA) but gone for good.
   void retire(int p, std::uint64_t /*idx*/) { ++procs_[p].leaked; }
 
+  // Default-forward of the concept's batched verb (nothing to amortize).
+  void retire_batch(int p, const std::uint64_t* idxs, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) retire(p, idxs[i]);
+  }
+
   std::size_t pool_size() const { return pool_size_; }
   std::size_t unreclaimed(int p) const { return procs_[p].leaked; }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }

@@ -30,6 +30,13 @@
 //                            global epoch; reuse is deferred two epoch
 //                            advances. Amortized O(1) retire, but a single
 //                            stalled reader blocks reclamation system-wide.
+//                            Its DeferredAnnounce mode (alias
+//                            DeferredEpochReclaimer, "epoch_deferred")
+//                            caches the announcement across operations and
+//                            batches retires through a per-process ring —
+//                            one shared read per op steady-state, with the
+//                            StoreLoad heavy side carried by the advance
+//                            path (see epoch.h for the detach contract).
 //
 // All four operate on *node indices* into a fixed pool, not raw pointers,
 // so they run unchanged on the simulator (every shared access a scheduled,
@@ -57,6 +64,11 @@
 //   retire(p, i)       — after end_op: node i was unlinked by p's CAS and
 //                        may be recycled once the policy's safety condition
 //                        holds.
+//   retire_batch(p, v, n) — retire n unlinked nodes in one call. Policies
+//                        with a per-retire shared cost (epoch's stamp read,
+//                        hazard's threshold check) amortize it over the
+//                        batch; tagged/leaky default-forward to a retire()
+//                        loop (their retire is already zero shared steps).
 //
 // kNeedsGuard lets no-guard policies compile the publish/revalidate steps
 // out entirely (if constexpr), so the Tagged/Leaky fast paths execute the
@@ -182,7 +194,8 @@ template <class R, class P>
 concept ReclaimerFor =
     Platform<P> &&
     std::constructible_from<R, typename P::Env&, int, FreeLists> &&
-    requires(R r, const R cr, int p, std::uint64_t idx) {
+    requires(R r, const R cr, int p, std::uint64_t idx,
+             const std::uint64_t* idxs, std::size_t count) {
       { R::kName } -> std::convertible_to<const char*>;
       { R::kNeedsGuard } -> std::convertible_to<bool>;
       { r.begin_op(p) } -> std::same_as<void>;
@@ -190,6 +203,7 @@ concept ReclaimerFor =
       { r.end_op(p) } -> std::same_as<void>;
       { r.allocate(p) } -> std::same_as<std::optional<std::uint64_t>>;
       { r.retire(p, idx) } -> std::same_as<void>;
+      { r.retire_batch(p, idxs, count) } -> std::same_as<void>;
       { cr.pool_size() } -> std::same_as<std::size_t>;
       { cr.unreclaimed(p) } -> std::same_as<std::size_t>;
       { cr.stats() } -> std::same_as<ReclaimStats>;

@@ -63,6 +63,12 @@ class TaggedReclaimer {
 
   void retire(int p, std::uint64_t idx) { procs_[p].free.push_back(idx); }
 
+  // Default-forward of the concept's batched verb: retire here is already
+  // zero shared steps, so there is nothing to amortize.
+  void retire_batch(int p, const std::uint64_t* idxs, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) retire(p, idxs[i]);
+  }
+
   std::size_t pool_size() const { return pool_size_; }
   std::size_t unreclaimed(int /*p*/) const { return 0; }
   std::size_t free_count(int p) const { return procs_[p].free.size(); }

@@ -127,6 +127,14 @@ class NodeLists {
 // quarantine. Placed in one deterministic burst so creator and attachers
 // agree on offsets.
 struct SharedBook {
+  // The batched retire hand-off's staging window, per lease. A retire_batch
+  // chunk is recorded here — in the segment — BEFORE any of it moves onto
+  // the retired list, so a kill mid-drain leaves every node either staged
+  // (swept by drain_dead, the suspect/confirm path) or already retired,
+  // never unlisted. Bounded like the quarantine: at most kPendingCap nodes
+  // can be parked in a dead process's window.
+  static constexpr std::size_t kPendingCap = 16;
+
   NodeLists lists;
   std::atomic<std::uint64_t>* free_head;      // [n]
   std::atomic<std::uint64_t>* free_count;     // [n]
@@ -134,6 +142,8 @@ struct SharedBook {
   std::atomic<std::uint64_t>* retired_count;  // [n]
   std::atomic<std::uint64_t>* in_flight;      // [n], idx+1 or 0.
   std::atomic<std::uint64_t>* in_retire;      // [n], idx+1 or 0.
+  std::atomic<std::uint64_t>* pending;        // [n * kPendingCap], idx+1 or 0.
+  std::atomic<std::uint64_t>* pending_count;  // [n], staged chunk size.
   std::atomic<std::uint64_t>* quarantine_head;
   std::atomic<std::uint64_t>* quarantine_count;
   std::atomic<std::uint64_t>* expropriations;
@@ -150,6 +160,10 @@ struct SharedBook {
     retired_count = a.place_array<std::atomic<std::uint64_t>>("book.retired_count", count);
     in_flight = a.place_array<std::atomic<std::uint64_t>>("book.in_flight", count);
     in_retire = a.place_array<std::atomic<std::uint64_t>>("book.in_retire", count);
+    pending = a.place_array<std::atomic<std::uint64_t>>("book.pending",
+                                                        count * kPendingCap);
+    pending_count = a.place_array<std::atomic<std::uint64_t>>(
+        "book.pending_count", count);
     quarantine_head = a.place<std::atomic<std::uint64_t>>("book.quarantine_head");
     quarantine_count = a.place<std::atomic<std::uint64_t>>("book.quarantine_count");
     expropriations = a.place<std::atomic<std::uint64_t>>("book.expropriations");
@@ -198,6 +212,29 @@ struct SharedBook {
     free_count[p].fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Stages a retire_batch chunk (count <= kPendingCap) in p's pending
+  // window: the crash-safe point of record before the drain moves nodes
+  // onto the retired list one by one.
+  void stage_pending(int p, const std::uint64_t* idxs, std::size_t count) {
+    ABA_ASSERT(count <= kPendingCap);
+    for (std::size_t i = 0; i < count; ++i) {
+      pending[static_cast<std::size_t>(p) * kPendingCap + i].store(
+          idxs[i] + 1, std::memory_order_seq_cst);
+    }
+    pending_count[p].store(count, std::memory_order_seq_cst);
+  }
+
+  // Slot i of p's staged chunk reached the retired list; clear it so a
+  // later sweep cannot double-record it.
+  void clear_pending_slot(int p, std::size_t i) {
+    pending[static_cast<std::size_t>(p) * kPendingCap + i].store(
+        0, std::memory_order_seq_cst);
+  }
+
+  void finish_pending(int p) {
+    pending_count[p].store(0, std::memory_order_seq_cst);
+  }
+
   // Resolves a dead q's crash markers and splices its lists into p's.
   // Caller (the confirm winner) must have exclusive ownership of q.
   void drain_dead(int p, int q) {
@@ -210,6 +247,28 @@ struct SharedBook {
         retired_count[q].fetch_add(1, std::memory_order_relaxed);
       }
       in_retire[q].store(0, std::memory_order_seq_cst);
+    }
+    // Half-finished retire_batch: every still-set pending slot names a node
+    // that was unlinked by q but may never have reached its retired list —
+    // the contains() probe filters the one the crash caught between the
+    // list push and the slot clear. Bounded work: at most kPendingCap
+    // probes per crash.
+    const std::uint64_t pc = pending_count[q].load(std::memory_order_seq_cst);
+    if (pc != 0) {
+      const std::size_t staged =
+          pc < kPendingCap ? static_cast<std::size_t>(pc) : kPendingCap;
+      for (std::size_t i = 0; i < staged; ++i) {
+        auto& slot = pending[static_cast<std::size_t>(q) * kPendingCap + i];
+        const std::uint64_t w = slot.load(std::memory_order_seq_cst);
+        if (w != 0) {
+          if (!lists.contains(retired_head[q], w - 1)) {
+            lists.push(retired_head[q], w - 1);
+            retired_count[q].fetch_add(1, std::memory_order_relaxed);
+          }
+          slot.store(0, std::memory_order_seq_cst);
+        }
+      }
+      pending_count[q].store(0, std::memory_order_seq_cst);
     }
     // Half-finished allocate: still on the free list means the crash hit
     // between intent and unlink (the splice below recovers it); otherwise
@@ -343,6 +402,37 @@ class LeasedHazardReclaimerT {
     book_.in_retire[p].store(0, std::memory_order_seq_cst);
     if (book_.retired_count[p].load(std::memory_order_relaxed) >=
         scan_threshold()) {
+      scan(p);
+    }
+    phases_[p] = resume;
+  }
+
+  // Batch hand-off: each chunk is staged in the shm pending window before
+  // any node moves to the retired list (crash-safe — a batch parked in a
+  // dead process's window is swept by the suspect/confirm expropriation),
+  // and the whole batch pays ONE threshold check / scan.
+  void retire_batch(int p, const std::uint64_t* idxs, std::size_t count) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    const reclaim::ReclaimPhase resume = phases_[p];
+    phases_[p] = reclaim::ReclaimPhase::kMidRetire;
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk =
+          std::min(count - done, detail::SharedBook::kPendingCap);
+      book_.stage_pending(p, idxs + done, chunk);
+      leases_->maybe_park(p, kParkMidRetire);
+      leases_->self_check(p);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        book_.retire_onto(p, idxs[done + i]);
+        book_.clear_pending_slot(p, i);
+      }
+      book_.finish_pending(p);
+      done += chunk;
+    }
+    if (count != 0 &&
+        book_.retired_count[p].load(std::memory_order_relaxed) >=
+            scan_threshold()) {
       scan(p);
     }
     phases_[p] = resume;
@@ -538,6 +628,39 @@ class LeasedEpochReclaimer {
     phases_[p] = resume;
   }
 
+  // Batch hand-off: each chunk is staged in the shm pending window before
+  // any node is stamped or listed (crash-safe — drain_dead sweeps a dead
+  // process's window), the whole chunk is stamped under ONE global-epoch
+  // read, and the whole batch pays one advance+collect at the end.
+  void retire_batch(int p, const std::uint64_t* idxs, std::size_t count) {
+    leases_->self_check(p);
+    leases_->beat(p);
+    const reclaim::ReclaimPhase resume = phases_[p];
+    phases_[p] = reclaim::ReclaimPhase::kMidRetire;
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk =
+          std::min(count - done, detail::SharedBook::kPendingCap);
+      book_.stage_pending(p, idxs + done, chunk);
+      leases_->maybe_park(p, kParkMidRetire);
+      leases_->self_check(p);
+      const std::uint64_t g = global_->load(std::memory_order_seq_cst);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const std::uint64_t idx = idxs[done + i];
+        stamps_[idx].store(g, std::memory_order_seq_cst);
+        book_.retire_onto(p, idx);
+        book_.clear_pending_slot(p, i);
+      }
+      book_.finish_pending(p);
+      done += chunk;
+    }
+    if (count != 0) {
+      try_advance(p);
+      collect(p);
+    }
+    phases_[p] = resume;
+  }
+
   // Advances the global epoch if every live announcement is current; every
   // advance attempt first sweeps all dead-looking leases (two-phase), so a
   // crash can stall the epoch for at most two survivor attempts. The sweep
@@ -599,6 +722,27 @@ class LeasedEpochReclaimer {
         if (mr != 0) {
           stamps_[mr - 1].store(global_->load(std::memory_order_seq_cst),
                                 std::memory_order_seq_cst);
+        }
+        // Same hazard for a victim killed mid-retire_batch: every node
+        // still staged in its pending window may carry a stale/zero stamp
+        // (retire_batch stamps after the mid-retire park), so re-stamp the
+        // whole window before the sweep re-homes it.
+        const std::uint64_t pc =
+            book_.pending_count[q].load(std::memory_order_seq_cst);
+        if (pc != 0) {
+          const std::size_t staged =
+              pc < detail::SharedBook::kPendingCap
+                  ? static_cast<std::size_t>(pc)
+                  : detail::SharedBook::kPendingCap;
+          const std::uint64_t g = global_->load(std::memory_order_seq_cst);
+          for (std::size_t i = 0; i < staged; ++i) {
+            const std::uint64_t w =
+                book_.pending[static_cast<std::size_t>(q) *
+                                  detail::SharedBook::kPendingCap +
+                              i]
+                    .load(std::memory_order_seq_cst);
+            if (w != 0) stamps_[w - 1].store(g, std::memory_order_seq_cst);
+          }
         }
         book_.drain_dead(p, q);
         leases_->reap(q);

@@ -389,6 +389,7 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
   using Hazard = reclaim::HazardPointerReclaimer<SimP>;
   using Cached = reclaim::CachedHazardPointerReclaimer<SimP>;
   using Epoch = reclaim::EpochBasedReclaimer<SimP>;
+  using Deferred = reclaim::DeferredEpochReclaimer<SimP>;
   using Tagged = reclaim::TaggedReclaimer<SimP>;
   using Leaky = reclaim::LeakyReclaimer<SimP>;
   using Mutant = reclaim::MutantTaggedReclaimer<SimP>;
@@ -403,6 +404,13 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
   }
   if (name == "stack_epoch") {
     return [pool](int n) { return make_stack_fixture<Epoch>(n, pool); };
+  }
+  if (name == "stack_epoch_deferred") {
+    // Deferred-announce variant: the announcement is cached across ops and
+    // only refreshed on an epoch miss, so most begin_ops take one shared
+    // read and zero stores. The searcher probes the announce-validate
+    // window that the caching widens.
+    return [pool](int n) { return make_stack_fixture<Deferred>(n, pool); };
   }
   if (name == "stack_tagged") {
     // The shipped immediate-reuse configuration: the TaggedCasHead's
@@ -428,6 +436,9 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
   if (name == "queue_epoch") {
     return [pool](int n) { return make_queue_fixture<Epoch>(n, pool); };
   }
+  if (name == "queue_epoch_deferred") {
+    return [pool](int n) { return make_queue_fixture<Deferred>(n, pool); };
+  }
   if (name == "sharded_stack_hazard_cached") {
     return [pool](int n) { return make_sharded_stack_fixture(n, pool); };
   }
@@ -441,8 +452,10 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
 
 std::vector<std::string> reclaim_fixture_names() {
   return {"stack_hazard",  "stack_hazard_cached",         "stack_epoch",
-          "stack_tagged",  "stack_leaky",                 "stack_mutant_tagged",
-          "queue_hazard",  "queue_hazard_cached",         "queue_epoch",
+          "stack_epoch_deferred",                         "stack_tagged",
+          "stack_leaky",   "stack_mutant_tagged",         "queue_hazard",
+          "queue_hazard_cached",                          "queue_epoch",
+          "queue_epoch_deferred",
           "sharded_stack_hazard_cached",                  "ring_mpmc"};
 }
 

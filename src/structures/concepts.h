@@ -64,4 +64,28 @@ concept BoundedContainer = Container<C> && requires(const C& c, C& m) {
 template <class C>
 concept UnboundedContainer = Container<C> && !BoundedContainer<C>;
 
+// Batched refinement of the bounded family: push_n/pop_n move up to n
+// elements under ONE position update (SPSC: one tail/head write publishes
+// or frees the whole batch; MPSC/MPMC: one CAS reserves all n positions),
+// amortizing the per-element position traffic — and, on the MPSC/MPMC
+// rings, the per-element RMW — toward zero. Both return how many elements
+// actually moved.
+//
+// Semantics are deliberately WEAKER than the single-op verbs' strict
+// refusal contract: a batch may move fewer than n (partial capacity /
+// partial occupancy is not a refusal, it is the answer), and pop_n on the
+// MPSC ring drains only the contiguous *published* prefix — a reserved-
+// but-unpublished slot ends the batch rather than being waited out. Code
+// that needs the spec-pinned refusal semantics uses try_push/try_pop;
+// batch callers (the deferred-epoch retire pipeline's ring hand-off, bulk
+// producers) trade that strictness for the amortization.
+template <class C>
+concept BatchedBoundedContainer =
+    BoundedContainer<C> &&
+    requires(C m, int p, const typename C::value_type* in,
+             typename C::value_type* out, std::size_t n) {
+      { m.push_n(p, in, n) } -> std::convertible_to<std::size_t>;
+      { m.pop_n(p, out, n) } -> std::convertible_to<std::size_t>;
+    };
+
 }  // namespace aba::structures

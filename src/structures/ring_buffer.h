@@ -119,6 +119,8 @@ inline std::size_t ring_slot_count(std::size_t requested) {
 template <Platform P, detail::RingValue T = std::uint64_t>
 class SpscRing {
  public:
+  using value_type = T;
+
   // `n` is the process count (kept for the uniform structure constructor
   // shape; only two roles ever operate). Capacity rounds up to a power of
   // two, minimum 2; capacity() reports the usable (rounded) value.
@@ -160,6 +162,47 @@ class SpscRing {
     head_.write(cons_.pos + 1);
     ++cons_.pos;
     return value;
+  }
+
+  // Batched producer: pushes up to n values and returns how many landed.
+  // ONE tail write publishes the whole batch (and at most one head re-read
+  // refreshes the cache), so the position traffic per element approaches
+  // zero as n grows — the per-op cost is the slot write alone.
+  std::size_t push_n(int /*p*/, const T* values, std::size_t n) {
+    std::uint64_t avail =
+        static_cast<std::uint64_t>(cap_) - (prod_.pos - prod_.cached_head);
+    if (avail < n) {
+      prod_.cached_head = head_.read();
+      avail = static_cast<std::uint64_t>(cap_) - (prod_.pos - prod_.cached_head);
+    }
+    const std::size_t k = n < avail ? n : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[(prod_.pos + i) & mask_]->write(detail::ring_encode(values[i]));
+    }
+    if (k > 0) {
+      tail_.write(prod_.pos + k);  // Publish the batch atomically.
+      prod_.pos += k;
+    }
+    return k;
+  }
+
+  // Batched consumer: pops up to n values into out, ONE head write frees
+  // the whole batch of slots for the producer.
+  std::size_t pop_n(int /*p*/, T* out, std::size_t n) {
+    std::uint64_t avail = cons_.cached_tail - cons_.pos;
+    if (avail < n) {
+      cons_.cached_tail = tail_.read();
+      avail = cons_.cached_tail - cons_.pos;
+    }
+    const std::size_t k = n < avail ? n : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < k; ++i) {
+      out[i] = detail::ring_decode<T>(slots_[(cons_.pos + i) & mask_]->read());
+    }
+    if (k > 0) {
+      head_.write(cons_.pos + k);
+      cons_.pos += k;
+    }
+    return k;
   }
 
   std::size_t capacity() const { return cap_; }
@@ -204,6 +247,8 @@ class SpscRing {
 template <Platform P, detail::RingValue T = std::uint64_t>
 class MpscRing {
  public:
+  using value_type = T;
+
   MpscRing(typename P::Env& env, int n, std::size_t capacity)
       : cap_(detail::ring_slot_count(capacity)),
         mask_(cap_ - 1),
@@ -264,6 +309,53 @@ class MpscRing {
     }
   }
 
+  // Batched producer: ONE tail CAS reserves up to n consecutive positions
+  // (vs. one RMW per element single-op), then each slot is written and
+  // published individually. Returns how many landed; 0 only on a certified
+  // full instant (head read after tail, same argument as try_push).
+  std::size_t push_n(int /*p*/, const T* values, std::size_t n) {
+    if (n == 0) return 0;
+    PlatformBackoffT<P> backoff;
+    for (;;) {
+      const std::uint64_t t = tail_.read();
+      const std::uint64_t h = head_.read();
+      if (h > t) {  // Stale tail (see try_push): nothing certified, re-read.
+        backoff();
+        continue;
+      }
+      const std::uint64_t space = static_cast<std::uint64_t>(cap_) - (t - h);
+      if (space == 0) return 0;
+      const std::size_t k = n < space ? n : static_cast<std::size_t>(space);
+      if (tail_.cas(t, t + k)) {
+        for (std::size_t i = 0; i < k; ++i) {
+          Slot& slot = *slots_[(t + i) & mask_];
+          slot.value.write(detail::ring_encode(values[i]));
+          slot.seq.write(t + i + 1);  // Publish position t+i.
+        }
+        return k;
+      }
+      backoff();  // Another producer moved the tail.
+    }
+  }
+
+  // Batched consumer (single consumer, so no reservation needed): drains
+  // the contiguous published prefix, up to n, under ONE head write.
+  std::size_t pop_n(int /*p*/, T* out, std::size_t n) {
+    const std::uint64_t h = cons_.pos;
+    std::size_t k = 0;
+    while (k < n) {
+      Slot& slot = *slots_[(h + k) & mask_];
+      if (slot.seq.read() != h + k + 1) break;  // Unpublished: prefix ends.
+      out[k] = detail::ring_decode<T>(slot.value.read());
+      ++k;
+    }
+    if (k > 0) {
+      head_.write(h + k);
+      cons_.pos += k;
+    }
+    return k;
+  }
+
   std::size_t capacity() const { return cap_; }
 
   std::size_t approx_size() {
@@ -308,6 +400,8 @@ class MpscRing {
 template <Platform P, detail::RingValue T = std::uint64_t>
 class MpmcRing {
  public:
+  using value_type = T;
+
   MpmcRing(typename P::Env& env, int n, std::size_t capacity)
       : cap_(detail::ring_slot_count(capacity)),
         mask_(cap_ - 1),
@@ -366,6 +460,69 @@ class MpmcRing {
     }
   }
 
+  // Batched producer: ONE tail CAS reserves up to n consecutive positions.
+  // The bound k <= capacity - (tail - head) guarantees each reserved
+  // position's slot was already claimed by a previous-round pop (head
+  // passed it), so the per-slot sequence wait below is the same transient
+  // peer-wait the single-op path documents — not a wait for new pops.
+  std::size_t push_n(int /*p*/, const T* values, std::size_t n) {
+    if (n == 0) return 0;
+    PlatformBackoffT<P> backoff;
+    for (;;) {
+      const std::uint64_t t = tail_.read();
+      const std::uint64_t h = head_.read();
+      if (h > t) {  // Stale tail: occupancy would underflow; re-read.
+        backoff();
+        continue;
+      }
+      const std::uint64_t space = static_cast<std::uint64_t>(cap_) - (t - h);
+      // Head was read after tail, so a zero space certifies a full instant
+      // inside this op (the strict-refusal contract, as in try_push).
+      if (space == 0) return 0;
+      const std::size_t k = n < space ? n : static_cast<std::size_t>(space);
+      if (tail_.cas(t, t + k)) {
+        for (std::size_t i = 0; i < k; ++i) {
+          Slot& slot = *slots_[(t + i) & mask_];
+          while (slot.seq.read() != t + i) backoff();  // Prior pop's bump.
+          slot.value.write(detail::ring_encode(values[i]));
+          slot.seq.write(t + i + 1);
+        }
+        return k;
+      }
+      backoff();
+    }
+  }
+
+  // Batched consumer: ONE head CAS claims up to tail - head positions, all
+  // of them reserved by pushers (so each publish is a transient wait).
+  std::size_t pop_n(int /*p*/, T* out, std::size_t n) {
+    if (n == 0) return 0;
+    PlatformBackoffT<P> backoff;
+    for (;;) {
+      const std::uint64_t h = head_.read();
+      const std::uint64_t t = tail_.read();
+      if (t <= h) {
+        // t == h: tail read after head, and head never passes the real
+        // tail — a certified empty instant. t < h: stale tail; re-read.
+        if (t == h) return 0;
+        backoff();
+        continue;
+      }
+      const std::uint64_t avail = t - h;
+      const std::size_t k = n < avail ? n : static_cast<std::size_t>(avail);
+      if (head_.cas(h, h + k)) {
+        for (std::size_t i = 0; i < k; ++i) {
+          Slot& slot = *slots_[(h + i) & mask_];
+          while (slot.seq.read() != h + i + 1) backoff();  // Pusher publish.
+          out[i] = detail::ring_decode<T>(slot.value.read());
+          slot.seq.write(h + i + static_cast<std::uint64_t>(cap_));
+        }
+        return k;
+      }
+      backoff();
+    }
+  }
+
   std::size_t capacity() const { return cap_; }
 
   std::size_t approx_size() {
@@ -402,6 +559,8 @@ class MpmcRing {
 template <class T>
 class LocalRing {
  public:
+  using value_type = T;
+
   explicit LocalRing(std::size_t capacity)
       : buffer_(capacity), capacity_(capacity) {
     ABA_CHECK(capacity >= 1);
@@ -437,9 +596,31 @@ class LocalRing {
     return dequeue();
   }
 
+  // Batch verbs, mirroring the concurrent family (no pid, no position
+  // words to amortize — they exist so code written against the batched
+  // vocabulary, like the retire pipeline's ring hand-off, runs unchanged).
+  std::size_t push_n(const T* values, std::size_t n) {
+    std::size_t k = 0;
+    while (k < n && !full()) enqueue(values[k++]);
+    return k;
+  }
+
+  std::size_t pop_n(T* out, std::size_t n) {
+    std::size_t k = 0;
+    while (k < n && !empty()) out[k++] = dequeue();
+    return k;
+  }
+
   const T& front() const {
     ABA_ASSERT(!empty());
     return buffer_[head_];
+  }
+
+  // The i-th element from the front (0 = front()), for observers that walk
+  // the window without draining it (fingerprints, crash sweeps).
+  const T& peek(std::size_t i) const {
+    ABA_ASSERT(i < size_);
+    return buffer_[(head_ + i) % capacity_];
   }
 
   bool contains(const T& value) const {

@@ -68,6 +68,24 @@ struct NoFence {
   static constexpr const char* scheme_name() { return "none"; }
 };
 
+namespace detail {
+
+// Process-wide count of heavy() executions. The heavy side is a syscall (or
+// a TLB shootdown), so one relaxed increment is noise; what it buys is a
+// ledger for the amortization claims — a test or bench can assert that N
+// operations through a batched consumer (the hazard scan, the deferred-epoch
+// advance) paid at most N / batch heavy fences.
+inline std::atomic<std::uint64_t>& heavy_fence_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace detail
+
+inline std::uint64_t heavy_fence_count() {
+  return detail::heavy_fence_counter().load(std::memory_order_relaxed);
+}
+
 #ifdef ABA_DETAIL_ASYM_FENCE_COMPILED
 
 namespace detail {
@@ -131,6 +149,7 @@ struct AsymmetricFence {
   }
 
   static void heavy() {
+    detail::heavy_fence_counter().fetch_add(1, std::memory_order_relaxed);
     switch (detail::scheme()) {
       case detail::FenceScheme::kMembarrier:
         detail::membarrier(detail::kMembarrierCmdPrivateExpedited);
@@ -173,7 +192,10 @@ struct AsymmetricFence {
 // protocol the symmetric one (and giving TSan a model it understands).
 struct AsymmetricFence {
   static void light() { std::atomic_thread_fence(std::memory_order_seq_cst); }
-  static void heavy() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+  static void heavy() {
+    detail::heavy_fence_counter().fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
   static const char* scheme_name() { return "seq_cst_fallback"; }
   static constexpr bool kCompiledAsymmetric = false;
 };

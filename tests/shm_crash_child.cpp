@@ -54,9 +54,17 @@ int main(int argc, char** argv) {
   rec.park_request.store(park_point, std::memory_order_release);
 
   try {
-    for (int c = 0; c < cycles; ++c) {
-      if (!world.put(slot, 1000u + static_cast<std::uint64_t>(c))) break;
-      world.take(slot);
+    if (kind == kKindQueueEpochBatch) {
+      // Batch kind: storm the reclaimer's batched hand-off directly so the
+      // mid-retire park catches us with a STAGED pending window.
+      for (int c = 0; c < cycles; ++c) {
+        if (!world.batch_retire_cycle(slot)) break;
+      }
+    } else {
+      for (int c = 0; c < cycles; ++c) {
+        if (!world.put(slot, 1000u + static_cast<std::uint64_t>(c))) break;
+        world.take(slot);
+      }
     }
   } catch (const aba::reclaim::LeaseRevoked&) {
     return kExitLeaseRevoked;

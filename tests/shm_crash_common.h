@@ -40,6 +40,10 @@ using CrashQueue = structures::MsQueue<ShmPlatform, LeasedEpochReclaimer>;
 
 inline constexpr const char* kKindStackHazard = "stack_hazard_cached";
 inline constexpr const char* kKindQueueEpoch = "queue_epoch";
+// Same world as queue_epoch, but the worker storms retire_batch directly:
+// the crash surface is the staged shm pending window (SharedBook::pending),
+// not the single-node in_retire marker.
+inline constexpr const char* kKindQueueEpochBatch = "queue_epoch_batch";
 
 // One world: segment + arena + leases + the structure named by `kind`.
 // Creator and attacher run this same sequence (owner toggles placement
@@ -62,7 +66,7 @@ struct CrashWorld {
           env, kProcs,
           std::make_unique<structures::RawCasHead<ShmPlatform>>(env, kProcs),
           CrashStack::partition(kProcs, kNodesPerProc));
-    } else if (kind == kKindQueueEpoch) {
+    } else if (kind == kKindQueueEpoch || kind == kKindQueueEpochBatch) {
       queue = std::make_unique<CrashQueue>(env, kProcs, kNodesPerProc);
     } else {
       ABA_CHECK_MSG(false, "unknown crash-world kind");
@@ -93,6 +97,26 @@ struct CrashWorld {
       queue->reclaimer().collect(p);
     }
   }
+  // One cycle of the batch-retire kind: allocate a small batch straight
+  // from the pool and hand it all back through retire_batch. The park
+  // point inside retire_batch sits BETWEEN staging the chunk in the shm
+  // pending window and stamping/listing the nodes — at that instant the
+  // window is the chunk's ONLY record, which is what the driver shoots at.
+  bool batch_retire_cycle(int p) {
+    std::uint64_t idxs[4];
+    std::size_t got = 0;
+    auto& r = queue->reclaimer();
+    while (got < 4) {
+      const auto idx = r.allocate(p);
+      if (!idx) break;
+      r.commit(p);
+      idxs[got++] = *idx;
+    }
+    if (got == 0) return false;
+    r.retire_batch(p, idxs, got);
+    return true;
+  }
+
   // Nodes the structure itself holds when empty (MS queue keeps a dummy).
   std::size_t resident_nodes() const { return queue ? 1u : 0u; }
 };

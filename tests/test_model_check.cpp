@@ -100,8 +100,8 @@ TEST(MutantCatch, SpecSearchConvictsTheMutantReclaimer) {
 TEST(MutantCatch, AllShippedStackReclaimersSurviveTheIdenticalBudget) {
   for (const std::string& name :
        {std::string("stack_hazard"), std::string("stack_hazard_cached"),
-        std::string("stack_epoch"), std::string("stack_tagged"),
-        std::string("stack_leaky")}) {
+        std::string("stack_epoch"), std::string("stack_epoch_deferred"),
+        std::string("stack_tagged"), std::string("stack_leaky")}) {
     SCOPED_TRACE(name);
     const SweepOutcome outcome = sweep_workloads(name);
     EXPECT_TRUE(outcome.convicted_workload.empty())

@@ -26,6 +26,16 @@
 //     releases), deterministic worst-step schedules (parked reader across a
 //     retire storm and across a structure switch), Fast ≡ Counted ≡
 //     FastAsymmetric trace equivalence, and FastAsymmetric fence stress;
+//   * the deferred-announce epoch mode (epoch_deferred): the step/store/RMW
+//     ledger (hit = one shared read, retire = zero shared steps, advance
+//     CAS and heavy fence amortized behind the batch), the scripted
+//     announce-validate race (an advancer may pass a freshly-written
+//     announcement at most once), batch-buffer unit semantics, detach as
+//     the release point, and the same trace-equivalence + fence stress the
+//     cached-guard mode gets;
+//   * retire_batch on the whole roster: observationally equivalent to the
+//     retire loop, amortized to one threshold check / stamp read / batch
+//     flush per call;
 //   * the migrated pointer-based HazardDomain / HpTreiberStack.
 #include <gtest/gtest.h>
 
@@ -50,6 +60,7 @@
 #include "structures/hp_stack.h"
 #include "structures/ms_queue.h"
 #include "structures/treiber_stack.h"
+#include "util/asymmetric_fence.h"
 #include "util/rng.h"
 
 namespace aba::reclaim {
@@ -71,6 +82,12 @@ static_assert(ReclaimerFor<LeakyReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<HazardPointerReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<CachedHazardPointerReclaimer<NativeP>, NativeP>);
 static_assert(ReclaimerFor<EpochBasedReclaimer<NativeP>, NativeP>);
+static_assert(ReclaimerFor<DeferredEpochReclaimer<SimP>, SimP>);
+static_assert(ReclaimerFor<DeferredEpochReclaimer<NativeP>, NativeP>);
+// The deferred variant is the one epoch reclaimer the asymmetric-fence
+// policy admits (the eager instantiation's static_assert rejects it).
+using AsymP = native::NativePlatform<native::FastAsymmetric>;
+static_assert(ReclaimerFor<DeferredEpochReclaimer<AsymP>, AsymP>);
 
 FreeLists one_process_pool(int nodes) {
   FreeLists free(1);
@@ -230,6 +247,162 @@ TEST(EpochBasedReclaimer, ActiveReaderBlocksReclamation) {
   EXPECT_TRUE(r.allocate(0).has_value());
 }
 
+// -------------------------------------------------- unit: deferred epoch
+//
+// The announcement-caching mode's contract, mirroring the cached-guard
+// hazard unit tests: what does NOT happen (end_op writes nothing, a retire
+// takes no shared step), where the cost moved (the batch flush, the
+// advance), and where the release point is (detach).
+
+TEST(DeferredEpochReclaimerUnit, RetireParksInTheBatchBufferUntilFull) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  R r(env, 1, one_process_pool(static_cast<int>(R::kRetireBatch) + 2));
+  std::vector<std::uint64_t> nodes;
+  for (std::size_t i = 0; i < R::kRetireBatch; ++i) {
+    const auto idx = r.allocate(0);
+    ASSERT_TRUE(idx.has_value());
+    r.commit(0);
+    nodes.push_back(*idx);
+  }
+  for (std::size_t i = 0; i + 1 < R::kRetireBatch; ++i) r.retire(0, nodes[i]);
+  EXPECT_EQ(r.pending_count(0), R::kRetireBatch - 1)
+      << "a deferred retire must land in the batch buffer, not limbo";
+  EXPECT_EQ(r.unreclaimed(0), R::kRetireBatch - 1)
+      << "buffered retirees still count as unreclaimed";
+  r.retire(0, nodes.back());  // The ring fills: one-shot flush.
+  EXPECT_EQ(r.pending_count(0), 0u)
+      << "a full batch must flush to limbo in one shot";
+  EXPECT_EQ(r.unreclaimed(0), R::kRetireBatch);
+}
+
+TEST(DeferredEpochReclaimerUnit, ParkedAnnouncementPinsEpochUntilDetach) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  FreeLists free(2);
+  free[0] = {0, 1};
+  R r(env, 2, free);
+  r.begin_op(1);
+  r.end_op(1);  // Deferred: p1's announcement stays published.
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.commit(0);
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  r.commit(0);
+  r.retire(0, 0);
+  r.retire(0, 1);
+  EXPECT_EQ(r.allocate(0), std::nullopt)
+      << "an IDLE process's parked announcement must pin the epoch";
+  r.detach(1);
+  EXPECT_TRUE(r.allocate(0).has_value()) << "detach is the release point";
+}
+
+TEST(DeferredEpochReclaimerUnit, AllocatePressureFlushesOwnPendingBatch) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  R r(env, 1, one_process_pool(2));
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  r.commit(0);
+  ASSERT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+  r.commit(0);
+  r.retire(0, 0);
+  r.retire(0, 1);
+  ASSERT_EQ(r.pending_count(0), 2u);
+  // The pool is dry and both nodes sit unstamped in the pending ring;
+  // allocate must flush the batch, self-refresh its own announcement, and
+  // run the two advance rounds that mature a fresh stamp.
+  EXPECT_TRUE(r.allocate(0).has_value())
+      << "allocate under pressure must flush the pending batch first";
+  EXPECT_EQ(r.pending_count(0), 0u);
+}
+
+// ------------------------- deferred epoch: the step/store/RMW ledger
+//
+// The Counted native platform's three thread-local counters (steps, stores,
+// RMWs) observe the exact shared-memory shape. The protocol is identical on
+// every policy — only orderings and fences change — so the shape measured
+// here is the shape FastAsymmetric runs with relaxed stores.
+
+TEST(DeferredEpochLedger, SteadyStateOpIsOneReadNoStoreNoRmw) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  R r(env, 1, one_process_pool(16));
+  // Cold region: the announce miss pays read + announce store + validate.
+  const std::uint64_t s0 = native::step_counter();
+  const std::uint64_t w0 = native::store_counter();
+  r.begin_op(0);
+  EXPECT_EQ(native::step_counter() - s0, 3u) << "miss: read, announce, validate";
+  EXPECT_EQ(native::store_counter() - w0, 1u) << "miss: exactly one store";
+  r.end_op(0);
+  EXPECT_EQ(native::step_counter() - s0, 3u) << "deferred end_op writes nothing";
+  // Steady state: the cache hit is ONE shared read — no store, no RMW.
+  const std::uint64_t s1 = native::step_counter();
+  const std::uint64_t w1 = native::store_counter();
+  const std::uint64_t m1 = native::rmw_counter();
+  r.begin_op(0);
+  r.end_op(0);
+  EXPECT_EQ(native::step_counter() - s1, 1u) << "hit: one epoch read";
+  EXPECT_EQ(native::store_counter() - w1, 0u) << "hit: zero shared stores";
+  EXPECT_EQ(native::rmw_counter() - m1, 0u) << "op path: zero shared RMW";
+  // A non-boundary retire is pure thread-private work.
+  const auto idx = r.allocate(0);
+  ASSERT_TRUE(idx.has_value());
+  r.commit(0);
+  const std::uint64_t s2 = native::step_counter();
+  r.retire(0, *idx);
+  EXPECT_EQ(native::step_counter() - s2, 0u)
+      << "a buffered retire must take zero shared steps";
+}
+
+TEST(DeferredEpochLedger, AdvanceRmwAndStoresAmortizedAcrossTheBatch) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  constexpr std::uint64_t kOps = 16 * R::kRetireBatch;
+  R r(env, 1, one_process_pool(static_cast<int>(kOps) + 2));
+  r.begin_op(0);
+  r.end_op(0);
+  const std::uint64_t s = native::step_counter();
+  const std::uint64_t w = native::store_counter();
+  const std::uint64_t m = native::rmw_counter();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const auto idx = r.allocate(0);
+    ASSERT_TRUE(idx.has_value());
+    r.commit(0);
+    r.begin_op(0);
+    r.end_op(0);
+    r.retire(0, *idx);
+  }
+  const std::uint64_t batches = kOps / R::kRetireBatch;
+  EXPECT_LE(native::rmw_counter() - m, batches + 1)
+      << "at most one advance CAS per full batch — 0 RMW per op, amortized";
+  // Stores: one re-announce per advance that actually moved the epoch (the
+  // next begin_op misses once). Everything else is the hit path.
+  EXPECT_LE(native::store_counter() - w, batches + 1)
+      << "at most one announce store per batch — well under 1 per op";
+  EXPECT_LE(native::step_counter() - s, 3 * kOps)
+      << "the whole pipeline stays within the eager protocol's step budget";
+}
+
+TEST(DeferredEpochLedger, HeavyFencesOnlyOnTheAdvanceSide) {
+  using R = DeferredEpochReclaimer<AsymP>;
+  typename AsymP::Env env;
+  constexpr std::uint64_t kOps = 2 * R::kRetireBatch;
+  R r(env, 1, one_process_pool(static_cast<int>(kOps) + 2));
+  const std::uint64_t before = util::heavy_fence_count();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const auto idx = r.allocate(0);
+    ASSERT_TRUE(idx.has_value());
+    r.commit(0);
+    r.begin_op(0);
+    r.end_op(0);
+    r.retire(0, *idx);
+  }
+  const std::uint64_t heavies = util::heavy_fence_count() - before;
+  EXPECT_GE(heavies, 1u) << "the batch flush must run the heavy advance";
+  EXPECT_LE(heavies, kOps / R::kRetireBatch + 1)
+      << "one heavy fence per batch: the light announce never pays it";
+  r.detach(0);
+}
+
 // ----------------------------------------- equivalence across reclaimers
 //
 // Reclamation decides when a node index recycles — it must never change
@@ -282,6 +455,7 @@ TEST(ReclaimerEquivalence, StackHistoriesIdenticalAcrossReclaimers) {
   EXPECT_EQ(run_stack_script<HazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_stack_script<CachedHazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_stack_script<EpochBasedReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_stack_script<DeferredEpochReclaimer<SimP>>(), reference);
 }
 
 template <class R>
@@ -311,6 +485,7 @@ TEST(ReclaimerEquivalence, QueueHistoriesIdenticalAcrossReclaimers) {
   EXPECT_EQ(run_queue_script<HazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_queue_script<CachedHazardPointerReclaimer<SimP>>(), reference);
   EXPECT_EQ(run_queue_script<EpochBasedReclaimer<SimP>>(), reference);
+  EXPECT_EQ(run_queue_script<DeferredEpochReclaimer<SimP>>(), reference);
 }
 
 // ------------------------------- linearizability: (head × reclaimer) sweep
@@ -386,6 +561,10 @@ TEST(ReclaimerSweep, TaggedHeadCachedHazardReclaimer) {
   expect_stack_linearizable_sweep<
       SweepStack<TaggedHead, CachedHazardPointerReclaimer<SimP>>>();
 }
+TEST(ReclaimerSweep, TaggedHeadDeferredEpochReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<TaggedHead, DeferredEpochReclaimer<SimP>>>();
+}
 
 // With deferred reuse (or no reuse), even the raw CAS head is safe: the
 // reclamation policy *is* the ABA answer.
@@ -403,6 +582,10 @@ TEST(ReclaimerSweep, RawHeadEpochReclaimer) {
 TEST(ReclaimerSweep, RawHeadCachedHazardReclaimer) {
   expect_stack_linearizable_sweep<
       SweepStack<RawHead, CachedHazardPointerReclaimer<SimP>>>();
+}
+TEST(ReclaimerSweep, RawHeadDeferredEpochReclaimer) {
+  expect_stack_linearizable_sweep<
+      SweepStack<RawHead, DeferredEpochReclaimer<SimP>>>();
 }
 
 template <class R>
@@ -449,6 +632,9 @@ TEST(ReclaimerSweep, QueueCachedHazardReclaimer) {
 }
 TEST(ReclaimerSweep, QueueEpochReclaimer) {
   expect_queue_linearizable_sweep<EpochBasedReclaimer<SimP>>();
+}
+TEST(ReclaimerSweep, QueueDeferredEpochReclaimer) {
+  expect_queue_linearizable_sweep<DeferredEpochReclaimer<SimP>>();
 }
 
 // ------------------------------ deterministic ABA schedule, deferred reuse
@@ -826,6 +1012,143 @@ TEST(EpochSchedule, RetireStormCannotRecycleInsideGrace) {
   EXPECT_EQ(stack.reclaimer().unreclaimed(0), 0u);
 }
 
+// ------------------ deferred epoch: the announce-validate race, scripted
+//
+// The one new window deferred mode opens: an announcer that has WRITTEN its
+// announcement but not yet run its validation read, with an advancer racing
+// into the gap. The invariant the design claims — and this schedule pins —
+// is that the epoch can pass such an announcement at most once (the
+// advance's scan sees the store: current on the first attempt, a veto from
+// then on), and the resumed announcer's validation loop re-announces the
+// moved epoch rather than keeping the stale one.
+TEST(DeferredEpochSchedule, AdvancerRacesTheAnnounceValidateWindow) {
+  using R = DeferredEpochReclaimer<SimP>;
+  sim::SimWorld world(2);
+  FreeLists free(2);
+  free[0] = {0, 1};
+  R r(world, 2, free);
+
+  // p1 parks between its announce store and its validation read (the miss
+  // path's shared steps: global read, announce write, validation read).
+  world.invoke(1, [&] { r.begin_op(1); });
+  world.step(1);  // global read (epoch 0)
+  world.step(1);  // announce write — visible from here
+
+  // p0 races an advance into the window. The fresh announcement equals the
+  // epoch it names, so the first advance passes…
+  std::uint64_t advanced = 0;
+  world.invoke(0, [&] { advanced = r.try_advance(0); });
+  world.run_to_completion(0);
+  EXPECT_EQ(advanced, 1u) << "a current announcement does not veto";
+
+  // …and the second is vetoed: global is now announce+1, the reuse bound.
+  world.invoke(0, [&] { advanced = r.try_advance(0); });
+  world.run_to_completion(0);
+  EXPECT_EQ(advanced, 1u)
+      << "the epoch can never be more than one past an active announcement";
+
+  // p1 resumes: its validation read observes the moved epoch and the loop
+  // re-announces it, so the region ends announced at the current epoch.
+  world.run_to_completion(1);
+  world.invoke(1, [&] { r.end_op(1); });
+  world.run_to_completion(1);
+
+  // The re-announcement is current — the next advance passes — and then
+  // the parked (deferred) cache pins the epoch again, completed op or not.
+  world.invoke(0, [&] { advanced = r.try_advance(0); });
+  world.run_to_completion(0);
+  EXPECT_EQ(advanced, 2u) << "the re-announced epoch is current";
+  world.invoke(0, [&] { advanced = r.try_advance(0); });
+  world.run_to_completion(0);
+  EXPECT_EQ(advanced, 2u) << "the parked cache pins the epoch after end_op";
+
+  // detach is the release point, exactly as in the unit contract.
+  world.invoke(1, [&] { r.detach(1); });
+  world.run_to_completion(1);
+  world.invoke(0, [&] { advanced = r.try_advance(0); });
+  world.run_to_completion(0);
+  EXPECT_EQ(advanced, 3u) << "a detached process stops pinning";
+}
+
+// --------------------------------------- retire_batch, the whole roster
+//
+// The batched verb must be observationally equivalent to the retire loop on
+// every policy; what it buys is the amortization — one FIFO append run, one
+// threshold check, one stamp read, one ring hand-off — which the ledger
+// assertions below pin where the platform can observe it.
+
+TEST(RetireBatch, TaggedBatchReusesInBatchOrder) {
+  typename NativeP::Env env;
+  TaggedReclaimer<NativeP> r(env, 1, one_process_pool(3));
+  ASSERT_TRUE(r.allocate(0).has_value());
+  ASSERT_TRUE(r.allocate(0).has_value());
+  ASSERT_TRUE(r.allocate(0).has_value());
+  const std::uint64_t batch[] = {2, 0, 1};
+  r.retire_batch(0, batch, 3);
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(r.allocate(0), std::optional<std::uint64_t>(1));
+}
+
+TEST(RetireBatch, LeakyBatchNeverReturns) {
+  typename NativeP::Env env;
+  LeakyReclaimer<NativeP> r(env, 1, one_process_pool(2));
+  ASSERT_TRUE(r.allocate(0).has_value());
+  ASSERT_TRUE(r.allocate(0).has_value());
+  const std::uint64_t batch[] = {0, 1};
+  r.retire_batch(0, batch, 2);
+  EXPECT_EQ(r.allocate(0), std::nullopt);
+  EXPECT_EQ(r.unreclaimed(0), 2u);
+}
+
+TEST(RetireBatch, HazardBatchPaysOneScanAndRespectsGuards) {
+  typename NativeP::Env env;
+  // The Counted threshold is the 2·H rule: 2 · (n · slots-per-process).
+  const std::size_t threshold =
+      2 * 2 * HazardPointerReclaimer<NativeP>::kSlotsPerProcess;
+  FreeLists free(2);
+  free[0].resize(threshold);
+  for (std::size_t i = 0; i < threshold; ++i) free[0][i] = i;
+  HazardPointerReclaimer<NativeP> r(env, 2, free);
+  ASSERT_EQ(r.scan_threshold(), threshold);
+  r.guard(1, 0, 0);  // p1 pins node 0 across the whole batch.
+  std::vector<std::uint64_t> batch(threshold);
+  for (std::size_t i = 0; i < threshold; ++i) batch[i] = i;
+  r.retire_batch(0, batch.data(), threshold);
+  EXPECT_EQ(r.unreclaimed(0), 1u)
+      << "one threshold scan at the end must reclaim all but the pinned node";
+}
+
+TEST(RetireBatch, EagerEpochStampsTheWholeBatchUnderOneRead) {
+  using R = EpochBasedReclaimer<NativeP>;
+  typename NativeP::Env env;
+  R r(env, 1, one_process_pool(8));
+  const std::uint64_t batch[] = {5, 6, 7};
+  const std::uint64_t s = native::step_counter();
+  r.retire_batch(0, batch, 3);  // 3 < kAdvanceEvery: no advance fires.
+  EXPECT_EQ(native::step_counter() - s, 1u)
+      << "the whole batch must be stamped under one global-epoch read";
+  EXPECT_EQ(r.unreclaimed(0), 3u);
+}
+
+TEST(RetireBatch, DeferredEpochRoutesThroughThePendingRing) {
+  using R = DeferredEpochReclaimer<NativeP>;
+  typename NativeP::Env env;
+  const auto n = static_cast<int>(R::kRetireBatch) + 1;
+  R r(env, 1, one_process_pool(n + 1));
+  std::vector<std::uint64_t> batch;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = r.allocate(0);
+    ASSERT_TRUE(idx.has_value());
+    r.commit(0);
+    batch.push_back(*idx);
+  }
+  r.retire_batch(0, batch.data(), batch.size());
+  EXPECT_EQ(r.pending_count(0), 1u)
+      << "the overflow past one full ring stays buffered";
+  EXPECT_EQ(r.unreclaimed(0), R::kRetireBatch + 1);
+}
+
 // ----------------------------------------------- native stress, all four
 
 template <class R>
@@ -841,7 +1164,8 @@ using NativeCases = ::testing::Types<
     NativeStackCase<LeakyReclaimer<NativeP>>,
     NativeStackCase<HazardPointerReclaimer<NativeP>>,
     NativeStackCase<CachedHazardPointerReclaimer<NativeP>>,
-    NativeStackCase<EpochBasedReclaimer<NativeP>>>;
+    NativeStackCase<EpochBasedReclaimer<NativeP>>,
+    NativeStackCase<DeferredEpochReclaimer<NativeP>>>;
 TYPED_TEST_SUITE(NativeReclaimStress, NativeCases);
 
 TYPED_TEST(NativeReclaimStress, StackBalancedAccounting) {
@@ -977,10 +1301,57 @@ std::vector<std::uint64_t> tokenized_cached_hazard_trace(int n, int rounds) {
 TEST(CachedHazardNativePolicy, FastAndAsymmetricMatchCounted) {
   using CountedP = native::NativePlatform<native::Counted>;
   using FastP = native::NativePlatform<native::Fast>;
-  using AsymP = native::NativePlatform<native::FastAsymmetric>;
   const auto counted = tokenized_cached_hazard_trace<CountedP>(3, 48);
   const auto fast = tokenized_cached_hazard_trace<FastP>(3, 48);
   const auto asym = tokenized_cached_hazard_trace<AsymP>(3, 48);
+  EXPECT_EQ(counted, fast);
+  EXPECT_EQ(counted, asym);
+}
+
+// The same token-serialized determinism for the deferred epoch policy. The
+// batch size differs across platforms (4 on Counted/Fast, 64 on
+// FastAsymmetric — kRetireBatch is platform-derived like the hazard scan
+// floor), so the pool is sized so flush cadence can never surface as a
+// refused allocation: the abstract results must be flush-cadence-blind.
+template <class P>
+std::vector<std::uint64_t> tokenized_deferred_epoch_trace(int n, int rounds) {
+  using Stack = structures::TreiberStack<P, structures::TaggedCasHead<P>,
+                                         DeferredEpochReclaimer<P>>;
+  typename P::Env env;
+  Stack stack(env, n,
+              std::make_unique<structures::TaggedCasHead<P>>(env, n),
+              Stack::partition(n, rounds + 2));
+  std::vector<std::uint64_t> trace(static_cast<std::size_t>(n) * rounds, 0);
+  std::atomic<int> turn{0};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      for (int r = 0; r < rounds; ++r) {
+        const int my_step = r * n + pid;
+        while (turn.load() != my_step) std::this_thread::yield();
+        std::uint64_t result = 0;
+        if ((pid + r) % 2 == 0) {
+          result = stack.push(pid, static_cast<std::uint64_t>(my_step)) ? 1 : 0;
+        } else {
+          const auto v = stack.pop(pid);
+          result = spec::pack_opt(v.has_value(), v.has_value() ? *v : 0);
+        }
+        trace[static_cast<std::size_t>(my_step)] = result;
+        turn.fetch_add(1);
+      }
+      stack.detach(pid);  // The deferred-announce structure-exit contract.
+    });
+  }
+  for (auto& t : threads) t.join();
+  return trace;
+}
+
+TEST(DeferredEpochNativePolicy, FastAndAsymmetricMatchCounted) {
+  using CountedP = native::NativePlatform<native::Counted>;
+  using FastP = native::NativePlatform<native::Fast>;
+  const auto counted = tokenized_deferred_epoch_trace<CountedP>(3, 48);
+  const auto fast = tokenized_deferred_epoch_trace<FastP>(3, 48);
+  const auto asym = tokenized_deferred_epoch_trace<AsymP>(3, 48);
   EXPECT_EQ(counted, fast);
   EXPECT_EQ(counted, asym);
 }
@@ -993,7 +1364,6 @@ TEST(CachedHazardNativePolicy, FastAndAsymmetricMatchCounted) {
 // TSan the fence header degrades both sides to seq_cst thread fences, so
 // the sanitizer checks the protocol it can model.
 TEST(NativeAsymmetricFenceStress, CachedHazardStackBalancedAccounting) {
-  using AsymP = native::NativePlatform<native::FastAsymmetric>;
   using Stack = structures::TreiberStack<AsymP, structures::RawCasHead<AsymP>,
                                          CachedHazardPointerReclaimer<AsymP>>;
   constexpr int kThreads = 4;
@@ -1020,6 +1390,48 @@ TEST(NativeAsymmetricFenceStress, CachedHazardStackBalancedAccounting) {
         }
       }
       stack.detach(tid);  // The structure-exit contract of cached guards.
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (;;) {
+    const auto v = stack.pop(0);
+    if (!v.has_value()) break;
+    popped_sum.fetch_add(*v);
+  }
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
+}
+
+// The deferred epoch variant under the same real-concurrency fence workout:
+// raw CAS head (the epoch grace period IS the ABA answer), light announces,
+// heavy batched advances. The per-thread detach matters doubly here — a
+// thread that exits without it would pin the epoch for every survivor.
+TEST(NativeAsymmetricFenceStress, DeferredEpochStackBalancedAccounting) {
+  using Stack = structures::TreiberStack<AsymP, structures::RawCasHead<AsymP>,
+                                         DeferredEpochReclaimer<AsymP>>;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1500;
+  typename AsymP::Env env;
+  // Pool headroom past the batch: kRetireBatch retires can sit unstamped in
+  // each process's pending ring on top of the frozen-epoch worst case.
+  Stack stack(env, kThreads,
+              std::make_unique<structures::RawCasHead<AsymP>>(env, kThreads),
+              Stack::partition(kThreads, kOpsPerThread + 1));
+
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(tid) + 47);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.chance(1, 2)) {
+          const std::uint64_t v = rng.below(1000) + 1;
+          if (stack.push(tid, v)) pushed_sum.fetch_add(v);
+        } else {
+          const auto v = stack.pop(tid);
+          if (v.has_value()) popped_sum.fetch_add(*v);
+        }
+      }
+      stack.detach(tid);  // Release the parked announcement.
     });
   }
   for (auto& t : threads) t.join();

@@ -35,6 +35,14 @@
 //     transferring values FIFO across the boundary. (Named off the Ring*
 //     prefix on purpose: the TSan CI job's Ring* filter must not pick up a
 //     forking test.)
+//   * RingBatch — the batched verbs (push_n/pop_n, the
+//     BatchedBoundedContainer refinement): sequential semantics (partial
+//     batches are answers, not refusals; FIFO preserved across wraps), the
+//     amortization ledger (ONE position update — and on MPSC/MPMC ONE CAS —
+//     per batch, machine-checked like RingStepCount), and scripted SimWorld
+//     schedules for the concurrent shapes (MPSC pop_n drains only the
+//     contiguous published prefix; an MPMC batch reservation waits out a
+//     parked peer's publish rather than losing elements).
 //   * RingStress — real threads on the FastRelaxed native platform, where
 //     the release-publish/acquire-read edges do the work seq_cst did in
 //     the instrumented mode: per-producer FIFO and value conservation
@@ -81,6 +89,15 @@ static_assert(structures::BoundedContainer<structures::MpscRing<CountedP>>);
 static_assert(structures::BoundedContainer<structures::MpmcRing<CountedP>>);
 static_assert(structures::BoundedContainer<structures::MpmcRing<sim::SimPlatform>>);
 static_assert(structures::BoundedContainer<structures::SpscRing<shm::ShmPlatform>>);
+
+// The whole concurrent family additionally speaks the batched verbs.
+static_assert(structures::BatchedBoundedContainer<structures::SpscRing<CountedP>>);
+static_assert(structures::BatchedBoundedContainer<structures::MpscRing<CountedP>>);
+static_assert(structures::BatchedBoundedContainer<structures::MpmcRing<CountedP>>);
+static_assert(
+    structures::BatchedBoundedContainer<structures::MpmcRing<sim::SimPlatform>>);
+static_assert(
+    structures::BatchedBoundedContainer<structures::SpscRing<shm::ShmPlatform>>);
 
 // ---------------------------------------------------------------- sequential
 
@@ -520,6 +537,216 @@ TEST(ShmRing, SpscTransfersFifoAcrossFork) {
   ASSERT_EQ(::waitpid(child, &status, 0), child);
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ----------------------------------------------------------------- batched
+//
+// The push_n/pop_n verbs (BatchedBoundedContainer): partial batches are
+// answers rather than refusals, FIFO survives wraps, a batch of k moves
+// under ONE position update (and on the CAS rings ONE CAS), and the two
+// concurrent shapes the weaker batch contract carves out — the MPSC
+// published-prefix cut and the MPMC transient peer-wait — hold under
+// hand-walked SimWorld schedules.
+
+template <class Ring>
+void expect_batch_fifo(Ring& ring) {
+  const std::size_t cap = ring.capacity();
+  std::vector<std::uint64_t> in(cap + 2), out(cap + 2);
+  std::uint64_t next = 0, expect = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = next + i;
+    // Oversized batch: exactly cap land — partial is the answer, and the
+    // elements that land are the PREFIX of the input.
+    ASSERT_EQ(ring.push_n(0, in.data(), in.size()), cap);
+    next += cap;
+    EXPECT_EQ(ring.push_n(0, in.data(), in.size()), 0u);  // Certified full.
+    EXPECT_EQ(ring.approx_size(), cap);
+    // Partial drain frees exactly that much space for the next batch...
+    ASSERT_EQ(ring.pop_n(1, out.data(), 2), 2u);
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out[i], expect++);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = next + i;
+    ASSERT_EQ(ring.push_n(0, in.data(), in.size()), 2u);
+    next += 2;
+    // ...and an oversized pop drains everything, FIFO across the wrap.
+    ASSERT_EQ(ring.pop_n(1, out.data(), out.size()), cap);
+    for (std::size_t i = 0; i < cap; ++i) EXPECT_EQ(out[i], expect++);
+    EXPECT_EQ(ring.pop_n(1, out.data(), out.size()), 0u);  // Certified empty.
+    EXPECT_EQ(ring.approx_size(), 0u);
+  }
+  // The verbs interoperate: a single-op push drains through a batch pop.
+  ASSERT_TRUE(ring.try_push(0, 777));
+  ASSERT_EQ(ring.pop_n(1, out.data(), out.size()), 1u);
+  EXPECT_EQ(out[0], 777u);
+}
+
+TEST(RingBatch, SpscSequentialFifoPartialAndWrap) {
+  CountedP::Env env;
+  structures::SpscRing<CountedP> ring(env, 2, 4);
+  expect_batch_fifo(ring);
+}
+
+TEST(RingBatch, MpscSequentialFifoPartialAndWrap) {
+  CountedP::Env env;
+  structures::MpscRing<CountedP> ring(env, 2, 4);
+  expect_batch_fifo(ring);
+}
+
+TEST(RingBatch, MpmcSequentialFifoPartialAndWrap) {
+  CountedP::Env env;
+  structures::MpmcRing<CountedP> ring(env, 2, 4);
+  expect_batch_fifo(ring);
+}
+
+// The sequential member speaks the same vocabulary (minus the pid), with
+// exact capacity and the peek() window the crash sweeps walk.
+TEST(RingBatch, LocalRingBatchVerbsAndPeek) {
+  structures::LocalRing<std::uint64_t> ring(3);  // Exact: no rounding.
+  const std::uint64_t in[4] = {1, 2, 3, 4};
+  std::uint64_t out[4] = {};
+  EXPECT_EQ(ring.push_n(in, 4), 3u);  // Prefix lands, capacity is exact.
+  EXPECT_EQ(ring.peek(0), 1u);
+  EXPECT_EQ(ring.peek(2), 3u);
+  EXPECT_EQ(ring.front(), 1u);
+  EXPECT_EQ(ring.pop_n(out, 2), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  const std::uint64_t more[2] = {4, 5};
+  EXPECT_EQ(ring.push_n(more, 2), 2u);  // Wraps the exact-capacity buffer.
+  EXPECT_EQ(ring.peek(1), 4u);
+  EXPECT_EQ(ring.pop_n(out, 4), 3u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 4u);
+  EXPECT_EQ(out[2], 5u);
+  EXPECT_EQ(ring.pop_n(out, 4), 0u);
+}
+
+// The amortization ledger, exact on the Counted platform. SPSC: a batch of
+// k costs k slot writes plus ONE position write per side (plus at most one
+// cache-refresh read) — still zero RMW. The fresh producer cache covers
+// k = 6 <= cap = 8 without a head read, so the push is exactly 7 steps /
+// 7 stores; the pop's stale tail cache forces the one refresh read: 8 steps.
+TEST(RingBatch, SpscBatchPaysOnePositionWritePerSide) {
+  CountedP::Env env;
+  structures::SpscRing<CountedP> ring(env, 2, 8);
+  std::uint64_t in[6] = {0, 1, 2, 3, 4, 5};
+  std::uint64_t out[6] = {};
+  const std::uint64_t steps0 = native::step_counter();
+  const std::uint64_t stores0 = native::store_counter();
+  const std::uint64_t rmws0 = native::rmw_counter();
+  ASSERT_EQ(ring.push_n(0, in, 6), 6u);
+  EXPECT_EQ(native::step_counter() - steps0, 7u);   // 6 slots + 1 tail write.
+  EXPECT_EQ(native::store_counter() - stores0, 7u); // ...and nothing else.
+  const std::uint64_t steps1 = native::step_counter();
+  ASSERT_EQ(ring.pop_n(1, out, 6), 6u);
+  EXPECT_EQ(native::step_counter() - steps1, 8u);  // +1 tail refresh read.
+  EXPECT_EQ(native::rmw_counter(), rmws0);         // Zero RMW, batched too.
+}
+
+// MPSC: ONE tail CAS reserves all k positions (vs. k CASes single-op); the
+// consumer's published-prefix drain stays RMW-free and frees the whole
+// batch under one head write.
+TEST(RingBatch, MpscBatchPaysOneCasForTheWholeBatch) {
+  CountedP::Env env;
+  structures::MpscRing<CountedP> ring(env, 2, 8);
+  std::uint64_t in[6] = {0, 1, 2, 3, 4, 5};
+  std::uint64_t out[6] = {};
+  const std::uint64_t rmws0 = native::rmw_counter();
+  ASSERT_EQ(ring.push_n(0, in, 6), 6u);
+  EXPECT_EQ(native::rmw_counter() - rmws0, 1u);  // k = 6 elements, one CAS.
+  const std::uint64_t steps0 = native::step_counter();
+  ASSERT_EQ(ring.pop_n(1, out, 6), 6u);
+  // 6 seq reads + 6 value reads + ONE head write, and no RMW at all.
+  EXPECT_EQ(native::step_counter() - steps0, 13u);
+  EXPECT_EQ(native::rmw_counter() - rmws0, 1u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], i);
+  // Empty probe: the first unpublished sequence ends the batch in one read.
+  const std::uint64_t steps1 = native::step_counter();
+  EXPECT_EQ(ring.pop_n(1, out, 6), 0u);
+  EXPECT_EQ(native::step_counter() - steps1, 1u);
+}
+
+// MPMC: one CAS per SIDE per batch — the full prevention price paid once
+// for k elements instead of k times.
+TEST(RingBatch, MpmcBatchPaysOneCasPerSide) {
+  CountedP::Env env;
+  structures::MpmcRing<CountedP> ring(env, 2, 8);
+  std::uint64_t in[6] = {0, 1, 2, 3, 4, 5};
+  std::uint64_t out[6] = {};
+  const std::uint64_t rmws0 = native::rmw_counter();
+  ASSERT_EQ(ring.push_n(0, in, 6), 6u);
+  EXPECT_EQ(native::rmw_counter() - rmws0, 1u);
+  ASSERT_EQ(ring.pop_n(1, out, 6), 6u);
+  EXPECT_EQ(native::rmw_counter() - rmws0, 2u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], i);
+}
+
+// The batch contract's one deliberate weakening, walked by hand: a producer
+// that reserved 3 positions with its single CAS but has published only the
+// first parks mid-batch. The consumer's pop_n must drain exactly the
+// contiguous published prefix — one element — and STOP at the reserved-but-
+// unpublished slot rather than waiting it out (that is the single-op
+// contract, not the batch one). After the producer resumes, the remainder
+// drains in order: the cut never reorders or loses elements.
+TEST(RingBatch, MpscPopNDrainsOnlyThePublishedPrefix) {
+  sim::SimWorld world(2);
+  structures::MpscRing<sim::SimPlatform> ring(world, 2, 4);
+
+  const std::uint64_t in[3] = {10, 11, 12};
+  std::size_t pushed = 0;
+  world.invoke(0, [&] { pushed = ring.push_n(0, in, 3); });
+  // tail read, head read, the ONE reserving CAS, slot0 value, slot0 seq:
+  // position 0 is published, positions 1 and 2 are reserved only.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(world.step(0), sim::MethodStatus::kPoised);
+  }
+
+  std::uint64_t out[4] = {};
+  std::size_t got = 0;
+  world.invoke(1, [&] { got = ring.pop_n(1, out, 4); });
+  world.run_to_completion(1);  // Must complete — no waiting on the parked peer.
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(out[0], 10u);
+
+  world.run_to_completion(0);  // The producer publishes the rest...
+  EXPECT_EQ(pushed, 3u);
+  world.invoke(1, [&] { got = ring.pop_n(1, out, 4); });
+  world.run_to_completion(1);  // ...and the remainder drains in order.
+  ASSERT_EQ(got, 2u);
+  EXPECT_EQ(out[0], 11u);
+  EXPECT_EQ(out[1], 12u);
+}
+
+// The MPMC batch keeps the single-op transient-wait semantics instead: a
+// pop_n that claimed two positions with its head CAS finds the first slot
+// unpublished (the pusher parked between ITS reserving CAS and the
+// publishes) and must wait the peer out — returning fewer than it claimed
+// would lose the claimed elements forever.
+TEST(RingBatch, MpmcPopNWaitsOutAParkedPushersPublish) {
+  sim::SimWorld world(2);
+  structures::MpmcRing<sim::SimPlatform> ring(world, 2, 4);
+
+  const std::uint64_t in[2] = {1, 2};
+  std::size_t pushed = 0;
+  world.invoke(0, [&] { pushed = ring.push_n(0, in, 2); });
+  // tail read, head read, reserving CAS — parked before any publish.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(world.step(0), sim::MethodStatus::kPoised);
+  }
+
+  std::uint64_t out[2] = {};
+  std::size_t got = 0;
+  world.invoke(1, [&] { got = ring.pop_n(1, out, 2); });
+  // The pop claims both positions, then spins on slot 0's sequence; were
+  // it willing to abandon the claim it would have gone idle by now.
+  for (int i = 0; i < 12; ++i) world.step(1);
+  EXPECT_FALSE(world.is_idle(1));
+
+  world.run_to_completion(0);  // Publish both...
+  world.run_to_completion(1);  // ...and the parked batch completes whole.
+  EXPECT_EQ(pushed, 2u);
+  ASSERT_EQ(got, 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
 }
 
 // ---------------------------------------------------------------- stress

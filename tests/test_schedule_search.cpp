@@ -411,9 +411,12 @@ TEST(ScheduleCorpus, ReplaysAreBitIdenticalAndMatchGoldenBounds) {
     expect_schedule_invariants(first, fixture_name.rfind("queue", 0) == 0,
                                has_crash);
   }
-  // The acceptance pair the ISSUE names must be in the committed corpus.
+  // The acceptance pair the ISSUE names must be in the committed corpus,
+  // and so must the deferred-announce epoch fixtures (PR 9).
   EXPECT_TRUE(fixtures_seen.count("stack_hazard_cached")) << "corpus gap";
   EXPECT_TRUE(fixtures_seen.count("stack_epoch")) << "corpus gap";
+  EXPECT_TRUE(fixtures_seen.count("stack_epoch_deferred")) << "corpus gap";
+  EXPECT_TRUE(fixtures_seen.count("queue_epoch_deferred")) << "corpus gap";
 }
 
 }  // namespace

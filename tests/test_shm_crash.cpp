@@ -129,6 +129,17 @@ TEST(ShmCrash, EpochQueueKilledMidRetire) {
   run_crash_case(kKindQueueEpoch, kParkMidRetire);
 }
 
+// The batched hand-off's crash window: the worker dies parked between
+// STAGING a retire_batch chunk in its shm pending window and stamping or
+// listing any of its nodes — at that instant the window is the chunk's only
+// record. The survivor's expropriation must sweep the window (re-stamping
+// every staged node at the current epoch, like the in_retire orphan) or the
+// whole chunk leaks from the pool; the conservation equation below convicts
+// either a leak or a double-record.
+TEST(ShmCrash, EpochQueueKilledMidBatchRetire) {
+  run_crash_case(kKindQueueEpochBatch, kParkMidRetire);
+}
+
 // The false-suspicion side in real processes: a live-but-silent worker is
 // suspected (stale heartbeat), then vetoes at its next entry point instead
 // of losing its lease.
