@@ -18,6 +18,13 @@
 //                                          # put surge, reader pairs); emits
 //                                          # DIR/<fixture>.wl.sched stamped
 //                                          # with the winning shape
+//   ./schedule_search_demo --convict       # spec-driven conviction search
+//                                          # over the lease-mutant fixtures
+//                                          # (small pool, crash grants, every
+//                                          # workload candidate); emits
+//                                          # DIR/<fixture>.crash.sched whose
+//                                          # replay re-produces the failing
+//                                          # verdict
 //
 // Each emitted script carries its golden bounds (expect_peak,
 // expect_peak_grant, expect_grants — plus, for crash schedules, crashes,
@@ -142,12 +149,131 @@ bool emit_crash_schedule(const std::string& name, const std::string& out_dir) {
   return false;
 }
 
+// --convict: the lease-mutant conviction searches. Small pool so index
+// recycling is reachable, spec verdicts on, one crash grant allowed, every
+// workload candidate swept; the emitted script is the conviction itself —
+// its replay must re-produce the failing verdict bit-identically. The
+// budget is stamped into meta so the corpus hygiene test can re-run the
+// exact search that found it.
+struct ConvictBudget {
+  int procs = 2;
+  int pool = 2;
+  int cycles = 4;
+  int context_bound = 3;
+  std::uint64_t max_executions = 20000;
+  int max_crashes = 1;
+  // When non-empty, only candidates with this name are searched — each
+  // mutant's conviction channel needs one specific workload shape, and
+  // sweeping the others first burns minutes of budget on shapes that
+  // cannot convict (e.g. reader-only peers never scan, so they can never
+  // expropriate).
+  std::string workload;
+  // Forced grant prefix (SearchOptions::prelude) staging a state the
+  // heuristic DFS order cannot reach in budget — e.g. the no_restamp
+  // channel needs the stormer's first two pushes and a reader parked
+  // mid-pop before anything convicting can happen, and fewest-ops-first
+  // ordering explores that start last. The searcher still discovers the
+  // kill point and the whole suffix interleaving itself.
+  std::vector<int> prelude;
+};
+
+bool emit_conviction(const std::string& name, const std::string& out_dir,
+                     const ConvictBudget& budget) {
+  const auto factory = search::reclaim_fixture(name, budget.pool);
+  search::SearchOptions options;
+  options.top_k = 1;
+  options.context_bound = budget.context_bound;
+  options.max_executions = budget.max_executions;
+  options.max_grants = 1ull << 30;  // Let max_executions be the real budget.
+  options.max_crashes = budget.max_crashes;
+  options.check_spec = true;
+  options.stop_on_violation = true;
+  options.prelude = budget.prelude;
+  for (const auto& candidate :
+       search::workload_candidates(name, budget.procs, budget.cycles)) {
+    if (!budget.workload.empty() && candidate.name != budget.workload) continue;
+    search::ScheduleExplorer explorer(factory, budget.procs, candidate.workload,
+                                      search::pool_pressure_cost, options);
+    const search::SearchResult result = explorer.run();
+    std::printf("%-38s %-13s %8llu schedules%s%s\n", name.c_str(),
+                candidate.name.c_str(),
+                static_cast<unsigned long long>(result.executions),
+                result.budget_exhausted ? " (budget exhausted)" : "",
+                result.violations.empty() ? "" : "  CONVICTED");
+    if (result.violations.empty()) continue;
+
+    search::ScheduleScript script = result.violations[0].script;
+    const search::ReplayResult first = search::ScheduleExplorer::replay(
+        factory, script, search::pool_pressure_cost);
+    const search::ReplayResult second = search::ScheduleExplorer::replay(
+        factory, script, search::pool_pressure_cost);
+    if (!first.verdict.checked || first.verdict.ok) {
+      std::fprintf(stderr, "%s: conviction did not replay — skipping\n",
+                   name.c_str());
+      continue;
+    }
+    if (first.trace.size() != second.trace.size() ||
+        first.verdict.detail != second.verdict.detail) {
+      std::fprintf(stderr, "%s: conviction replay not deterministic\n",
+                   name.c_str());
+      continue;
+    }
+    std::printf("  %s\n", result.violations[0].detail.c_str());
+
+    const auto crashes = std::count_if(script.grants.begin(),
+                                       script.grants.end(),
+                                       search::is_crash_grant);
+    script.meta["fixture"] = name;
+    script.meta["cost"] = "pool_pressure";
+    script.meta["workload"] = candidate.name;
+    script.meta["pool"] = std::to_string(budget.pool);
+    script.meta["crashes"] = std::to_string(crashes);
+    script.meta["expect_verdict"] = "violation";
+    script.meta["search_context_bound"] =
+        std::to_string(budget.context_bound);
+    script.meta["search_executions"] =
+        std::to_string(budget.max_executions);
+    script.meta["search_crashes"] = std::to_string(budget.max_crashes);
+    script.meta["search_cycles"] = std::to_string(budget.cycles);
+    if (!budget.prelude.empty()) {
+      // The staged prefix is the script's own leading grants; the length is
+      // all a re-run needs to reconstruct the exact search.
+      script.meta["search_prelude"] = std::to_string(budget.prelude.size());
+    }
+
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/" + name + ".crash.sched";
+      std::ofstream out(path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+      }
+      out << "# Lease-mutant conviction — a spec violation the bounded "
+             "crash-enabled search\n"
+             "# found against this deliberately broken reclaimer; replaying "
+             "it re-produces\n"
+             "# the failing verdict. Found by schedule_search_demo "
+             "--convict; replayed by\n"
+             "# LeaseMutantCatch.*, CorpusHygiene.* and ScheduleCorpus.* "
+             "(tests/test_model_check.cpp,\n"
+             "# tests/test_schedule_search.cpp).\n"
+          << script.serialize();
+      std::printf("  wrote %s\n", path.c_str());
+    }
+    return true;
+  }
+  std::printf("%-38s (no conviction within budget)\n", name.c_str());
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
   bool crashes = false;
   bool workload_search = false;
+  bool convict = false;
+  ConvictBudget budget;
   int procs = kProcs;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
@@ -163,9 +289,60 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--workload-search") == 0) {
       workload_search = true;
+    } else if (std::strcmp(argv[i], "--convict") == 0) {
+      convict = true;
+    } else if (std::strncmp(argv[i], "--pool=", 7) == 0) {
+      budget.pool = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--cycles=", 9) == 0) {
+      budget.cycles = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--cb=", 5) == 0) {
+      budget.context_bound = std::atoi(argv[i] + 5);
+    } else if (std::strncmp(argv[i], "--execs=", 8) == 0) {
+      budget.max_executions =
+          static_cast<std::uint64_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--max-crashes=", 14) == 0) {
+      budget.max_crashes = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+      budget.workload = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--prelude=", 10) == 0) {
+      // Comma-separated PIDxCOUNT runs, e.g. --prelude=0x16,2x6 = sixteen
+      // grants to p0 then six to p2 before the search takes over.
+      const char* s = argv[i] + 10;
+      budget.prelude.clear();
+      while (*s != '\0') {
+        char* end = nullptr;
+        const long pid = std::strtol(s, &end, 10);
+        if (end == s || *end != 'x') {
+          std::fprintf(stderr, "--prelude wants PIDxCOUNT[,...]\n");
+          return 1;
+        }
+        s = end + 1;
+        const long count = std::strtol(s, &end, 10);
+        if (end == s || count <= 0) {
+          std::fprintf(stderr, "--prelude wants PIDxCOUNT[,...]\n");
+          return 1;
+        }
+        for (long r = 0; r < count; ++r) {
+          budget.prelude.push_back(static_cast<int>(pid));
+        }
+        s = (*end == ',') ? end + 1 : end;
+      }
     } else {
       wanted.emplace_back(argv[i]);
     }
+  }
+  if (convict) {
+    if (wanted.empty()) {
+      wanted = {"stack_leased_mutant_stale_confirm",
+                "stack_leased_mutant_no_quarantine",
+                "stack_leased_mutant_no_restamp"};
+    }
+    budget.procs = procs;
+    int convicted = 0;
+    for (const std::string& name : wanted) {
+      if (emit_conviction(name, out_dir, budget)) ++convicted;
+    }
+    return convicted == static_cast<int>(wanted.size()) ? 0 : 1;
   }
   if (wanted.empty()) wanted = search::reclaim_fixture_names();
   // More processes multiply the branching factor; trim the storm length so

@@ -1,3 +1,16 @@
+// The mutant zoo — deliberately-broken reclamation variants for mutation
+// testing the spec-driven schedule search. Two families live here:
+//
+//   * MutantTaggedReclaimer — the in-process reuse-ABA mutant (below).
+//   * LeaseMutation — one-decision mutations of the crash-robust leased
+//     tier (shm/pid_lease.h + shm/leased_reclaimer.h). The shm classes
+//     accept a LeaseMutation and flip exactly one branch of the death
+//     handshake; kNone is the shipped behavior. The sim-hosted fixtures
+//     (sim/sim_lease.h, reclaim_fixture names stack_leased_mutant_*) are
+//     the only place a non-kNone value is ever constructed.
+//
+// Never use any of this outside tests; it exists to be caught.
+//
 // MutantTaggedReclaimer — a deliberately-broken reclaimer for mutation
 // testing the spec-driven schedule search.
 //
@@ -37,6 +50,41 @@
 #include "util/cacheline.h"
 
 namespace aba::reclaim {
+
+// The lease-mutant zoo: each value names ONE removed safety decision in the
+// leased tier's suspect/confirm expropriation machinery. The conviction
+// channel for each (the workload/crash pattern a bounded DPOR search uses
+// to produce a spec violation) is documented in docs/RECLAMATION.md and
+// asserted by LeaseMutantCatch.* in tests/test_model_check.cpp; the identical
+// search budget must leave every kNone (shipped) leased fixture clean.
+enum class LeaseMutation : std::uint8_t {
+  kNone = 0,         // Shipped behavior.
+  kStaleConfirm,     // PidLeaseTable::advance_death confirms a kSuspect
+                     // lease on staleness alone — it skips the second
+                     // gone-AND-heartbeat-unmoved pass, so a live-but-slow
+                     // (parked) process can be confirmed dead and its
+                     // guards/lists seized while it still holds a snapshot.
+  kNoQuarantine,     // SharedBook::drain_dead frees a dead process's
+                     // ambiguous in-flight node instead of quarantining it:
+                     // a node that was already linked into the structure
+                     // when the kill landed goes back into circulation
+                     // while still reachable.
+  kNoRestamp,        // LeasedEpochReclaimer::expropriate_dead skips the
+                     // orphan re-stamp: a node orphaned mid-retire keeps
+                     // its stale/zero epoch stamp, so collect() frees it
+                     // before readers announced in earlier epochs are done
+                     // with it (the exact bug the PR 6 review fixed).
+};
+
+inline const char* to_string(LeaseMutation m) {
+  switch (m) {
+    case LeaseMutation::kNone: return "none";
+    case LeaseMutation::kStaleConfirm: return "stale_confirm";
+    case LeaseMutation::kNoQuarantine: return "no_quarantine";
+    case LeaseMutation::kNoRestamp: return "no_restamp";
+  }
+  return "?";
+}
 
 template <Platform P>
 class MutantTaggedReclaimer {

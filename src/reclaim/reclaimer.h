@@ -107,6 +107,10 @@ enum class ReclaimPhase : std::uint8_t {
   kEpochAnnounced,  // Epoch: the announcement is written; parking here
                     // freezes the global epoch for the region's duration.
   kMidRetire,       // Inside retire(), including any triggered scan.
+  kMidAllocate,     // Crash-marked allocation window (leased reclaimers):
+                    // in_flight[p] is set and the node is off the free list
+                    // but commit(p) has not yet cleared the marker — a kill
+                    // here is what the quarantine rule exists for.
 };
 
 // The phases a parked process turns into a reclamation attack.
@@ -122,6 +126,7 @@ inline const char* to_string(ReclaimPhase phase) {
     case ReclaimPhase::kGuardPublished: return "guard-published";
     case ReclaimPhase::kEpochAnnounced: return "epoch-announced";
     case ReclaimPhase::kMidRetire: return "mid-retire";
+    case ReclaimPhase::kMidAllocate: return "mid-allocate";
   }
   return "?";
 }

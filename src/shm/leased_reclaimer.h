@@ -27,7 +27,15 @@
 //                          structure — it is QUARANTINED, never freed, so a
 //                          kill landing between the linking CAS and the
 //                          bookkeeping store can never cause a double-free.
-//                          Cost: at most one pool slot per crash.
+//                          Cost: at most one pool slot per crash. The window
+//                          is first-class for the crash harnesses: allocate
+//                          moves the process to ReclaimPhase::kMidAllocate
+//                          and commit() parks at kParkInFlight before
+//                          clearing the marker, so both the fork/SIGKILL
+//                          driver and the model checker's crash grants can
+//                          land a kill exactly between the linking CAS and
+//                          the in_flight clear — the one window where the
+//                          quarantine rule is load-bearing.
 //   in_retire[p]         — the mirror marker around retire(): set before
 //                          the node joins the retired list, cleared after.
 //                          The expropriator re-homes a marked node that
@@ -42,20 +50,39 @@
 // process's frozen announcement, so the global epoch advances again and the
 // spliced limbo drains by the normal two-advance rule.
 //
-// Suspicion here is driven by kill(pid, 0) liveness only; the lease table
-// also supports heartbeat-staleness suspicion (see pid_lease.h), but a
-// reclaimer scan never confirms a process the kernel still knows — a
-// falsely-suspected live process vetoes at its next entry point instead of
-// corrupting the pool (the two-phase handshake).
+// Suspicion is driven by BOTH liveness probes and heartbeat staleness: a
+// scan suspects a peer whose pid looks gone OR whose heartbeat has not
+// moved across this scanner's whole previous-to-current scan interval (each
+// scanner remembers the last heartbeat it saw per peer). Staleness can only
+// ever *suspect* — confirmation still requires the pid definitively gone
+// AND the heartbeat unchanged since suspicion — so a live-but-slow process
+// is vetoed back to kLive at its next entry point instead of being seized
+// (the two-phase handshake in pid_lease.h). The staleness edge is what
+// makes suspicion reachable on hosts where "gone" is rare or meaningless
+// (the simulator, where a crashed process simply never runs again), and it
+// is the decision the kStaleConfirm lease mutant removes.
+//
+// Host/Env templating: both reclaimers are templated over the platform Env
+// (default ShmPlatform::Env) and derive the lease-table type from
+// Env::leases, so the same protocol code runs over the production shm
+// arena, a plain heap arena (shm/lease_hosts.h, for single-process
+// determinism tests), or the simulator's arena + SimPlatform-hosted lease
+// table (sim/sim_lease.h, where the model checker searches the
+// suspect/confirm/veto CASes as first-class steps). An Env may carry a
+// `mutation` field (reclaim::LeaseMutation) — the test-only seam the
+// lease-mutant zoo uses; envs without the field get shipped behavior.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "reclaim/death.h"
+#include "reclaim/mutant.h"
 #include "reclaim/reclaimer.h"
 #include "shm/pid_lease.h"
 #include "shm/shm_platform.h"
@@ -65,13 +92,35 @@ namespace aba::shm {
 
 namespace detail {
 
+// The test-only mutation seam: an Env that carries a LeaseMutation opts in;
+// every production Env (ShmPlatform::Env) has no such field and compiles
+// straight to kNone.
+template <class Env>
+constexpr reclaim::LeaseMutation mutation_of(const Env& env) {
+  if constexpr (requires { env.mutation; }) {
+    return env.mutation;
+  } else {
+    return reclaim::LeaseMutation::kNone;
+  }
+}
+
 // Arena-resident intrusive lists over one links[] array. Heads and links
 // store index+1; 0 is the empty list / null. All operations are issued by
 // the list's single owner (the lease holder, or the confirmed expropriator).
+//
+// Every traversal here is bounded by the pool size. A well-formed list can
+// never hold more than `pool` nodes, so the caps cost nothing in the good
+// case — but the link words live in the shared segment, and a peer that
+// crashed mid-update (or a buggy peer) can leave a cycle behind. A survivor
+// draining that peer's lists must terminate regardless; an unbounded walk
+// over corrupt links would hang it inside crash recovery.
 class NodeLists {
  public:
-  NodeLists(ShmArena& arena, const char* tag, std::size_t pool)
-      : links_(arena.place_array<std::atomic<std::uint64_t>>(tag, pool)) {}
+  template <class Arena>
+  NodeLists(Arena& arena, const char* tag, std::size_t pool)
+      : links_(arena.template place_array<std::atomic<std::uint64_t>>(tag,
+                                                                      pool)),
+        pool_(static_cast<std::uint64_t>(pool)) {}
 
   void push(std::atomic<std::uint64_t>& head, std::uint64_t idx) {
     links_[idx].store(head.load(std::memory_order_seq_cst),
@@ -100,26 +149,40 @@ class NodeLists {
 
   bool contains(const std::atomic<std::uint64_t>& head,
                 std::uint64_t idx) const {
-    for (std::uint64_t w = head.load(std::memory_order_seq_cst); w != 0;
-         w = links_[w - 1].load(std::memory_order_seq_cst)) {
+    std::uint64_t steps = 0;
+    for (std::uint64_t w = head.load(std::memory_order_seq_cst);
+         w != 0 && steps <= pool_;
+         w = links_[w - 1].load(std::memory_order_seq_cst), ++steps) {
       if (w - 1 == idx) return true;
     }
     return false;
   }
 
-  // Moves every node of `from` onto `to`; returns how many moved.
+  // Moves every node of `from` onto `to`; returns how many moved. Bounded:
+  // a corrupt `from` (cyclic links from a crashed peer) yields at most
+  // `pool` moves instead of looping forever.
   std::uint64_t splice(std::atomic<std::uint64_t>& from,
                        std::atomic<std::uint64_t>& to) {
     std::uint64_t moved = 0;
-    while (auto idx = pop(from)) {
+    while (moved < pool_) {
+      auto idx = pop(from);
+      if (!idx) break;
       push(to, *idx);
       ++moved;
     }
     return moved;
   }
 
+  void fingerprint_into(std::size_t pool, reclaim::Fingerprint& fp) const {
+    fp.mix(static_cast<std::uint64_t>(pool));
+    for (std::size_t i = 0; i < pool; ++i) {
+      fp.mix(links_[i].load(std::memory_order_seq_cst));
+    }
+  }
+
  private:
   std::atomic<std::uint64_t>* links_;
+  std::uint64_t pool_;
 };
 
 // The bookkeeping shared by both leased reclaimers: per-lease free and
@@ -148,25 +211,37 @@ struct SharedBook {
   std::atomic<std::uint64_t>* quarantine_count;
   std::atomic<std::uint64_t>* expropriations;
   std::size_t pool = 0;
+  reclaim::LeaseMutation mutation = reclaim::LeaseMutation::kNone;
 
-  SharedBook(ShmPlatform::Env& env, int n, const reclaim::FreeLists& initial)
+  template <class Env>
+  SharedBook(Env& env, int n, const reclaim::FreeLists& initial)
       : lists(*env.arena, "book.links", pool_of(initial)),
-        pool(pool_of(initial)) {
-    ShmArena& a = *env.arena;
+        pool(pool_of(initial)),
+        mutation(mutation_of(env)) {
+    auto& a = *env.arena;
     const auto count = static_cast<std::size_t>(n);
-    free_head = a.place_array<std::atomic<std::uint64_t>>("book.free_head", count);
-    free_count = a.place_array<std::atomic<std::uint64_t>>("book.free_count", count);
-    retired_head = a.place_array<std::atomic<std::uint64_t>>("book.retired_head", count);
-    retired_count = a.place_array<std::atomic<std::uint64_t>>("book.retired_count", count);
-    in_flight = a.place_array<std::atomic<std::uint64_t>>("book.in_flight", count);
-    in_retire = a.place_array<std::atomic<std::uint64_t>>("book.in_retire", count);
-    pending = a.place_array<std::atomic<std::uint64_t>>("book.pending",
-                                                        count * kPendingCap);
-    pending_count = a.place_array<std::atomic<std::uint64_t>>(
+    free_head = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.free_head", count);
+    free_count = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.free_count", count);
+    retired_head = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.retired_head", count);
+    retired_count = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.retired_count", count);
+    in_flight = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.in_flight", count);
+    in_retire = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.in_retire", count);
+    pending = a.template place_array<std::atomic<std::uint64_t>>(
+        "book.pending", count * kPendingCap);
+    pending_count = a.template place_array<std::atomic<std::uint64_t>>(
         "book.pending_count", count);
-    quarantine_head = a.place<std::atomic<std::uint64_t>>("book.quarantine_head");
-    quarantine_count = a.place<std::atomic<std::uint64_t>>("book.quarantine_count");
-    expropriations = a.place<std::atomic<std::uint64_t>>("book.expropriations");
+    quarantine_head =
+        a.template place<std::atomic<std::uint64_t>>("book.quarantine_head");
+    quarantine_count =
+        a.template place<std::atomic<std::uint64_t>>("book.quarantine_count");
+    expropriations =
+        a.template place<std::atomic<std::uint64_t>>("book.expropriations");
     if (env.owner) {
       for (int p = 0; p < n; ++p) {
         for (const std::uint64_t idx : initial[static_cast<std::size_t>(p)]) {
@@ -276,11 +351,20 @@ struct SharedBook {
     const std::uint64_t mf = in_flight[q].load(std::memory_order_seq_cst);
     if (mf != 0) {
       if (!lists.contains(free_head[q], mf - 1)) {
-        // The quarantine head is the one list with concurrent pushers
-        // (confirm winners of *different* victims), so it takes the CAS
-        // push, not the single-owner one.
-        lists.push_shared(*quarantine_head, mf - 1);
-        quarantine_count->fetch_add(1, std::memory_order_relaxed);
+        if (mutation == reclaim::LeaseMutation::kNoQuarantine) {
+          // The mutant: put the ambiguous node straight back into
+          // circulation. If the kill landed after the linking CAS the node
+          // is still reachable from the structure — reallocating it is the
+          // double-free the quarantine exists to prevent.
+          lists.push(free_head[q], mf - 1);
+          free_count[q].fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The quarantine head is the one list with concurrent pushers
+          // (confirm winners of *different* victims), so it takes the CAS
+          // push, not the single-owner one.
+          lists.push_shared(*quarantine_head, mf - 1);
+          quarantine_count->fetch_add(1, std::memory_order_relaxed);
+        }
       }
       in_flight[q].store(0, std::memory_order_seq_cst);
     }
@@ -298,10 +382,10 @@ struct SharedBook {
     reclaim::ReclaimStats s;
     s.pool_size = pool;
     for (int p = 0; p < n; ++p) {
-      s.retired_unreclaimed +=
-          static_cast<std::size_t>(retired_count[p].load(std::memory_order_relaxed));
-      s.free_nodes +=
-          static_cast<std::size_t>(free_count[p].load(std::memory_order_relaxed));
+      s.retired_unreclaimed += static_cast<std::size_t>(
+          retired_count[p].load(std::memory_order_relaxed));
+      s.free_nodes += static_cast<std::size_t>(
+          free_count[p].load(std::memory_order_relaxed));
       if (in_flight[p].load(std::memory_order_relaxed) != 0) ++s.in_flight;
     }
     s.quarantined = static_cast<std::size_t>(
@@ -309,6 +393,30 @@ struct SharedBook {
     s.expropriations = static_cast<std::size_t>(
         expropriations->load(std::memory_order_relaxed));
     return s;
+  }
+
+  // Every book word that decides future allocations, scans and drains —
+  // folded into the reclaimer fingerprint so the model checker's DPOR state
+  // key can never merge two configurations whose reclamation futures
+  // differ. All plain-atomic reads: safe from the engine thread.
+  void fingerprint_into(int n, reclaim::Fingerprint& fp) const {
+    lists.fingerprint_into(pool, fp);
+    const auto count = static_cast<std::size_t>(n);
+    for (std::size_t p = 0; p < count; ++p) {
+      fp.mix(free_head[p].load(std::memory_order_seq_cst));
+      fp.mix(free_count[p].load(std::memory_order_seq_cst));
+      fp.mix(retired_head[p].load(std::memory_order_seq_cst));
+      fp.mix(retired_count[p].load(std::memory_order_seq_cst));
+      fp.mix(in_flight[p].load(std::memory_order_seq_cst));
+      fp.mix(in_retire[p].load(std::memory_order_seq_cst));
+      fp.mix(pending_count[p].load(std::memory_order_seq_cst));
+      for (std::size_t i = 0; i < kPendingCap; ++i) {
+        fp.mix(pending[p * kPendingCap + i].load(std::memory_order_seq_cst));
+      }
+    }
+    fp.mix(quarantine_head->load(std::memory_order_seq_cst));
+    fp.mix(quarantine_count->load(std::memory_order_seq_cst));
+    fp.mix(expropriations->load(std::memory_order_seq_cst));
   }
 };
 
@@ -320,24 +428,30 @@ struct SharedBook {
 // published across operations (the guard-caching mode of PR 4); the leased
 // variant's cache is process-local, so after a crash the expropriator reads
 // the authoritative shared slots, not the cache.
-template <bool kCached>
+template <bool kCached, class Env = ShmPlatform::Env>
 class LeasedHazardReclaimerT {
  public:
+  using EnvT = Env;
+  using Leases = std::remove_pointer_t<decltype(Env::leases)>;
+
   static constexpr const char* kName =
       kCached ? "leased_hazard_cached" : "leased_hazard";
   static constexpr bool kNeedsGuard = true;
   static constexpr int kSlotsPerProcess = 2;
 
-  LeasedHazardReclaimerT(ShmPlatform::Env& env, int n,
-                         reclaim::FreeLists initial_free)
+  LeasedHazardReclaimerT(Env& env, int n, reclaim::FreeLists initial_free)
       : leases_(env.leases), n_(n), book_(env, n, initial_free) {
     ABA_CHECK_MSG(leases_ != nullptr,
-                  "leased reclaimers need Env::leases (a PidLeaseTable)");
+                  "leased reclaimers need Env::leases (a pid-lease table)");
     ABA_CHECK(leases_->max_procs() >= n);
-    slots_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+    slots_ = env.arena->template place_array<std::atomic<std::uint64_t>>(
         "hp.slots", static_cast<std::size_t>(n) * kSlotsPerProcess);
     published_.assign(static_cast<std::size_t>(n) * kSlotsPerProcess, 0);
     phases_.assign(static_cast<std::size_t>(n), reclaim::ReclaimPhase::kIdle);
+    alloc_resume_.assign(static_cast<std::size_t>(n),
+                         reclaim::ReclaimPhase::kIdle);
+    hb_seen_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                    0);
   }
 
   void begin_op(int p) {
@@ -382,10 +496,24 @@ class LeasedHazardReclaimerT {
         }
       }
     }
-    return book_.allocate_from(p);
+    auto idx = book_.allocate_from(p);
+    if (idx) {
+      // The crash-marked window opens: in_flight[p] is set and stays set
+      // through the structure's linking CAS until commit(p).
+      alloc_resume_[p] = phases_[p];
+      phases_[p] = reclaim::ReclaimPhase::kMidAllocate;
+    }
+    return idx;
   }
 
-  void commit(int p) { book_.in_flight[p].store(0, std::memory_order_seq_cst); }
+  void commit(int p) {
+    // Park BEFORE the marker clear: the node is (possibly) linked and still
+    // marked — the exact instant the quarantine rule exists for, and the
+    // instant the crash harnesses want to land a kill on.
+    leases_->maybe_park(p, kParkInFlight);
+    book_.in_flight[p].store(0, std::memory_order_seq_cst);
+    phases_[p] = alloc_resume_[p];
+  }
 
   void retire(int p, std::uint64_t idx) {
     leases_->self_check(p);
@@ -449,7 +577,12 @@ class LeasedHazardReclaimerT {
       if (w != 0) guarded.push_back(w - 1);
     }
     std::vector<std::uint64_t> keep;
-    while (auto idx = book_.lists.pop(book_.retired_head[p])) {
+    // Bounded by the pool: after an expropriation this may be walking a
+    // list the victim was mutating when it died — it must terminate even
+    // if the links are cyclic.
+    for (std::size_t seen = 0; seen < book_.pool; ++seen) {
+      auto idx = book_.lists.pop(book_.retired_head[p]);
+      if (!idx) break;
       bool pinned = false;
       for (const std::uint64_t g : guarded) {
         if (g == *idx) {
@@ -492,6 +625,24 @@ class LeasedHazardReclaimerT {
 
   reclaim::ReclaimPhase phase(int p) const { return phases_[p]; }
 
+  // Everything outside the simulator's announced-word signature that
+  // decides this reclaimer's future: the book, the authoritative guard
+  // slots, the process-local caches and phases, the per-peer heartbeat
+  // history, and the lease table's own host words.
+  std::uint64_t fingerprint() const {
+    reclaim::Fingerprint fp;
+    book_.fingerprint_into(n_, fp);
+    for (int i = 0; i < n_ * kSlotsPerProcess; ++i) {
+      fp.mix(slots_[i].load(std::memory_order_seq_cst));
+    }
+    fp.mix_range(published_);
+    for (const auto ph : phases_) fp.mix(static_cast<std::uint64_t>(ph));
+    for (const auto ph : alloc_resume_) fp.mix(static_cast<std::uint64_t>(ph));
+    fp.mix_range(hb_seen_);
+    fp.mix(leases_->fingerprint());
+    return fp.value();
+  }
+
  private:
   std::size_t cache_index(int p, int slot) const {
     return static_cast<std::size_t>(p) * kSlotsPerProcess +
@@ -517,10 +668,24 @@ class LeasedHazardReclaimerT {
     }
   }
 
+  // Heartbeat staleness: p remembers the last heartbeat it saw per peer; a
+  // peer whose heartbeat has not moved since p's previous scan is suspected
+  // (never confirmed) on staleness alone. See the file comment.
+  bool stale_for(int p, int q) {
+    const std::size_t at =
+        static_cast<std::size_t>(p) * static_cast<std::size_t>(n_) +
+        static_cast<std::size_t>(q);
+    const std::uint64_t hb = leases_->heartbeat(q);
+    const bool stale = hb_seen_[at] != 0 && hb_seen_[at] == hb;
+    hb_seen_[at] = hb;
+    return stale;
+  }
+
   void expropriate_dead(int p) {
     for (int q = 0; q < n_; ++q) {
       if (q == p || !leases_->is_held(q)) continue;
-      if (leases_->advance_death(q) == reclaim::DeathStep::kConfirmed) {
+      if (leases_->advance_death(q, stale_for(p, q)) ==
+          reclaim::DeathStep::kConfirmed) {
         // Clear the victim's published guards so this very scan's slot
         // reads no longer see them.
         for (int slot = 0; slot < kSlotsPerProcess; ++slot) {
@@ -532,7 +697,7 @@ class LeasedHazardReclaimerT {
     }
   }
 
-  PidLeaseTable* leases_;
+  Leases* leases_;
   int n_;
   detail::SharedBook book_;
   std::atomic<std::uint64_t>* slots_;  // [n * kSlotsPerProcess], idx+1 or 0.
@@ -540,6 +705,8 @@ class LeasedHazardReclaimerT {
   // slots_ (which is what expropriation reads).
   std::vector<std::uint64_t> published_;
   std::vector<reclaim::ReclaimPhase> phases_;
+  std::vector<reclaim::ReclaimPhase> alloc_resume_;
+  std::vector<std::uint64_t> hb_seen_;  // [n*n]: last heartbeat p saw of q.
 };
 
 using LeasedHazardReclaimer = LeasedHazardReclaimerT<false>;
@@ -553,26 +720,36 @@ using LeasedCachedHazardReclaimer = LeasedHazardReclaimerT<true>;
 // forever — the sweep inside try_advance expropriates it instead (clears
 // the announcement, splices the limbo; stamps live in a per-node array, so
 // they travel with the nodes).
-class LeasedEpochReclaimer {
+template <class Env = ShmPlatform::Env>
+class LeasedEpochReclaimerT {
  public:
+  using EnvT = Env;
+  using Leases = std::remove_pointer_t<decltype(Env::leases)>;
+
   static constexpr const char* kName = "leased_epoch";
   static constexpr bool kNeedsGuard = false;
   static constexpr std::uint64_t kQuiescent = 0;
   static constexpr std::size_t kAdvanceEvery = 4;
 
-  LeasedEpochReclaimer(ShmPlatform::Env& env, int n,
-                       reclaim::FreeLists initial_free)
-      : leases_(env.leases), n_(n), book_(env, n, initial_free) {
+  LeasedEpochReclaimerT(Env& env, int n, reclaim::FreeLists initial_free)
+      : leases_(env.leases),
+        n_(n),
+        book_(env, n, initial_free),
+        mutation_(detail::mutation_of(env)) {
     ABA_CHECK_MSG(leases_ != nullptr,
-                  "leased reclaimers need Env::leases (a PidLeaseTable)");
+                  "leased reclaimers need Env::leases (a pid-lease table)");
     ABA_CHECK(leases_->max_procs() >= n);
-    global_ = env.arena->place<std::atomic<std::uint64_t>>("ep.global");
-    announce_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+    global_ = env.arena->template place<std::atomic<std::uint64_t>>("ep.global");
+    announce_ = env.arena->template place_array<std::atomic<std::uint64_t>>(
         "ep.announce", static_cast<std::size_t>(n));
-    stamps_ = env.arena->place_array<std::atomic<std::uint64_t>>(
+    stamps_ = env.arena->template place_array<std::atomic<std::uint64_t>>(
         "ep.stamps", book_.pool);
     if (env.owner) global_->store(1, std::memory_order_seq_cst);
     phases_.assign(static_cast<std::size_t>(n), reclaim::ReclaimPhase::kIdle);
+    alloc_resume_.assign(static_cast<std::size_t>(n),
+                         reclaim::ReclaimPhase::kIdle);
+    hb_seen_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                    0);
   }
 
   void begin_op(int p) {
@@ -598,10 +775,20 @@ class LeasedEpochReclaimer {
       try_advance(p);
       collect(p);
     }
-    return book_.allocate_from(p);
+    auto idx = book_.allocate_from(p);
+    if (idx) {
+      // The crash-marked window opens (see the hazard variant).
+      alloc_resume_[p] = phases_[p];
+      phases_[p] = reclaim::ReclaimPhase::kMidAllocate;
+    }
+    return idx;
   }
 
-  void commit(int p) { book_.in_flight[p].store(0, std::memory_order_seq_cst); }
+  void commit(int p) {
+    leases_->maybe_park(p, kParkInFlight);
+    book_.in_flight[p].store(0, std::memory_order_seq_cst);
+    phases_[p] = alloc_resume_[p];
+  }
 
   void retire(int p, std::uint64_t idx) {
     leases_->self_check(p);
@@ -685,7 +872,12 @@ class LeasedEpochReclaimer {
   void collect(int p) {
     const std::uint64_t g = global_->load(std::memory_order_seq_cst);
     std::vector<std::uint64_t> keep;
-    while (auto idx = book_.lists.pop(book_.retired_head[p])) {
+    // Bounded by the pool: the limbo list may have been inherited from a
+    // crashed peer mid-update, so the sweep must terminate even over
+    // cyclic links.
+    for (std::size_t seen = 0; seen < book_.pool; ++seen) {
+      auto idx = book_.lists.pop(book_.retired_head[p]);
+      if (!idx) break;
       if (stamps_[*idx].load(std::memory_order_seq_cst) + 2 <= g) {
         book_.lists.push(book_.free_head[p], *idx);
         book_.free_count[p].fetch_add(1, std::memory_order_relaxed);
@@ -706,7 +898,8 @@ class LeasedEpochReclaimer {
   void expropriate_dead(int p) {
     for (int q = 0; q < n_; ++q) {
       if (q == p || !leases_->is_held(q)) continue;
-      if (leases_->advance_death(q) == reclaim::DeathStep::kConfirmed) {
+      if (leases_->advance_death(q, stale_for(p, q)) ==
+          reclaim::DeathStep::kConfirmed) {
         announce_[q].store(kQuiescent, std::memory_order_seq_cst);
         // A victim killed inside retire() can leave in_retire set with the
         // node's stamp never written (retire stamps AFTER the mid-retire
@@ -716,32 +909,36 @@ class LeasedEpochReclaimer {
         // current global epoch before drain_dead re-homes it, so the
         // orphan waits a full grace period like any other retiree (the
         // in-process EpochBasedReclaimer::expropriate re-records the limbo
-        // entry with the current epoch for the same reason).
-        const std::uint64_t mr =
-            book_.in_retire[q].load(std::memory_order_seq_cst);
-        if (mr != 0) {
-          stamps_[mr - 1].store(global_->load(std::memory_order_seq_cst),
-                                std::memory_order_seq_cst);
-        }
-        // Same hazard for a victim killed mid-retire_batch: every node
-        // still staged in its pending window may carry a stale/zero stamp
-        // (retire_batch stamps after the mid-retire park), so re-stamp the
-        // whole window before the sweep re-homes it.
-        const std::uint64_t pc =
-            book_.pending_count[q].load(std::memory_order_seq_cst);
-        if (pc != 0) {
-          const std::size_t staged =
-              pc < detail::SharedBook::kPendingCap
-                  ? static_cast<std::size_t>(pc)
-                  : detail::SharedBook::kPendingCap;
-          const std::uint64_t g = global_->load(std::memory_order_seq_cst);
-          for (std::size_t i = 0; i < staged; ++i) {
-            const std::uint64_t w =
-                book_.pending[static_cast<std::size_t>(q) *
-                                  detail::SharedBook::kPendingCap +
-                              i]
-                    .load(std::memory_order_seq_cst);
-            if (w != 0) stamps_[w - 1].store(g, std::memory_order_seq_cst);
+        // entry with the current epoch for the same reason). The kNoRestamp
+        // lease mutant removes exactly this decision — the bug the PR 6
+        // review caught.
+        if (mutation_ != reclaim::LeaseMutation::kNoRestamp) {
+          const std::uint64_t mr =
+              book_.in_retire[q].load(std::memory_order_seq_cst);
+          if (mr != 0) {
+            stamps_[mr - 1].store(global_->load(std::memory_order_seq_cst),
+                                  std::memory_order_seq_cst);
+          }
+          // Same hazard for a victim killed mid-retire_batch: every node
+          // still staged in its pending window may carry a stale/zero stamp
+          // (retire_batch stamps after the mid-retire park), so re-stamp
+          // the whole window before the sweep re-homes it.
+          const std::uint64_t pc =
+              book_.pending_count[q].load(std::memory_order_seq_cst);
+          if (pc != 0) {
+            const std::size_t staged =
+                pc < detail::SharedBook::kPendingCap
+                    ? static_cast<std::size_t>(pc)
+                    : detail::SharedBook::kPendingCap;
+            const std::uint64_t g = global_->load(std::memory_order_seq_cst);
+            for (std::size_t i = 0; i < staged; ++i) {
+              const std::uint64_t w =
+                  book_.pending[static_cast<std::size_t>(q) *
+                                    detail::SharedBook::kPendingCap +
+                                i]
+                      .load(std::memory_order_seq_cst);
+              if (w != 0) stamps_[w - 1].store(g, std::memory_order_seq_cst);
+            }
           }
         }
         book_.drain_dead(p, q);
@@ -768,15 +965,49 @@ class LeasedEpochReclaimer {
 
   reclaim::ReclaimPhase phase(int p) const { return phases_[p]; }
 
+  std::uint64_t fingerprint() const {
+    reclaim::Fingerprint fp;
+    book_.fingerprint_into(n_, fp);
+    fp.mix(global_->load(std::memory_order_seq_cst));
+    for (int q = 0; q < n_; ++q) {
+      fp.mix(announce_[q].load(std::memory_order_seq_cst));
+    }
+    for (std::size_t i = 0; i < book_.pool; ++i) {
+      fp.mix(stamps_[i].load(std::memory_order_seq_cst));
+    }
+    for (const auto ph : phases_) fp.mix(static_cast<std::uint64_t>(ph));
+    for (const auto ph : alloc_resume_) fp.mix(static_cast<std::uint64_t>(ph));
+    fp.mix_range(hb_seen_);
+    fp.mix(leases_->fingerprint());
+    return fp.value();
+  }
+
  private:
-  PidLeaseTable* leases_;
+  // Same per-peer heartbeat history as the hazard variant (see its
+  // stale_for).
+  bool stale_for(int p, int q) {
+    const std::size_t at =
+        static_cast<std::size_t>(p) * static_cast<std::size_t>(n_) +
+        static_cast<std::size_t>(q);
+    const std::uint64_t hb = leases_->heartbeat(q);
+    const bool stale = hb_seen_[at] != 0 && hb_seen_[at] == hb;
+    hb_seen_[at] = hb;
+    return stale;
+  }
+
+  Leases* leases_;
   int n_;
   detail::SharedBook book_;
+  reclaim::LeaseMutation mutation_;
   std::atomic<std::uint64_t>* global_;
   std::atomic<std::uint64_t>* announce_;  // [n], kQuiescent or the epoch.
   std::atomic<std::uint64_t>* stamps_;    // [pool], retire-time epoch.
   std::vector<reclaim::ReclaimPhase> phases_;
+  std::vector<reclaim::ReclaimPhase> alloc_resume_;
+  std::vector<std::uint64_t> hb_seen_;  // [n*n]: last heartbeat p saw of q.
 };
+
+using LeasedEpochReclaimer = LeasedEpochReclaimerT<>;
 
 static_assert(reclaim::ReclaimerFor<LeasedHazardReclaimer, ShmPlatform>);
 static_assert(reclaim::ReclaimerFor<LeasedCachedHazardReclaimer, ShmPlatform>);

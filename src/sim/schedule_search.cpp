@@ -12,6 +12,7 @@
 #include "reclaim/leaky.h"
 #include "reclaim/mutant.h"
 #include "reclaim/tagged.h"
+#include "sim/sim_lease.h"
 #include "sim/sim_platform.h"
 #include "spec/lin_checker.h"
 #include "spec/specs.h"
@@ -184,15 +185,24 @@ CostFn cost_by_name(const std::string& name) {
 namespace {
 
 // Multiset conservation: every taken value was put successfully at least as
-// many times as it was taken. The invariant that survives crashes (a
-// victim's pending put never completed, so its value is simply absent).
+// many times as it was taken. The invariant that survives crashes — with
+// one credit per crashed victim's pending put, whose effect may have landed
+// without the op completing (a push killed after the linking CAS leaves its
+// value reachable; the quarantine rule keeps the node out of circulation,
+// but a survivor popping it is a legitimate take).
 SpecVerdict check_conservation(const std::vector<spec::Op>& ops,
-                               spec::Method take) {
+                               spec::Method take,
+                               const std::vector<spec::Op>& pending) {
   SpecVerdict verdict;
   verdict.checked = true;
   std::map<std::uint64_t, long> balance;
   for (const auto& op : ops) {
     if (op.method != take && op.ret == 1) ++balance[op.arg];
+  }
+  for (const auto& op : pending) {
+    if (op.method == spec::Method::kPush || op.method == spec::Method::kEnq) {
+      ++balance[op.arg];
+    }
   }
   for (const auto& op : ops) {
     if (op.method == take && op.ret != 0) {
@@ -228,7 +238,8 @@ SpecVerdict check_linearizable_history(const std::vector<spec::Op>& ops) {
 
 SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
                           const std::vector<int>& shard_tags, int num_shards,
-                          bool has_crash, std::uint64_t ring_capacity) {
+                          bool has_crash, std::uint64_t ring_capacity,
+                          const std::vector<spec::Op>& pending) {
   if (kind == SpecKind::kNone) return {};
   const spec::Method take =
       (kind == SpecKind::kQueue || kind == SpecKind::kRing)
@@ -236,7 +247,7 @@ SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
           : spec::Method::kPop;
   // A crash truncates the victim's history: its pending op may have taken
   // effect without completing, so only conservation is checkable.
-  if (has_crash) return check_conservation(ops, take);
+  if (has_crash) return check_conservation(ops, take, pending);
   switch (kind) {
     case SpecKind::kStack:
       return check_linearizable_history<spec::StackSpec>(ops);
@@ -442,6 +453,71 @@ SearchFixtureFactory reclaim_fixture(const std::string& name,
   if (name == "sharded_stack_hazard_cached") {
     return [pool](int n) { return make_sharded_stack_fixture(n, pool); };
   }
+  // ---- The crash-robust shm tier, sim-hosted (sim/sim_lease.h): real
+  // PidLeaseTable protocol + LeasedHazard/LeasedEpoch reclaimers over a
+  // simulated shared-segment arena. Crash grants (`!p`) drive the actual
+  // suspect -> confirm -> seize/veto/quarantine machinery under the search.
+  if (name == "stack_leased_hazard") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedHazardReclaimer>(n, pool);
+    };
+  }
+  if (name == "stack_leased_hazard_cached") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedCachedHazardReclaimer>(n, pool);
+    };
+  }
+  if (name == "stack_leased_epoch") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedEpochReclaimer>(n, pool);
+    };
+  }
+  if (name == "stack_leased_epoch_batched") {
+    // Every retire routed through the retire_batch pending window (chunk of
+    // one): the searched mid-batch crash juncture of PR 9's staged hand-off.
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedEpochBatchedReclaimer>(n, pool);
+    };
+  }
+  if (name == "queue_leased_hazard") {
+    return [pool](int n) {
+      return make_queue_fixture<sim::SimLeasedHazardReclaimer>(n, pool);
+    };
+  }
+  if (name == "queue_leased_hazard_cached") {
+    return [pool](int n) {
+      return make_queue_fixture<sim::SimLeasedCachedHazardReclaimer>(n, pool);
+    };
+  }
+  if (name == "queue_leased_epoch") {
+    return [pool](int n) {
+      return make_queue_fixture<sim::SimLeasedEpochReclaimer>(n, pool);
+    };
+  }
+  // ---- The lease-mutant zoo (reclaim/mutant.h, LeaseMutation): each drops
+  // exactly one safety decision of the death handshake. The bounded search
+  // must convict all three; the all-kNone fixtures above must survive the
+  // identical budget.
+  if (name == "stack_leased_mutant_stale_confirm") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedHazardReclaimerT<
+          false, reclaim::LeaseMutation::kStaleConfirm>>(n, pool);
+    };
+  }
+  if (name == "stack_leased_mutant_no_quarantine") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedHazardReclaimerT<
+          false, reclaim::LeaseMutation::kNone,
+          reclaim::LeaseMutation::kNoQuarantine>>(n, pool);
+    };
+  }
+  if (name == "stack_leased_mutant_no_restamp") {
+    return [pool](int n) {
+      return make_stack_fixture<sim::SimLeasedEpochReclaimerT<
+          reclaim::LeaseMutation::kNone, reclaim::LeaseMutation::kNoRestamp>>(
+          n, pool);
+    };
+  }
   if (name == "ring_mpmc") {
     // Reclaimer-free: pool_per_process does not apply.
     return [](int n) { return make_ring_fixture(n); };
@@ -456,7 +532,14 @@ std::vector<std::string> reclaim_fixture_names() {
           "stack_leaky",   "stack_mutant_tagged",         "queue_hazard",
           "queue_hazard_cached",                          "queue_epoch",
           "queue_epoch_deferred",
-          "sharded_stack_hazard_cached",                  "ring_mpmc"};
+          "sharded_stack_hazard_cached",                  "ring_mpmc",
+          "stack_leased_hazard",                          "stack_leased_hazard_cached",
+          "stack_leased_epoch",                           "stack_leased_epoch_batched",
+          "queue_leased_hazard",                          "queue_leased_hazard_cached",
+          "queue_leased_epoch",
+          "stack_leased_mutant_stale_confirm",
+          "stack_leased_mutant_no_quarantine",
+          "stack_leased_mutant_no_restamp"};
 }
 
 std::vector<harness::WorkloadOp> storm_workload(const std::string& fixture,
@@ -541,6 +624,32 @@ std::vector<WorkloadCandidate> workload_candidates(const std::string& fixture,
       w.push_back({pid, take, 0});
     }
     candidates.push_back({"reader_pairs", std::move(w)});
+  }
+
+  if (num_processes == 2) {
+    // Two TRUE stormers — the n=2 shape double_storm cannot express (it
+    // collapses its second stormer onto pid 0). This is the only two-process
+    // workload where a crash can kill a PUSHER while the survivor still
+    // allocates: only allocation scans drive the suspect/confirm death
+    // handshake, so a reader-only peer could never expropriate the victim —
+    // the shape the leased-reclaimer crash searches need. At n >= 3
+    // double_storm already has a real second stormer.
+    std::vector<harness::WorkloadOp> w;
+    w.push_back({0, put, 1});
+    for (int i = 0; i < cycles; ++i) {
+      w.push_back({0, put, static_cast<std::uint64_t>(500 + i)});
+      w.push_back({1, put, static_cast<std::uint64_t>(600 + i)});
+      w.push_back({0, take, 0});
+      w.push_back({1, take, 0});
+    }
+    // Two drain takes, not one: a victim crashed mid-push leaves its node
+    // linked at the stack bottom, so observing a reclamation bug there (a
+    // doubly-circulating node popping the same value twice) needs the
+    // survivor to pop one past its own balanced cycles. In clean executions
+    // the extra take legally observes empty.
+    w.push_back({0, take, 0});
+    w.push_back({0, take, 0});
+    candidates.push_back({"crossed_storm", std::move(w)});
   }
 
   return candidates;
@@ -630,8 +739,15 @@ int ScheduleRunner::ops_remaining(int pid) const {
 }
 
 bool ScheduleRunner::has_crash() const {
-  return std::any_of(grants_.begin(), grants_.end(),
-                     [](int g) { return is_crash_grant(g); });
+  // A crash grant is the usual source, but a process can also die with no
+  // crash grant in the script: a self-fence (reclaim::LeaseRevoked escaping
+  // a method once the lease tier expropriates a suspect). The history is
+  // truncated either way, so verdicts must relax to conservation-only
+  // whenever anyone is dead — ask the world, not the grant log.
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    if (fixture_.world->is_crashed(pid)) return true;
+  }
+  return false;
 }
 
 ScheduleScript ScheduleRunner::script() const {
@@ -744,7 +860,8 @@ std::vector<int> ScheduleExplorer::ordered_choices(Live& live) const {
       if (!world.poised(pid).has_value()) continue;
       const reclaim::ReclaimPhase phase = invoker.reclaim_phase(pid);
       if (reclaim::is_vulnerable(phase) ||
-          phase == reclaim::ReclaimPhase::kMidRetire) {
+          phase == reclaim::ReclaimPhase::kMidRetire ||
+          phase == reclaim::ReclaimPhase::kMidAllocate) {
         crash_choices.push_back(crash_grant(pid));
       }
     }
@@ -852,7 +969,7 @@ void ScheduleExplorer::record(Live& live) {
     const SpecVerdict verdict =
         check_history(fx.spec, fx.history->completed_ops(), tags,
                       fx.num_shards, live.runner.has_crash(),
-                      fx.ring_capacity);
+                      fx.ring_capacity, fx.history->pending_ops());
     if (verdict.checked && !verdict.ok &&
         result_.violations.size() < kMaxRecordedViolations) {
       result_.violations.push_back({found.script, verdict.detail});
@@ -1046,7 +1163,21 @@ void ScheduleExplorer::dfs(std::unique_ptr<Live> live, SleepSet sleep) {
 SearchResult ScheduleExplorer::run() {
   result_ = SearchResult{};
   visited_.clear();
-  dfs(make_live(), SleepSet{});
+  // The staged prefix, if any, is executed before the first juncture; its
+  // grants count against the global budget and its switches/crashes charge
+  // the same per-schedule budgets the DFS enforces (Live::advance keeps the
+  // books either way), so a preluded conviction reports honest costs.
+  auto live = make_live();
+  for (const int grant : options_.prelude) {
+    ABA_CHECK_MSG(is_crash_grant(grant) ? !live->runner.fixture()
+                                               .world->is_crashed(
+                                                   crash_victim(grant))
+                                        : live->runner.runnable(grant),
+                  "search prelude grants a process that cannot run");
+    live->advance(grant);
+    ++result_.grants;
+  }
+  dfs(std::move(live), SleepSet{});
   return std::move(result_);
 }
 
@@ -1116,7 +1247,8 @@ ReplayResult ScheduleExplorer::replay(const SearchFixtureFactory& factory,
   result.verdict =
       check_history(runner.fixture().spec, result.history, result.shard_tags,
                     result.num_shards, runner.has_crash(),
-                    runner.fixture().ring_capacity);
+                    runner.fixture().ring_capacity,
+                    runner.fixture().history->pending_ops());
   return result;
 }
 

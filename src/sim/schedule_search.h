@@ -248,14 +248,20 @@ struct SpecVerdict {
 // Replays `ops` through the sequential spec for `kind`. Crash histories
 // (has_crash) are checked for multiset conservation only — no value taken
 // that was never put — because the victim's pending op may have taken
-// effect without completing. kShardedStack splits by `shard_tags` (which
-// must be index-aligned with `ops`) and checks each shard as an exact
-// stack; the others run the Wing&Gong linearizability checker whole.
+// effect without completing. `pending` carries the crashed processes'
+// incomplete ops (History::pending_ops): each pending PUT credits its value
+// once, since its effect may have landed (e.g. a push killed between the
+// linking CAS and the bookkeeping clear left its node reachable), so a
+// survivor taking that value once is legal — taking any value more often
+// than put+credit still convicts. kShardedStack splits by `shard_tags`
+// (which must be index-aligned with `ops`) and checks each shard as an
+// exact stack; the others run the Wing&Gong linearizability checker whole.
 // `ring_capacity` seeds BoundedQueueSpec for kRing (unused otherwise; the
-// default keeps pre-ring callers source-compatible).
+// defaults keep pre-ring callers source-compatible).
 SpecVerdict check_history(SpecKind kind, const std::vector<spec::Op>& ops,
                           const std::vector<int>& shard_tags, int num_shards,
-                          bool has_crash, std::uint64_t ring_capacity = 0);
+                          bool has_crash, std::uint64_t ring_capacity = 0,
+                          const std::vector<spec::Op>& pending = {});
 
 // -------------------------------------------------------------- runner
 
@@ -353,6 +359,17 @@ struct SearchOptions {
   // Stop the search at the first spec violation (the conviction is the
   // result; the remaining budget would only find more of the same).
   bool stop_on_violation = true;
+  // Forced grant prefix: the search executes exactly these grants first and
+  // explores only the suffix. A staged search for crash channels that blind
+  // DFS cannot reach: the heuristic path order (fewest-ops-first, crash
+  // choices up front) explores a many-op stormer's early window last, so a
+  // channel that needs "two pushes done and a reader parked mid-pop" before
+  // anything interesting happens sits at the far end of the tree. The
+  // prelude stages that state; the searcher still has to discover the kill
+  // point and every suffix interleaving itself. Preemptions and crashes
+  // inside the prelude are charged against the same budgets as searched
+  // grants, so a conviction's recorded context bound stays honest.
+  std::vector<int> prelude;
   // Per-schedule grant bound: a DFS path whose grant sequence reaches this
   // length is cut (counted in SearchResult::truncated_paths). 0 = unbounded,
   // which is correct for the lock-free fixtures — every op solo-terminates,

@@ -87,6 +87,12 @@ class History {
   // prefix plus structure-side accounting for the pending effect.
   std::vector<Op> completed_ops() const;
 
+  // The incomplete subset — what the crashed processes were doing. The
+  // conservation checker credits a crashed victim's pending put (its effect
+  // may have landed without the op completing), so a survivor legitimately
+  // taking that value is not a violation.
+  std::vector<Op> pending_ops() const;
+
   std::size_t size() const;
   void clear();
 

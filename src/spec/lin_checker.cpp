@@ -109,6 +109,15 @@ std::vector<Op> History::completed_ops() const {
   return result;
 }
 
+std::vector<Op> History::pending_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Op> result;
+  for (const auto& slot : slots_) {
+    if (!slot.complete) result.push_back(slot.op);
+  }
+  return result;
+}
+
 std::size_t History::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();

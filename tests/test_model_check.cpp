@@ -19,6 +19,13 @@
 //     clean, the outer workload search returns the argmax candidate and
 //     stamps the winning shape into script meta, and crash grants compose
 //     with DPOR + spec checking (conservation-only verdicts).
+//   * LEASE-MUTANT ZOO (PR 10) — the shm-tier death-handshake mutants
+//     (reclaim/mutant.h: LeaseMutation) are each convicted by a bounded
+//     crash-enabled search at their committed budget, the convictions
+//     replay deterministically, the shipped protocol twins survive the
+//     identical budget shapes, and a searched (not scripted) mid-batch
+//     crash on the pending-window reclaimer verifies clean while actually
+//     exercising the survivor's re-home path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -31,6 +38,7 @@
 
 #include "sim/schedule_search.h"
 #include "spec/history.h"
+#include "util/assert.h"
 
 namespace aba::search {
 namespace {
@@ -107,6 +115,139 @@ TEST(MutantCatch, AllShippedStackReclaimersSurviveTheIdenticalBudget) {
     EXPECT_TRUE(outcome.convicted_workload.empty())
         << name << " convicted on " << outcome.convicted_workload << ":\n"
         << outcome.detail;
+  }
+}
+
+// ----------------------------------------------- lease-mutant zoo (PR 10)
+//
+// The shm-tier mutants each break one leg of the suspect → confirm →
+// seize/veto/quarantine death handshake (src/shm/leased_reclaimer.h):
+//
+//   kStaleConfirm  confirms a suspicion against a stale scan count, so a
+//                  *live* parked reader's lease is seized and its guarded
+//                  node freed under it;
+//   kNoQuarantine  frees a dead peer's in-flight allocation directly —
+//                  the node may already be linked into the structure;
+//   kNoRestamp     re-homes a mid-retire orphan without re-stamping it, so
+//                  the epoch collector frees it against a stale stamp
+//                  while a reader still holds a pre-crash snapshot of it.
+//
+// Each budget below is the committed one (schedule_search_demo --convict,
+// stamped into tests/schedules/*_leased_mutant_*.crash.sched meta). The
+// no_restamp channel is unreachable for the blind fewest-ops-first DFS
+// order — its budget stages the opening (the stormer's first two pushes,
+// then a reader parked mid-pop) as a search prelude; the searcher still
+// has to discover the kill point and every suffix interleaving itself.
+struct LeaseBudget {
+  std::string mutant;
+  std::string shipped_twin;  // Same protocol with the mutation off.
+  int procs = 2;
+  int cycles = 4;
+  std::string workload = "storm";
+  std::vector<int> prelude;
+  std::uint64_t max_executions = 20000;
+};
+
+std::vector<int> no_restamp_prelude() {
+  std::vector<int> grants(16, 0);  // Stormer: two pushes staged.
+  grants.insert(grants.end(), 6, 2);  // Reader: parked mid-pop, snapshot held.
+  return grants;
+}
+
+LeaseBudget stale_confirm_budget() {
+  return {"stack_leased_mutant_stale_confirm", "stack_leased_hazard",
+          2, 4, "storm", {}, 20000};
+}
+LeaseBudget no_quarantine_budget() {
+  return {"stack_leased_mutant_no_quarantine", "stack_leased_hazard",
+          2, 5, "crossed_storm", {}, 20000};
+}
+LeaseBudget no_restamp_budget() {
+  return {"stack_leased_mutant_no_restamp", "stack_leased_epoch",
+          3, 3, "storm", no_restamp_prelude(), 20000};
+}
+
+SearchResult run_lease_search(const std::string& fixture_name,
+                              const LeaseBudget& budget) {
+  SearchOptions options;
+  options.top_k = 1;
+  options.context_bound = 3;
+  options.max_executions = budget.max_executions;
+  options.max_grants = 1ull << 30;  // Let max_executions be the real budget.
+  options.max_crashes = 1;
+  options.check_spec = true;
+  options.stop_on_violation = true;
+  options.prelude = budget.prelude;
+  const auto candidates =
+      workload_candidates(fixture_name, budget.procs, budget.cycles);
+  const auto shape = std::find_if(candidates.begin(), candidates.end(),
+                                  [&](const WorkloadCandidate& c) {
+                                    return c.name == budget.workload;
+                                  });
+  ABA_CHECK_MSG(shape != candidates.end(), "unknown lease-budget workload");
+  ScheduleExplorer explorer(reclaim_fixture(fixture_name, kMutationPool),
+                            budget.procs, shape->workload, pool_pressure_cost,
+                            options);
+  return explorer.run();
+}
+
+void expect_lease_conviction(const LeaseBudget& budget) {
+  const SearchResult result = run_lease_search(budget.mutant, budget);
+  ASSERT_TRUE(result.violation_found())
+      << budget.mutant << " survived its committed budget ("
+      << result.executions << " schedules explored)";
+  const ScheduleScript& script = result.violations[0].script;
+  EXPECT_EQ(std::count_if(script.grants.begin(), script.grants.end(),
+                          is_crash_grant),
+            1)
+      << "a lease conviction needs exactly the one allowed crash";
+
+  // The conviction is evidence: two fresh replays must both re-produce the
+  // failing verdict and agree bit-for-bit.
+  const auto factory = reclaim_fixture(budget.mutant, kMutationPool);
+  const ReplayResult first =
+      ScheduleExplorer::replay(factory, script, pool_pressure_cost);
+  const ReplayResult second =
+      ScheduleExplorer::replay(factory, script, pool_pressure_cost);
+  EXPECT_TRUE(first.verdict.checked);
+  EXPECT_FALSE(first.verdict.ok) << "conviction did not replay";
+  EXPECT_EQ(first.verdict.detail, result.violations[0].detail);
+  EXPECT_EQ(first.trace.size(), second.trace.size());
+  EXPECT_EQ(first.verdict.detail, second.verdict.detail);
+  EXPECT_EQ(first.peak_cost, second.peak_cost);
+}
+
+TEST(LeaseMutantCatch, StaleConfirmSeizesALiveLease) {
+  expect_lease_conviction(stale_confirm_budget());
+}
+
+TEST(LeaseMutantCatch, NoQuarantineFreesAPossiblyLinkedNode) {
+  expect_lease_conviction(no_quarantine_budget());
+}
+
+TEST(LeaseMutantCatch, NoRestampFreesAnOrphanUnderAParkedReader) {
+  expect_lease_conviction(no_restamp_budget());
+}
+
+TEST(LeaseMutantCatch, ShippedTwinsSurviveTheIdenticalBudgetShapes) {
+  // Full-budget survival of all seven shipped leased fixtures is the CI
+  // model-check job's (schedule_search_demo --convict over the shipped
+  // names — 20000-execution budgets run for minutes). Here each mutant's
+  // protocol twin gets the identical budget *shape* — same processes,
+  // pool, cycles, workload, context bound, crash allowance, prelude — with
+  // the execution cap lowered to keep the suite fast. Every mutant above
+  // convicts well inside this cap, so a clean pass is still discriminating.
+  for (LeaseBudget budget : {stale_confirm_budget(), no_quarantine_budget(),
+                             no_restamp_budget()}) {
+    SCOPED_TRACE(budget.shipped_twin + " under the " + budget.mutant +
+                 " budget");
+    budget.max_executions = 2000;
+    const SearchResult result =
+        run_lease_search(budget.shipped_twin, budget);
+    EXPECT_FALSE(result.violation_found())
+        << (result.violations.empty() ? std::string()
+                                      : result.violations[0].detail);
+    EXPECT_GT(result.executions, 0u);
   }
 }
 
@@ -231,6 +372,10 @@ TEST(CorpusHygiene, GoldenPeaksAreStillTheSearchMaxima) {
     buffer << in.rdbuf();
     const auto script = ScheduleScript::parse(buffer.str());
     ASSERT_TRUE(script.has_value());
+    // Lease-mutant convictions carry expect_verdict instead of expect_peak;
+    // their hygiene check (re-running the recorded conviction search) is
+    // ConvictionScriptsStillConvictWithinTheirRecordedBudget below.
+    if (script->meta.count("expect_verdict")) continue;
     ASSERT_TRUE(script->meta.count("fixture"));
     ASSERT_TRUE(script->meta.count("cost"));
     ASSERT_TRUE(script->meta.count("expect_peak"));
@@ -265,6 +410,85 @@ TEST(CorpusHygiene, GoldenPeaksAreStillTheSearchMaxima) {
   }
 }
 
+TEST(CorpusHygiene, ConvictionScriptsStillConvictWithinTheirRecordedBudget) {
+  // A committed conviction script is a *search certificate*, not just a
+  // replayable anecdote: its meta records the full budget of the search
+  // that found it (search_context_bound / search_executions /
+  // search_crashes / search_cycles, plus search_prelude — the staged
+  // prefix, recoverable as the script's own leading grants). Re-running
+  // that exact search must convict again without exceeding the recorded
+  // execution budget (≥ semantics: finding it sooner is fine; needing more
+  // schedules than committed means the searcher or the mutant regressed).
+  int convictions_seen = 0;
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto script = ScheduleScript::parse(buffer.str());
+    ASSERT_TRUE(script.has_value());
+    if (!script->meta.count("expect_verdict")) continue;
+    ++convictions_seen;
+    ASSERT_EQ(script->meta.at("expect_verdict"), "violation");
+    for (const char* key :
+         {"fixture", "cost", "workload", "pool", "search_context_bound",
+          "search_executions", "search_crashes", "search_cycles"}) {
+      ASSERT_TRUE(script->meta.count(key)) << "conviction meta missing " << key;
+    }
+    const auto factory = reclaim_fixture(script->meta.at("fixture"),
+                                         std::stoi(script->meta.at("pool")));
+    const CostFn cost = cost_by_name(script->meta.at("cost"));
+
+    // The committed script still replays to the failing verdict,
+    // deterministically.
+    const ReplayResult first = ScheduleExplorer::replay(factory, *script, cost);
+    const ReplayResult second =
+        ScheduleExplorer::replay(factory, *script, cost);
+    EXPECT_TRUE(first.verdict.checked);
+    EXPECT_FALSE(first.verdict.ok) << "committed conviction no longer replays";
+    EXPECT_EQ(first.verdict.detail, second.verdict.detail);
+    EXPECT_EQ(first.trace.size(), second.trace.size());
+
+    // The recorded search still finds it within budget.
+    SearchOptions options;
+    options.top_k = 1;
+    options.context_bound = std::stoi(script->meta.at("search_context_bound"));
+    options.max_executions = std::stoull(script->meta.at("search_executions"));
+    options.max_grants = 1ull << 30;
+    options.max_crashes = std::stoi(script->meta.at("search_crashes"));
+    options.check_spec = true;
+    options.stop_on_violation = true;
+    if (script->meta.count("search_prelude")) {
+      const std::size_t staged =
+          std::stoul(script->meta.at("search_prelude"));
+      ASSERT_LE(staged, script->grants.size());
+      options.prelude.assign(script->grants.begin(),
+                             script->grants.begin() +
+                                 static_cast<std::ptrdiff_t>(staged));
+    }
+    const auto candidates =
+        workload_candidates(script->meta.at("fixture"), script->num_processes,
+                            std::stoi(script->meta.at("search_cycles")));
+    const auto shape = std::find_if(candidates.begin(), candidates.end(),
+                                    [&](const WorkloadCandidate& c) {
+                                      return c.name ==
+                                             script->meta.at("workload");
+                                    });
+    ASSERT_NE(shape, candidates.end());
+    ScheduleExplorer explorer(factory, script->num_processes, shape->workload,
+                              cost, options);
+    const SearchResult result = explorer.run();
+    EXPECT_TRUE(result.violation_found())
+        << "the recorded search budget no longer convicts ("
+        << result.executions << " schedules explored)";
+    EXPECT_LE(result.executions,
+              std::stoull(script->meta.at("search_executions")));
+  }
+  EXPECT_EQ(convictions_seen, 3)
+      << "expected the three committed lease-mutant convictions";
+}
+
 // ------------------------------------------- n>2, workloads, crash compose
 
 TEST(ModelCheck, ThreeProcessSpecSearchRunsClean) {
@@ -272,7 +496,9 @@ TEST(ModelCheck, ThreeProcessSpecSearchRunsClean) {
   // under its time budget. Spec verdicts on; every shipped fixture must
   // explore its budget without a violation.
   for (const std::string& name :
-       {std::string("stack_hazard_cached"), std::string("queue_epoch")}) {
+       {std::string("stack_hazard_cached"), std::string("queue_epoch"),
+        std::string("queue_leased_epoch"),
+        std::string("stack_leased_hazard_cached")}) {
     SCOPED_TRACE(name);
     SearchOptions options;
     options.top_k = 3;
@@ -369,6 +595,56 @@ TEST(ModelCheck, CrashGrantsComposeWithDporAndSpecVerdicts) {
   }
   EXPECT_TRUE(saw_crash_schedule)
       << "crash-enabled search surfaced no crash schedule in its top-K";
+}
+
+TEST(ModelCheck, SearchedMidBatchCrashReHomesThePendingWindow) {
+  // stack_leased_epoch_batched routes every retire through a pending window
+  // that is staged before the chunk stamp (PR 9); a victim killed between
+  // staging and stamping leaves window slots only the survivor's
+  // drain_dead re-home path can recover. This is a *searched* test, not a
+  // scripted one: the explorer chooses its own crash points (every
+  // mid-retire poise is inside that window for the batched reclaimer) and
+  // every explored schedule must verify clean. At least one surfaced crash
+  // schedule must actually have exercised the expropriation path, and its
+  // final accounting must not mint nodes: free + retired + quarantined +
+  // in-flight can never exceed the pool (the remainder is
+  // structure-resident).
+  SearchOptions options;
+  options.top_k = 8;
+  options.context_bound = 3;
+  options.max_executions = 400;
+  options.max_crashes = 1;
+  options.check_spec = true;
+  const auto factory =
+      reclaim_fixture("stack_leased_epoch_batched", kMutationPool);
+  ScheduleExplorer explorer(
+      factory, 2, storm_workload("stack_leased_epoch_batched", 2, 6),
+      pool_pressure_cost, options);
+  const SearchResult result = explorer.run();
+  EXPECT_TRUE(result.violations.empty())
+      << (result.violations.empty() ? std::string()
+                                    : result.violations[0].detail);
+
+  bool saw_expropriation = false;
+  for (const FoundSchedule& found : result.best) {
+    if (std::none_of(found.script.grants.begin(), found.script.grants.end(),
+                     is_crash_grant)) {
+      continue;
+    }
+    const ReplayResult replay =
+        ScheduleExplorer::replay(factory, found.script, pool_pressure_cost);
+    EXPECT_TRUE(replay.verdict.checked);
+    EXPECT_TRUE(replay.verdict.ok) << replay.verdict.detail;
+    const auto& s = replay.final_stats;
+    EXPECT_LE(s.quarantined, 1u) << "quarantine must cost at most one node";
+    EXPECT_LE(s.free_nodes + s.retired_unreclaimed + s.quarantined +
+                  s.in_flight,
+              s.pool_size)
+        << "survivor-side accounting minted a node";
+    saw_expropriation = saw_expropriation || s.expropriations >= 1;
+  }
+  EXPECT_TRUE(saw_expropriation)
+      << "no surfaced crash schedule drained the dead lease";
 }
 
 }  // namespace

@@ -54,6 +54,7 @@
 #include "reclaim/leaky.h"
 #include "reclaim/reclaimer.h"
 #include "reclaim/tagged.h"
+#include "shm/lease_hosts.h"
 #include "sim/sim_platform.h"
 #include "spec/lin_checker.h"
 #include "spec/specs.h"
@@ -1354,6 +1355,70 @@ TEST(DeferredEpochNativePolicy, FastAndAsymmetricMatchCounted) {
   const auto asym = tokenized_deferred_epoch_trace<AsymP>(3, 48);
   EXPECT_EQ(counted, fast);
   EXPECT_EQ(counted, asym);
+}
+
+// The same token-serialized determinism for the thread-hosted leased
+// reclaimers (shm/lease_hosts.h): the pid-lease death protocol runs for
+// real — begin_op self-checks the lease, retires beat the heartbeat,
+// staleness gets suspected and vetoed (threads of a live process are
+// unconditionally alive, so the handshake can never confirm). All leased
+// state lives on the heap host regardless of platform, so the platform
+// policy can only touch the structure side: Counted, Fast and
+// FastAsymmetric must agree result-for-result.
+template <class P, class Reclaimer>
+std::vector<std::uint64_t> tokenized_leased_trace(int n, int rounds) {
+  using Stack =
+      structures::TreiberStack<P, structures::TaggedCasHead<P>, Reclaimer>;
+  typename P::Env env;
+  Stack stack(env, n,
+              std::make_unique<structures::TaggedCasHead<P>>(env, n),
+              Stack::partition(n, rounds + 2));
+  std::vector<std::uint64_t> trace(static_cast<std::size_t>(n) * rounds, 0);
+  std::atomic<int> turn{0};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      for (int r = 0; r < rounds; ++r) {
+        const int my_step = r * n + pid;
+        while (turn.load() != my_step) std::this_thread::yield();
+        std::uint64_t result = 0;
+        if ((pid + r) % 2 == 0) {
+          result = stack.push(pid, static_cast<std::uint64_t>(my_step)) ? 1 : 0;
+        } else {
+          const auto v = stack.pop(pid);
+          result = spec::pack_opt(v.has_value(), v.has_value() ? *v : 0);
+        }
+        trace[static_cast<std::size_t>(my_step)] = result;
+        turn.fetch_add(1);
+      }
+      stack.detach(pid);  // Hazard modes release their published guards.
+    });
+  }
+  for (auto& t : threads) t.join();
+  return trace;
+}
+
+template <class Reclaimer>
+void expect_leased_platform_agreement() {
+  using CountedP = native::NativePlatform<native::Counted>;
+  using FastP = native::NativePlatform<native::Fast>;
+  const auto counted = tokenized_leased_trace<CountedP, Reclaimer>(3, 48);
+  const auto fast = tokenized_leased_trace<FastP, Reclaimer>(3, 48);
+  const auto asym = tokenized_leased_trace<AsymP, Reclaimer>(3, 48);
+  EXPECT_EQ(counted, fast);
+  EXPECT_EQ(counted, asym);
+}
+
+TEST(LeasedNativePolicy, HazardFastAndAsymmetricMatchCounted) {
+  expect_leased_platform_agreement<shm::ThreadLeasedHazardReclaimer>();
+}
+
+TEST(LeasedNativePolicy, CachedHazardFastAndAsymmetricMatchCounted) {
+  expect_leased_platform_agreement<shm::ThreadLeasedCachedHazardReclaimer>();
+}
+
+TEST(LeasedNativePolicy, EpochFastAndAsymmetricMatchCounted) {
+  expect_leased_platform_agreement<shm::ThreadLeasedEpochReclaimer>();
 }
 
 // ------------------------------- asymmetric-fence native stress

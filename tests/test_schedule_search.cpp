@@ -353,11 +353,36 @@ TEST(ScheduleCorpus, ReplaysAreBitIdenticalAndMatchGoldenBounds) {
 
     ASSERT_TRUE(script->meta.count("fixture"));
     ASSERT_TRUE(script->meta.count("cost"));
-    ASSERT_TRUE(script->meta.count("expect_peak"));
     const std::string fixture_name = script->meta.at("fixture");
     fixtures_seen.insert(fixture_name);
-    const auto factory = reclaim_fixture(fixture_name);
+    const int pool = script->meta.count("pool")
+                         ? std::stoi(script->meta.at("pool"))
+                         : kDefaultPoolPerProcess;
+    const auto factory = reclaim_fixture(fixture_name, pool);
     const CostFn cost = cost_by_name(script->meta.at("cost"));
+
+    // Lease-mutant convictions (PR 10) are committed *because* they violate
+    // the spec: replays must re-produce the failing verdict bit-identically
+    // instead of matching golden peaks, and the schedule-invariant sweep
+    // (which insists on a correct execution) does not apply.
+    if (script->meta.count("expect_verdict")) {
+      ASSERT_EQ(script->meta.at("expect_verdict"), "violation");
+      const ReplayResult first =
+          ScheduleExplorer::replay(factory, *script, cost);
+      const ReplayResult second =
+          ScheduleExplorer::replay(factory, *script, cost);
+      EXPECT_TRUE(first.verdict.checked);
+      EXPECT_FALSE(first.verdict.ok)
+          << "committed conviction no longer replays to a violation";
+      EXPECT_EQ(first.verdict.detail, second.verdict.detail);
+      EXPECT_EQ(trace_signature(first.trace), trace_signature(second.trace));
+      ASSERT_TRUE(script->meta.count("crashes"));
+      EXPECT_EQ(std::count_if(script->grants.begin(), script->grants.end(),
+                              [](int g) { return is_crash_grant(g); }),
+                std::stoll(script->meta.at("crashes")));
+      continue;
+    }
+    ASSERT_TRUE(script->meta.count("expect_peak"));
 
     const ReplayResult first = ScheduleExplorer::replay(factory, *script, cost);
     const ReplayResult second =

@@ -78,6 +78,65 @@ class ScheduleDumpTest(unittest.TestCase):
         self.assertIn("push(7)", result.stdout)
         self.assertIn("p0x2 p1x1 p0x1", result.stdout)
 
+    def test_leased_fixture_renders_without_warning(self):
+        path = self.write("leased.sched",
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "meta fixture stack_leased_epoch_batched\n"
+                          "op 0 push 7\n"
+                          "grants 0 0\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("meta fixture: stack_leased_epoch_batched",
+                      result.stdout)
+        self.assertNotIn("warning", result.stderr)
+
+    def test_unknown_fixture_warns_but_dumps(self):
+        # A typo'd (or future-engine) fixture name must not kill the dump —
+        # the grants are still worth rendering — but it must be called out.
+        path = self.write("typo.sched",
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "meta fixture stack_leased_hazrd\n"
+                          "grants 0 1\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("grant runs: p0x1 p1x1", result.stdout)
+        self.assertIn("warning", result.stderr)
+        self.assertIn("stack_leased_hazrd", result.stderr)
+
+    def test_conviction_script_renders_prelude_and_verdict(self):
+        # A lease-mutant conviction (PR 10): the expect_verdict line must
+        # be surfaced and the staged prelude split out of the grant runs so
+        # the forced prefix is distinguishable from the searched suffix.
+        path = self.write("convict.sched",
+                          "schedule-script v1\n"
+                          "processes 3\n"
+                          "meta fixture stack_leased_mutant_no_restamp\n"
+                          "meta expect_verdict violation\n"
+                          "meta search_prelude 4\n"
+                          "grants 0 0 0 2 1 !1 0 2\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("conviction: replay must FAIL", result.stdout)
+        self.assertIn("staged prelude: p0x3 p2x1", result.stdout)
+        self.assertIn("searched suffix: p1x1 !p1 p0x1 p2x1", result.stdout)
+        self.assertNotIn("warning", result.stderr)
+
+    def test_prelude_longer_than_script_is_rejected(self):
+        path = self.write("badprelude.sched",
+                          "schedule-script v1\n"
+                          "processes 2\n"
+                          "meta search_prelude 9\n"
+                          "grants 0 1\n"
+                          "end\n")
+        result = run_tool(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("search_prelude 9 exceeds", result.stderr)
+
     def test_wrong_header_fails_cleanly(self):
         path = self.write("bad.sched", "not-a-schedule\n")
         result = run_tool(path)

@@ -17,6 +17,22 @@ Usage:
 import sys
 from collections import Counter
 
+# Fixture names the engine registers (src/sim/schedule_search.cpp,
+# reclaim_fixture_names()). Kept in sync by hand; an unknown name is a
+# warning rather than an error so the dump stays usable on scripts from a
+# newer engine, but a typo in a hand-edited script still surfaces.
+KNOWN_FIXTURES = frozenset([
+    "stack_hazard", "stack_hazard_cached", "stack_epoch",
+    "stack_epoch_deferred", "stack_tagged", "stack_leaky",
+    "stack_mutant_tagged", "queue_hazard", "queue_hazard_cached",
+    "queue_epoch", "queue_epoch_deferred", "sharded_stack_hazard_cached",
+    "ring_mpmc", "stack_leased_hazard", "stack_leased_hazard_cached",
+    "stack_leased_epoch", "stack_leased_epoch_batched",
+    "queue_leased_hazard", "queue_leased_hazard_cached",
+    "queue_leased_epoch", "stack_leased_mutant_stale_confirm",
+    "stack_leased_mutant_no_quarantine", "stack_leased_mutant_no_restamp",
+])
+
 
 def parse(path):
     script = {"processes": 0, "meta": {}, "ops": [], "grants": []}
@@ -54,6 +70,12 @@ def parse(path):
         if not 0 <= pid < n:
             raise ValueError(f"{path}: grant pid {pid} out of range for "
                              f"{n} processes")
+    if "search_prelude" in script["meta"]:
+        staged = int(script["meta"]["search_prelude"])
+        if not 0 <= staged <= len(script["grants"]):
+            raise ValueError(
+                f"{path}: search_prelude {staged} exceeds the "
+                f"{len(script['grants'])}-grant script")
     return script
 
 
@@ -74,6 +96,17 @@ def dump(path):
     for key in sorted(script["meta"]):
         print(f"   meta {key}: {script['meta'][key]}")
 
+    fixture = script["meta"].get("fixture")
+    if fixture is not None and fixture not in KNOWN_FIXTURES:
+        print(f"schedule_dump: warning: {path}: unknown fixture "
+              f"{fixture!r} (not in the registered fixture list — "
+              f"typo, or a newer engine?)", file=sys.stderr)
+    if script["meta"].get("expect_verdict") == "violation":
+        # A lease-mutant conviction: this schedule is committed BECAUSE it
+        # breaks the spec on its (deliberately mutated) fixture.
+        print("   conviction: replay must FAIL the spec check "
+              "(expect_verdict=violation)")
+
     by_pid = {}
     for pid, method, arg in script["ops"]:
         by_pid.setdefault(pid, []).append(
@@ -92,10 +125,18 @@ def dump(path):
         " crashes: " + " ".join(f"!p{pid}" for pid in crashes) if crashes
         else "")
     print(f"   grants: {len(grants)} total ({totals}){crash_note}")
-    rle = " ".join(
-        f"!p{-pid - 1}" if pid < 0 else f"p{pid}x{n}"
-        for pid, n in run_length(grants))
-    print(f"   grant runs: {rle}")
+    def rle(seq):
+        return " ".join(
+            f"!p{-pid - 1}" if pid < 0 else f"p{pid}x{n}"
+            for pid, n in run_length(seq))
+
+    staged = int(script["meta"].get("search_prelude", 0))
+    if staged:
+        # A staged conviction search: the leading grants were forced (the
+        # search prelude), only the suffix was discovered by the explorer.
+        print(f"   staged prelude: {rle(grants[:staged])}")
+        print(f"   searched suffix: {rle(grants[staged:])}")
+    print(f"   grant runs: {rle(grants)}")
     print()
 
 
